@@ -1,0 +1,284 @@
+//! Building the multigrid hierarchy (the BoomerAMG-substitute setup phase).
+
+use crate::coarsen::{aggressive_coarsen, coarsen, n_coarse, Coarsening};
+use crate::interp::{build_interpolation, Interpolation};
+use crate::strength::classical_strength_funcs;
+use asyncmg_sparse::{rap, Csr, DenseLu};
+
+/// One level of the hierarchy.
+#[derive(Clone, Debug)]
+pub struct Level {
+    /// The operator `A_k`.
+    pub a: Csr,
+    /// Prolongation `P_{k+1}^k` (absent on the coarsest level).
+    pub p: Option<Csr>,
+    /// Restriction `R = Pᵀ`, stored explicitly for fast SpMV.
+    pub r: Option<Csr>,
+}
+
+/// A complete multigrid hierarchy.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    /// Levels, fine (0) to coarse (ℓ).
+    pub levels: Vec<Level>,
+    /// Dense LU of the coarsest operator; `None` if it was singular.
+    pub coarse_lu: Option<DenseLu>,
+}
+
+/// Setup options mirroring the paper's BoomerAMG configuration.
+#[derive(Clone, Debug)]
+pub struct AmgOptions {
+    /// Strength threshold θ.
+    pub theta: f64,
+    /// Coarsening algorithm (the paper uses HMIS).
+    pub coarsening: Coarsening,
+    /// Interpolation for non-aggressive levels (the paper uses classical
+    /// modified).
+    pub interp: Interpolation,
+    /// Number of *aggressive* levels from the finest (the paper uses 1 for
+    /// Figures 4 and 2 for Table I); aggressive levels use multipass
+    /// interpolation.
+    pub aggressive_levels: usize,
+    /// Maximum number of levels.
+    pub max_levels: usize,
+    /// Stop coarsening when a level has at most this many rows.
+    pub max_coarse: usize,
+    /// Interpolation truncation factor.
+    pub trunc: f64,
+    /// Seed for the PMIS random weights.
+    pub seed: u64,
+    /// Number of interleaved unknowns per node (BoomerAMG's "unknown
+    /// approach" for PDE systems; 3 for the elasticity test set).
+    pub num_functions: usize,
+}
+
+impl Default for AmgOptions {
+    fn default() -> Self {
+        AmgOptions {
+            theta: 0.25,
+            coarsening: Coarsening::Hmis,
+            interp: Interpolation::ClassicalModified,
+            aggressive_levels: 0,
+            max_levels: 25,
+            max_coarse: 40,
+            trunc: 0.0,
+            seed: 0xA5A5,
+            num_functions: 1,
+        }
+    }
+}
+
+impl Hierarchy {
+    /// Number of levels (the paper's `ℓ + 1`).
+    pub fn n_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Rows per level.
+    pub fn level_sizes(&self) -> Vec<usize> {
+        self.levels.iter().map(|l| l.a.nrows()).collect()
+    }
+
+    /// Operator complexity `Σ nnz(A_k) / nnz(A_0)`.
+    pub fn operator_complexity(&self) -> f64 {
+        let total: usize = self.levels.iter().map(|l| l.a.nnz()).sum();
+        total as f64 / self.levels[0].a.nnz() as f64
+    }
+
+    /// Grid complexity `Σ n_k / n_0`.
+    pub fn grid_complexity(&self) -> f64 {
+        let total: usize = self.levels.iter().map(|l| l.a.nrows()).sum();
+        total as f64 / self.levels[0].a.nrows() as f64
+    }
+}
+
+/// Builds a hierarchy from the fine-grid operator.
+pub fn build_hierarchy(a: Csr, opts: &AmgOptions) -> Hierarchy {
+    assert_eq!(a.nrows(), a.ncols());
+    let mut levels: Vec<Level> = Vec::new();
+    let mut current = a;
+    let mut level_idx = 0usize;
+    // Per-dof function labels for the unknown approach; coarse dofs inherit
+    // the label of their C-point.
+    let mut funcs: Option<Vec<u8>> = (opts.num_functions > 1).then(|| {
+        (0..current.nrows()).map(|i| (i % opts.num_functions) as u8).collect()
+    });
+    while current.nrows() > opts.max_coarse && levels.len() + 1 < opts.max_levels {
+        let s = classical_strength_funcs(&current, opts.theta, funcs.as_deref());
+        let aggressive = level_idx < opts.aggressive_levels;
+        let seed = opts.seed.wrapping_add(level_idx as u64);
+        let cf = if aggressive {
+            aggressive_coarsen(&s, opts.coarsening, seed)
+        } else {
+            coarsen(&s, opts.coarsening, seed)
+        };
+        let nc = n_coarse(&cf);
+        if nc == 0 || nc >= current.nrows() {
+            break; // coarsening stalled
+        }
+        let interp_kind =
+            if aggressive { Interpolation::Multipass } else { opts.interp };
+        let p = build_interpolation(&current, &s, &cf, interp_kind, opts.trunc);
+        if p.ncols() == 0 {
+            break;
+        }
+        let coarse = rap(&current, &p);
+        let r = p.transpose();
+        if let Some(f) = &funcs {
+            funcs = Some(
+                cf.iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| c == crate::coarsen::Cf::C)
+                    .map(|(i, _)| f[i])
+                    .collect(),
+            );
+        }
+        levels.push(Level { a: current, p: Some(p), r: Some(r) });
+        current = coarse;
+        level_idx += 1;
+    }
+    let coarse_lu = DenseLu::factor(&current);
+    levels.push(Level { a: current, p: None, r: None });
+    Hierarchy { levels, coarse_lu }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyncmg_problems::stencil::{laplacian_27pt, laplacian_7pt};
+
+    #[test]
+    fn hierarchy_shrinks_levels() {
+        let a = laplacian_7pt(10, 10, 10);
+        let h = build_hierarchy(a, &AmgOptions::default());
+        assert!(h.n_levels() >= 2, "expected multilevel, got {}", h.n_levels());
+        let sizes = h.level_sizes();
+        for w in sizes.windows(2) {
+            assert!(w[1] < w[0], "level sizes not decreasing: {sizes:?}");
+        }
+        assert!(*sizes.last().unwrap() <= 40);
+        assert!(h.coarse_lu.is_some());
+    }
+
+    #[test]
+    fn coarse_operators_stay_symmetric() {
+        let a = laplacian_27pt(8, 8, 8);
+        let h = build_hierarchy(a, &AmgOptions::default());
+        for (k, level) in h.levels.iter().enumerate() {
+            assert!(level.a.is_symmetric(1e-10), "level {k} not symmetric");
+        }
+    }
+
+    #[test]
+    fn aggressive_reduces_complexity() {
+        let a = laplacian_27pt(10, 10, 10);
+        let plain = build_hierarchy(a.clone(), &AmgOptions::default());
+        let agg = build_hierarchy(
+            a,
+            &AmgOptions { aggressive_levels: 1, ..AmgOptions::default() },
+        );
+        assert!(
+            agg.levels[1].a.nrows() < plain.levels[1].a.nrows(),
+            "aggressive first coarse level {} vs plain {}",
+            agg.levels[1].a.nrows(),
+            plain.levels[1].a.nrows()
+        );
+        assert!(agg.operator_complexity() < plain.operator_complexity());
+    }
+
+    #[test]
+    fn restriction_is_transpose_of_p() {
+        let a = laplacian_7pt(6, 6, 6);
+        let h = build_hierarchy(a, &AmgOptions::default());
+        for level in &h.levels {
+            if let (Some(p), Some(r)) = (&level.p, &level.r) {
+                assert_eq!(&p.transpose(), r);
+            }
+        }
+    }
+
+    #[test]
+    fn galerkin_identity_holds() {
+        // A_{k+1} = Pᵀ A_k P entry-wise.
+        let a = laplacian_7pt(5, 5, 5);
+        let h = build_hierarchy(a, &AmgOptions::default());
+        if h.n_levels() >= 2 {
+            let p = h.levels[0].p.as_ref().unwrap();
+            let expect = asyncmg_sparse::rap(&h.levels[0].a, p);
+            let got = &h.levels[1].a;
+            assert_eq!(got.nrows(), expect.nrows());
+            for i in 0..got.nrows() {
+                for (&j, &v) in got.row(i).0.iter().zip(got.row(i).1) {
+                    assert!((v - expect.get(i, j as usize)).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_matrix_is_single_level() {
+        let a = laplacian_7pt(3, 3, 3); // 27 rows ≤ max_coarse
+        let h = build_hierarchy(a, &AmgOptions::default());
+        assert_eq!(h.n_levels(), 1);
+        assert!(h.coarse_lu.is_some());
+    }
+
+    #[test]
+    fn complexities_reported() {
+        let a = laplacian_7pt(8, 8, 8);
+        let h = build_hierarchy(a, &AmgOptions::default());
+        assert!(h.operator_complexity() >= 1.0);
+        assert!(h.grid_complexity() >= 1.0);
+        assert!(h.operator_complexity() < 3.0, "complexity blow-up");
+    }
+}
+
+#[cfg(test)]
+mod unknown_approach_tests {
+    use super::*;
+    use asyncmg_problems::elasticity::{elasticity_beam, BeamMaterials};
+
+    #[test]
+    fn unknown_approach_unmixes_elasticity_interpolation() {
+        let a = elasticity_beam(6, 2, 2, [3.0, 1.0, 1.0], BeamMaterials::default());
+        let h3 = build_hierarchy(a, &AmgOptions { num_functions: 3, ..Default::default() });
+        // With per-function labels, P never couples different displacement
+        // components: column functions are inherited from C points, and each
+        // F row only references same-function C points. Verify via the
+        // Galerkin chain: check P's sparsity respects the label partition on
+        // the finest level.
+        let p = h3.levels[0].p.as_ref().expect("multilevel");
+        // Reconstruct coarse labels the same way the builder does: C points
+        // in increasing dof order. A fine dof i (function i%3) must only
+        // interpolate from coarse dofs with the same label; equivalently,
+        // every coarse column referenced from rows of different functions
+        // would be a violation.
+        let mut col_func: Vec<Option<u8>> = vec![None; p.ncols()];
+        for i in 0..p.nrows() {
+            let f = (i % 3) as u8;
+            for &j in p.row(i).0 {
+                match col_func[j as usize] {
+                    None => col_func[j as usize] = Some(f),
+                    Some(existing) => {
+                        assert_eq!(existing, f, "column {j} mixes functions");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_approach_fixes_elasticity_convergence() {
+        // The motivating property: scalar AMG stagnates on elasticity while
+        // the unknown approach converges (tested through the core solver in
+        // the workspace integration tests; here we check hierarchy shape).
+        let a = elasticity_beam(8, 2, 2, [4.0, 1.0, 1.0], BeamMaterials::default());
+        let scalar = build_hierarchy(a.clone(), &AmgOptions::default());
+        let nf3 = build_hierarchy(a, &AmgOptions { num_functions: 3, ..Default::default() });
+        // Unknown-approach coarsening is less aggressive (per-component
+        // grids) and must still terminate with a usable coarse solve.
+        assert!(nf3.n_levels() >= 2);
+        assert!(nf3.coarse_lu.is_some());
+        let _ = scalar;
+    }
+}

@@ -1,0 +1,513 @@
+//! Interpolation (prolongation) operators.
+//!
+//! Three schemes are provided:
+//!
+//! * **Direct** — each F-point interpolates only from its strong C
+//!   neighbours with row-sum-preserving scaling,
+//! * **Classical modified** — the scheme the paper selects in BoomerAMG
+//!   ("classical modified interpolation"): strong F-F connections are
+//!   distributed over common C-points (with sign filtering), and lumped into
+//!   the diagonal when no compatible common C-point exists,
+//! * **Multipass** — long-range interpolation for aggressively coarsened
+//!   levels, where F-points may have no strong C neighbour at all; built in
+//!   passes through already-interpolated neighbours.
+
+use crate::coarsen::Cf;
+use crate::strength::Strength;
+use asyncmg_sparse::Csr;
+
+/// Interpolation scheme selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Interpolation {
+    /// Direct interpolation from strong C neighbours.
+    Direct,
+    /// Classical interpolation with the "modified" F-F treatment.
+    ClassicalModified,
+    /// Multipass interpolation (required after aggressive coarsening).
+    Multipass,
+}
+
+/// Builds the prolongation matrix `P` (`n_fine × n_coarse`).
+///
+/// `trunc` ∈ [0, 1): interpolation weights smaller than `trunc · max|w|`
+/// within a row are dropped and the remaining weights rescaled to preserve
+/// the row sum (BoomerAMG's truncation).
+pub fn build_interpolation(
+    a: &Csr,
+    s: &Strength,
+    cf: &[Cf],
+    kind: Interpolation,
+    trunc: f64,
+) -> Csr {
+    let p = match kind {
+        Interpolation::Direct => direct(a, s, cf),
+        Interpolation::ClassicalModified => classical_modified(a, s, cf),
+        Interpolation::Multipass => multipass(a, s, cf),
+    };
+    if trunc > 0.0 {
+        truncate(&p, trunc)
+    } else {
+        p
+    }
+}
+
+/// Maps each point to its coarse index (C points only).
+pub fn coarse_map(cf: &[Cf]) -> (Vec<u32>, usize) {
+    let mut map = vec![u32::MAX; cf.len()];
+    let mut nc = 0u32;
+    for (i, &c) in cf.iter().enumerate() {
+        if c == Cf::C {
+            map[i] = nc;
+            nc += 1;
+        }
+    }
+    (map, nc as usize)
+}
+
+struct RowBuilder {
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl RowBuilder {
+    fn new(n: usize) -> Self {
+        RowBuilder { row_ptr: Vec::with_capacity(n + 1), col_idx: Vec::new(), vals: Vec::new() }
+    }
+
+    fn push_row(&mut self, entries: &mut Vec<(u32, f64)>) {
+        entries.sort_unstable_by_key(|&(c, _)| c);
+        for &(c, v) in entries.iter() {
+            self.col_idx.push(c);
+            self.vals.push(v);
+        }
+        self.row_ptr.push(self.col_idx.len() as u32);
+        entries.clear();
+    }
+
+    fn finish(mut self, nrows: usize, ncols: usize) -> Csr {
+        self.row_ptr.insert(0, 0);
+        assert_eq!(self.row_ptr.len(), nrows + 1);
+        Csr::from_raw(nrows, ncols, self.row_ptr, self.col_idx, self.vals)
+    }
+}
+
+/// Direct interpolation with separate positive/negative scaling
+/// (Stüben's formula): for F-point `i` and strong C neighbour `j`,
+/// `w_ij = −α_i a_ij / a_ii` (negative couplings) or
+/// `w_ij = −β_i a_ij / a_ii` (positive), where `α_i`/`β_i` are the ratios of
+/// the total to the interpolated negative/positive off-diagonal mass.
+fn direct(a: &Csr, s: &Strength, cf: &[Cf]) -> Csr {
+    let n = a.nrows();
+    let (cmap, nc) = coarse_map(cf);
+    let mut b = RowBuilder::new(n);
+    let mut entries: Vec<(u32, f64)> = Vec::new();
+    for i in 0..n {
+        if cf[i] == Cf::C {
+            entries.push((cmap[i], 1.0));
+            b.push_row(&mut entries);
+            continue;
+        }
+        let strong: &[u32] = s.deps(i);
+        let (cols, vals) = a.row(i);
+        let mut diag = 0.0;
+        let (mut neg_all, mut pos_all, mut neg_c, mut pos_c) = (0.0, 0.0, 0.0, 0.0);
+        for (&j, &v) in cols.iter().zip(vals) {
+            let ju = j as usize;
+            if ju == i {
+                diag = v;
+                continue;
+            }
+            if v < 0.0 {
+                neg_all += v;
+            } else {
+                pos_all += v;
+            }
+            if cf[ju] == Cf::C && strong.contains(&j) {
+                if v < 0.0 {
+                    neg_c += v;
+                } else {
+                    pos_c += v;
+                }
+            }
+        }
+        let alpha = if neg_c != 0.0 { neg_all / neg_c } else { 0.0 };
+        let beta = if pos_c != 0.0 { pos_all / pos_c } else { 0.0 };
+        // Positive mass without positive C neighbours is lumped into the
+        // diagonal.
+        let mut d = diag;
+        if pos_c == 0.0 {
+            d += pos_all;
+        }
+        if neg_c == 0.0 {
+            d += neg_all;
+        }
+        for (&j, &v) in cols.iter().zip(vals) {
+            let ju = j as usize;
+            if ju != i && cf[ju] == Cf::C && strong.contains(&j) {
+                let scale = if v < 0.0 { alpha } else { beta };
+                if scale != 0.0 && d != 0.0 {
+                    entries.push((cmap[ju], -scale * v / d));
+                }
+            }
+        }
+        b.push_row(&mut entries);
+    }
+    b.finish(n, nc)
+}
+
+/// Classical modified interpolation (hypre's `mod_classical`).
+fn classical_modified(a: &Csr, s: &Strength, cf: &[Cf]) -> Csr {
+    let n = a.nrows();
+    let (cmap, nc) = coarse_map(cf);
+    // marker[j] = i means j ∈ C_i during the processing of row i.
+    let mut marker = vec![u32::MAX; n];
+    let mut b = RowBuilder::new(n);
+    let mut entries: Vec<(u32, f64)> = Vec::new();
+    let mut numer: Vec<f64> = vec![0.0; n]; // indexed by fine col, C_i only
+    for i in 0..n {
+        if cf[i] == Cf::C {
+            entries.push((cmap[i], 1.0));
+            b.push_row(&mut entries);
+            continue;
+        }
+        let strong = s.deps(i);
+        let (cols, vals) = a.row(i);
+        // Classify neighbours.
+        let mut c_pts: Vec<u32> = Vec::new();
+        let mut f_strong: Vec<(u32, f64)> = Vec::new();
+        let mut diag = 0.0;
+        let mut weak_sum = 0.0;
+        for (&j, &v) in cols.iter().zip(vals) {
+            let ju = j as usize;
+            if ju == i {
+                diag = v;
+            } else if strong.contains(&j) {
+                if cf[ju] == Cf::C {
+                    c_pts.push(j);
+                    marker[ju] = i as u32;
+                    numer[ju] = v;
+                } else {
+                    f_strong.push((j, v));
+                }
+            } else {
+                weak_sum += v;
+            }
+        }
+        let mut denom = diag + weak_sum;
+        // Distribute each strong F-F connection over common C-points (and
+        // the connection back to i), filtering by sign against a_mm.
+        for &(m, a_im) in &f_strong {
+            let mu = m as usize;
+            let (m_cols, m_vals) = a.row(mu);
+            let a_mm = a.get(mu, mu);
+            let mut dist_sum = 0.0;
+            let mut a_mi = 0.0;
+            for (&k, &v) in m_cols.iter().zip(m_vals) {
+                let ku = k as usize;
+                let opposite = v * a_mm < 0.0;
+                if !opposite {
+                    continue;
+                }
+                if marker[ku] == i as u32 {
+                    dist_sum += v;
+                } else if ku == i {
+                    a_mi = v;
+                    dist_sum += v;
+                }
+            }
+            if dist_sum == 0.0 {
+                // No compatible common C-point: lump into the diagonal
+                // (the "modified" part of the scheme).
+                denom += a_im;
+            } else {
+                let f = a_im / dist_sum;
+                for (&k, &v) in m_cols.iter().zip(m_vals) {
+                    let ku = k as usize;
+                    if v * a_mm < 0.0 && marker[ku] == i as u32 {
+                        numer[ku] += f * v;
+                    }
+                }
+                denom += f * a_mi;
+            }
+        }
+        if denom != 0.0 {
+            for &j in &c_pts {
+                let w = -numer[j as usize] / denom;
+                if w != 0.0 {
+                    entries.push((cmap[j as usize], w));
+                }
+            }
+        }
+        b.push_row(&mut entries);
+    }
+    b.finish(n, nc)
+}
+
+/// Multipass interpolation for aggressive coarsening.
+///
+/// Pass 1 gives direct interpolation to F-points with strong C neighbours;
+/// subsequent passes interpolate the remaining F-points through the rows of
+/// already-interpolated strong neighbours, lumping unusable connections into
+/// the diagonal. Preserves constants whenever `A` has zero row sums.
+fn multipass(a: &Csr, s: &Strength, cf: &[Cf]) -> Csr {
+    let n = a.nrows();
+    let (cmap, nc) = coarse_map(cf);
+    // rows[i] = Some(list of (coarse col, weight)).
+    let mut rows: Vec<Option<Vec<(u32, f64)>>> = vec![None; n];
+    let mut pending: Vec<usize> = Vec::new();
+    for i in 0..n {
+        if cf[i] == Cf::C {
+            rows[i] = Some(vec![(cmap[i], 1.0)]);
+        } else {
+            pending.push(i);
+        }
+    }
+    // Pass 1: direct interpolation where a strong C neighbour exists.
+    let direct_p = direct(a, s, cf);
+    pending.retain(|&i| {
+        let has_strong_c = s.deps(i).iter().any(|&j| cf[j as usize] == Cf::C);
+        if has_strong_c {
+            let (cols, vals) = direct_p.row(i);
+            rows[i] = Some(cols.iter().copied().zip(vals.iter().copied()).collect());
+            false
+        } else {
+            true
+        }
+    });
+    // Later passes: interpolate through done strong neighbours.
+    let mut acc: Vec<f64> = vec![0.0; nc];
+    let mut touched: Vec<u32> = Vec::new();
+    while !pending.is_empty() {
+        let mut progressed = false;
+        let mut next_pending: Vec<usize> = Vec::new();
+        let snapshot: Vec<bool> = rows.iter().map(|r| r.is_some()).collect();
+        for &i in &pending {
+            let strong = s.deps(i);
+            let usable: Vec<u32> =
+                strong.iter().copied().filter(|&m| snapshot[m as usize]).collect();
+            if usable.is_empty() {
+                next_pending.push(i);
+                continue;
+            }
+            let (cols, vals) = a.row(i);
+            let mut denom = 0.0;
+            // Lump: diagonal + every connection that is not a usable strong
+            // neighbour.
+            for (&j, &v) in cols.iter().zip(vals) {
+                if j as usize == i || !usable.contains(&j) {
+                    denom += v;
+                }
+            }
+            touched.clear();
+            for (&j, &v) in cols.iter().zip(vals) {
+                if j as usize != i && usable.contains(&j) {
+                    for &(c, w) in rows[j as usize].as_ref().unwrap() {
+                        if acc[c as usize] == 0.0 && !touched.contains(&c) {
+                            touched.push(c);
+                        }
+                        acc[c as usize] += v * w;
+                    }
+                }
+            }
+            if denom != 0.0 {
+                let mut row: Vec<(u32, f64)> = touched
+                    .iter()
+                    .map(|&c| (c, -acc[c as usize] / denom))
+                    .filter(|&(_, w)| w != 0.0)
+                    .collect();
+                row.sort_unstable_by_key(|&(c, _)| c);
+                rows[i] = Some(row);
+                progressed = true;
+            } else {
+                rows[i] = Some(Vec::new());
+                progressed = true;
+            }
+            for &c in &touched {
+                acc[c as usize] = 0.0;
+            }
+        }
+        pending = next_pending;
+        if !progressed && !pending.is_empty() {
+            // Disconnected F-points (no path to any C point): zero rows.
+            for &i in &pending {
+                rows[i] = Some(Vec::new());
+            }
+            pending.clear();
+        }
+    }
+    let mut b = RowBuilder::new(n);
+    let mut entries: Vec<(u32, f64)> = Vec::new();
+    for row in rows.into_iter() {
+        entries.extend(row.unwrap());
+        b.push_row(&mut entries);
+    }
+    b.finish(n, nc)
+}
+
+/// Drops weights below `trunc · max|w|` per row, rescaling survivors to
+/// preserve the row sum.
+fn truncate(p: &Csr, trunc: f64) -> Csr {
+    let n = p.nrows();
+    let mut b = RowBuilder::new(n);
+    let mut entries: Vec<(u32, f64)> = Vec::new();
+    for i in 0..n {
+        let (cols, vals) = p.row(i);
+        if cols.is_empty() {
+            b.push_row(&mut entries);
+            continue;
+        }
+        let max_w = vals.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let threshold = trunc * max_w;
+        let total: f64 = vals.iter().sum();
+        let mut kept = 0.0;
+        for (&c, &v) in cols.iter().zip(vals) {
+            if v.abs() >= threshold {
+                entries.push((c, v));
+                kept += v;
+            }
+        }
+        if kept != 0.0 && total != 0.0 {
+            let scale = total / kept;
+            for e in &mut entries {
+                e.1 *= scale;
+            }
+        }
+        b.push_row(&mut entries);
+    }
+    b.finish(n, p.ncols())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coarsen::{coarsen, Coarsening};
+    use crate::strength::classical_strength;
+    use asyncmg_sparse::Coo;
+
+    fn laplace1d(n: usize) -> Csr {
+        let mut c = Coo::new(n, n);
+        for i in 0..n {
+            c.push(i, i, 2.0);
+            if i > 0 {
+                c.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                c.push(i, i + 1, -1.0);
+            }
+        }
+        c.to_csr()
+    }
+
+    fn laplace2d_periodicish(n: usize) -> Csr {
+        // 2-D 5-point with zero row sums (Neumann-like interior everywhere)
+        // so constants are in the null space — ideal for row-sum tests.
+        let m = n * n;
+        let mut c = Coo::new(m, m);
+        for j in 0..n {
+            for i in 0..n {
+                let id = i + n * j;
+                let mut deg = 0.0;
+                let mut nb = |cond: bool, other: usize, deg: &mut f64| {
+                    if cond {
+                        c.push(id, other, -1.0);
+                        *deg += 1.0;
+                    }
+                };
+                nb(i > 0, id.wrapping_sub(1), &mut deg);
+                nb(i + 1 < n, id + 1, &mut deg);
+                nb(j > 0, id.wrapping_sub(n), &mut deg);
+                nb(j + 1 < n, id + n, &mut deg);
+                c.push(id, id, deg);
+            }
+        }
+        c.to_csr()
+    }
+
+    fn cf_and_strength(a: &Csr, method: Coarsening) -> (Strength, Vec<Cf>) {
+        let s = classical_strength(a, 0.25);
+        let cf = coarsen(&s, method, 11);
+        (s, cf)
+    }
+
+    #[test]
+    fn c_rows_are_identity() {
+        let a = laplace1d(10);
+        let (s, cf) = cf_and_strength(&a, Coarsening::Rs);
+        for kind in
+            [Interpolation::Direct, Interpolation::ClassicalModified, Interpolation::Multipass]
+        {
+            let p = build_interpolation(&a, &s, &cf, kind, 0.0);
+            let (cmap, nc) = coarse_map(&cf);
+            assert_eq!(p.ncols(), nc);
+            for i in 0..10 {
+                if cf[i] == Cf::C {
+                    let (cols, vals) = p.row(i);
+                    assert_eq!(cols, &[cmap[i]]);
+                    assert_eq!(vals, &[1.0]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_row_sum_gives_unit_p_rows() {
+        // With zero row sums, classical interpolation preserves constants:
+        // every P row sums to 1.
+        let a = laplace2d_periodicish(6);
+        let (s, cf) = cf_and_strength(&a, Coarsening::Hmis);
+        for kind in [Interpolation::Direct, Interpolation::ClassicalModified] {
+            let p = build_interpolation(&a, &s, &cf, kind, 0.0);
+            for i in 0..a.nrows() {
+                let sum: f64 = p.row(i).1.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-12, "{kind:?} row {i} sums to {sum}");
+            }
+        }
+    }
+
+    #[test]
+    fn multipass_preserves_constants_after_aggressive() {
+        let a = laplace2d_periodicish(8);
+        let s = classical_strength(&a, 0.25);
+        let cf = crate::coarsen::aggressive_coarsen(&s, Coarsening::Hmis, 3);
+        let p = build_interpolation(&a, &s, &cf, Interpolation::Multipass, 0.0);
+        for i in 0..a.nrows() {
+            let sum: f64 = p.row(i).1.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-10, "row {i} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn interpolation_weights_bounded() {
+        let a = laplace1d(20);
+        let (s, cf) = cf_and_strength(&a, Coarsening::Rs);
+        let p = build_interpolation(&a, &s, &cf, Interpolation::ClassicalModified, 0.0);
+        for v in p.vals() {
+            assert!(v.abs() <= 1.0 + 1e-12, "weight {v} out of range");
+        }
+    }
+
+    #[test]
+    fn truncation_preserves_row_sums() {
+        let a = laplace2d_periodicish(6);
+        let (s, cf) = cf_and_strength(&a, Coarsening::Hmis);
+        let p = build_interpolation(&a, &s, &cf, Interpolation::ClassicalModified, 0.0);
+        let pt = build_interpolation(&a, &s, &cf, Interpolation::ClassicalModified, 0.3);
+        assert!(pt.nnz() <= p.nnz());
+        for i in 0..p.nrows() {
+            let s0: f64 = p.row(i).1.iter().sum();
+            let s1: f64 = pt.row(i).1.iter().sum();
+            assert!((s0 - s1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn every_f_row_nonempty_on_connected_problem() {
+        let a = laplace1d(30);
+        let (s, cf) = cf_and_strength(&a, Coarsening::Hmis);
+        let p = build_interpolation(&a, &s, &cf, Interpolation::ClassicalModified, 0.0);
+        for i in 0..30 {
+            assert!(!p.row(i).0.is_empty(), "empty P row {i} ({:?})", cf[i]);
+        }
+    }
+}

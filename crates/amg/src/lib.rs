@@ -1,0 +1,32 @@
+//! Algebraic multigrid setup — the from-scratch BoomerAMG substitute.
+//!
+//! The paper generates its prolongation and coarse-grid matrices with the
+//! BoomerAMG package, configured with HMIS coarsening, one or two aggressive
+//! levels, and classical modified interpolation. This crate reimplements
+//! that setup pipeline:
+//!
+//! 1. [`strength::classical_strength`] — classical strength of connection,
+//! 2. [`coarsen`] — Ruge-Stüben first pass, PMIS, HMIS, and two-stage
+//!    aggressive coarsening over the distance-2 strength graph,
+//! 3. [`interp`] — direct, classical modified, and multipass interpolation,
+//! 4. [`hierarchy::build_hierarchy`] — Galerkin products `A_{k+1} = Pᵀ A_k P`
+//!    down to a dense-LU-factorable coarsest grid,
+//! 5. [`smoothed`] — the smoothed interpolants `P̄ = (I − ωD⁻¹A) P` that
+//!    define Multadd.
+
+// Indexed loops over multiple parallel arrays are the house style for
+// numerical kernels; the iterator forms clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
+
+
+pub mod coarsen;
+pub mod hierarchy;
+pub mod interp;
+pub mod smoothed;
+pub mod strength;
+
+pub use coarsen::{Cf, Coarsening};
+pub use hierarchy::{build_hierarchy, AmgOptions, Hierarchy, Level};
+pub use interp::Interpolation;
+pub use smoothed::{smoothed_interpolant, smoothed_interpolants, InterpSmoothing};
+pub use strength::{classical_strength, Strength};

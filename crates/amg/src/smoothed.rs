@@ -1,0 +1,117 @@
+//! Smoothed interpolants for Multadd.
+//!
+//! Multadd (Section II.B.1) replaces the plain two-level interpolants with
+//! `P̄_{k+1}^k = G_k P_{k+1}^k`, where `G_k = I − M_k⁻¹ A_k` is the smoother
+//! iteration matrix. The paper keeps `M_k` diagonal when building the
+//! interpolants — ω-Jacobi for most smoothers, ℓ1-Jacobi when the ℓ1-Jacobi
+//! smoother is used — "to keep the smoothed interpolants sparse".
+
+use crate::hierarchy::Hierarchy;
+use asyncmg_sparse::{add_scaled, spgemm, Csr};
+
+/// Which diagonal iteration matrix to build `P̄` with.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum InterpSmoothing {
+    /// `G = I − ω D⁻¹ A`.
+    WJacobi {
+        /// The Jacobi weight ω.
+        omega: f64,
+    },
+    /// `G = I − D₁⁻¹ A` with `(D₁)_ii = Σ_j |a_ij|`.
+    L1Jacobi,
+}
+
+/// The smoothed two-level interpolant `P̄ = (I − W A) P` and its transpose,
+/// with `W` the diagonal weight matrix of `kind`.
+pub fn smoothed_interpolant(a: &Csr, p: &Csr, kind: InterpSmoothing) -> (Csr, Csr) {
+    let weights: Vec<f64> = match kind {
+        InterpSmoothing::WJacobi { omega } => {
+            a.diag().iter().map(|&d| if d != 0.0 { omega / d } else { 0.0 }).collect()
+        }
+        InterpSmoothing::L1Jacobi => {
+            a.l1_row_norms().iter().map(|&d| if d != 0.0 { 1.0 / d } else { 0.0 }).collect()
+        }
+    };
+    // P̄ = P − W (A P).
+    let mut ap = spgemm(a, p);
+    ap.scale_rows(&weights);
+    let p_bar = add_scaled(p, &ap, 1.0, -1.0);
+    let r_bar = p_bar.transpose();
+    (p_bar, r_bar)
+}
+
+/// Smoothed interpolants for every non-coarsest level of a hierarchy.
+pub fn smoothed_interpolants(h: &Hierarchy, kind: InterpSmoothing) -> Vec<(Csr, Csr)> {
+    h.levels
+        .iter()
+        .filter_map(|l| l.p.as_ref().map(|p| smoothed_interpolant(&l.a, p, kind)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::{build_hierarchy, AmgOptions};
+    use asyncmg_problems::stencil::laplacian_7pt;
+
+    #[test]
+    fn smoothed_interpolant_matches_definition() {
+        let a = laplacian_7pt(5, 5, 5);
+        let h = build_hierarchy(a, &AmgOptions::default());
+        let p = h.levels[0].p.as_ref().unwrap();
+        let a0 = &h.levels[0].a;
+        let omega = 0.9;
+        let (p_bar, r_bar) = smoothed_interpolant(a0, p, InterpSmoothing::WJacobi { omega });
+        // Check P̄ x = P x − ω D⁻¹ A P x on a random-ish vector.
+        let nc = p.ncols();
+        let xc: Vec<f64> = (0..nc).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+        let n = p.nrows();
+        let mut px = vec![0.0; n];
+        p.spmv(&xc, &mut px);
+        let mut apx = vec![0.0; n];
+        a0.spmv(&px, &mut apx);
+        let d = a0.diag();
+        let mut pbx = vec![0.0; n];
+        p_bar.spmv(&xc, &mut pbx);
+        for i in 0..n {
+            let expect = px[i] - omega / d[i] * apx[i];
+            assert!((pbx[i] - expect).abs() < 1e-10, "row {i}");
+        }
+        assert_eq!(&p_bar.transpose(), &r_bar);
+    }
+
+    #[test]
+    fn l1_variant_differs_from_jacobi() {
+        let a = laplacian_7pt(4, 4, 4);
+        let h = build_hierarchy(a, &AmgOptions::default());
+        let p = h.levels[0].p.as_ref().unwrap();
+        let a0 = &h.levels[0].a;
+        let (pw, _) = smoothed_interpolant(a0, p, InterpSmoothing::WJacobi { omega: 0.9 });
+        let (pl, _) = smoothed_interpolant(a0, p, InterpSmoothing::L1Jacobi);
+        assert_eq!(pw.nrows(), pl.nrows());
+        assert!(pw.vals().iter().zip(pl.vals()).any(|(x, y)| (x - y).abs() > 1e-12));
+    }
+
+    #[test]
+    fn one_pair_per_interior_level() {
+        let a = laplacian_7pt(8, 8, 8);
+        let h = build_hierarchy(a, &AmgOptions::default());
+        let bars = smoothed_interpolants(&h, InterpSmoothing::WJacobi { omega: 0.9 });
+        assert_eq!(bars.len(), h.n_levels() - 1);
+        for (k, (pb, rb)) in bars.iter().enumerate() {
+            assert_eq!(pb.nrows(), h.levels[k].a.nrows());
+            assert_eq!(pb.ncols(), h.levels[k + 1].a.nrows());
+            assert_eq!(rb.nrows(), pb.ncols());
+        }
+    }
+
+    #[test]
+    fn smoothed_interpolant_denser_than_plain() {
+        let a = laplacian_7pt(6, 6, 6);
+        let h = build_hierarchy(a, &AmgOptions::default());
+        let p = h.levels[0].p.as_ref().unwrap();
+        let (p_bar, _) =
+            smoothed_interpolant(&h.levels[0].a, p, InterpSmoothing::WJacobi { omega: 0.9 });
+        assert!(p_bar.nnz() > p.nnz());
+    }
+}

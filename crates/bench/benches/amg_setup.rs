@@ -1,0 +1,60 @@
+//! AMG setup-phase benchmarks: strength, coarsening, interpolation and the
+//! Galerkin triple product — the cost of the paper's BoomerAMG setup that
+//! our hierarchy builder replaces.
+
+use asyncmg_amg::{
+    build_hierarchy, classical_strength, coarsen, interp, AmgOptions, Coarsening,
+};
+use asyncmg_problems::TestSet;
+use asyncmg_sparse::rap;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_setup(c: &mut Criterion) {
+    let a = TestSet::TwentySevenPt.matrix(12);
+
+    c.bench_function("strength_27pt_12", |bench| {
+        bench.iter(|| classical_strength(black_box(&a), 0.25));
+    });
+
+    let s = classical_strength(&a, 0.25);
+    for method in [Coarsening::Rs, Coarsening::Pmis, Coarsening::Hmis] {
+        c.bench_function(&format!("coarsen_{method:?}"), |bench| {
+            bench.iter(|| coarsen::coarsen(black_box(&s), method, 1));
+        });
+    }
+
+    let cf = coarsen::coarsen(&s, Coarsening::Hmis, 1);
+    c.bench_function("interp_classical_modified", |bench| {
+        bench.iter(|| {
+            interp::build_interpolation(
+                black_box(&a),
+                &s,
+                &cf,
+                asyncmg_amg::Interpolation::ClassicalModified,
+                0.0,
+            )
+        });
+    });
+
+    let p = interp::build_interpolation(&a, &s, &cf, asyncmg_amg::Interpolation::ClassicalModified, 0.0);
+    c.bench_function("galerkin_rap", |bench| {
+        bench.iter(|| rap(black_box(&a), &p));
+    });
+
+    c.bench_function("full_hierarchy_hmis_agg1", |bench| {
+        bench.iter(|| {
+            build_hierarchy(
+                a.clone(),
+                &AmgOptions { aggressive_levels: 1, ..Default::default() },
+            )
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_setup
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Microbenchmarks of the computational kernels behind one grid correction:
+//! SpMV, restriction/prolongation, smoother sweeps, and the symmetrized
+//! Multadd operator. These quantify the "work per correction" discussion of
+//! Sections II.B and IV.
+
+use asyncmg_amg::{build_hierarchy, AmgOptions};
+use asyncmg_core::setup::{MgOptions, MgSetup};
+use asyncmg_problems::{rhs::random_rhs, stencil::laplacian_27pt};
+use asyncmg_smoothers::{LevelSmoother, SmootherKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn setup() -> MgSetup {
+    let a = laplacian_27pt(16, 16, 16);
+    let h = build_hierarchy(a, &AmgOptions::default());
+    MgSetup::new(h, MgOptions::default())
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let s = setup();
+    let n = s.n();
+    let a0 = s.a(0);
+    let x = random_rhs(n, 1);
+    let mut y = vec![0.0; n];
+
+    c.bench_function("spmv_27pt_16", |bench| {
+        bench.iter(|| a0.spmv(black_box(&x), &mut y));
+    });
+
+    let r0 = s.r(0);
+    let mut yc = vec![0.0; r0.nrows()];
+    c.bench_function("restrict_plain", |bench| {
+        bench.iter(|| r0.spmv(black_box(&x), &mut yc));
+    });
+
+    let rb = s.r_bar(0);
+    c.bench_function("restrict_smoothed", |bench| {
+        bench.iter(|| rb.spmv(black_box(&x), &mut yc));
+    });
+
+    for kind in [
+        SmootherKind::WJacobi { omega: 0.9 },
+        SmootherKind::L1Jacobi,
+        SmootherKind::HybridJgs,
+    ] {
+        let sm = LevelSmoother::new(a0, kind, 4);
+        let b = random_rhs(n, 2);
+        let mut xv = vec![0.0; n];
+        let mut buf = vec![0.0; n];
+        c.bench_function(&format!("relax_{}", kind.name().replace(' ', "_")), |bench| {
+            bench.iter(|| sm.relax(a0, black_box(&b), &mut xv, &mut buf));
+        });
+    }
+
+    let sm = LevelSmoother::new(a0, SmootherKind::WJacobi { omega: 0.9 }, 4);
+    let b = random_rhs(n, 3);
+    let mut e = vec![0.0; n];
+    let mut buf = vec![0.0; n];
+    c.bench_function("multadd_symmetrized_lambda", |bench| {
+        bench.iter(|| sm.multadd_lambda(a0, black_box(&b), &mut e, &mut buf));
+    });
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Figure 4: relative residual after 20 V(1,1)-cycles vs number of rows for
+//! the 7pt and 27pt test sets, ω-Jacobi and async GS smoothing, all threaded
+//! method variants (Criterion 1).
+//!
+//! ```sh
+//! cargo run --release -p asyncmg-bench --bin fig4 [-- --sizes 10,14 --threads 4 --runs 3 --full]
+//! ```
+//!
+//! Output: CSV `test_set,smoother,method,grid_length,rows,relres`.
+
+use asyncmg_bench::{build_setup, paper_omega, run_method, table1_methods, Cli};
+use asyncmg_core::StopCriterion;
+use asyncmg_problems::{rhs::random_rhs, TestSet};
+use asyncmg_smoothers::SmootherKind;
+
+fn main() {
+    let cli = Cli::from_env();
+    let (sizes, runs, threads) = if cli.flag("full") {
+        (vec![40usize, 50, 60, 70, 80], 20usize, 68usize)
+    } else {
+        (vec![8usize, 12, 16], 3, 4)
+    };
+    let sizes = cli.list("sizes").unwrap_or(sizes);
+    let runs: usize = cli.get("runs").unwrap_or(runs);
+    let threads: usize = cli.get("threads").unwrap_or(threads);
+    let cycles = 20;
+
+    println!("test_set,smoother,method,grid_length,rows,relres");
+    for set in [TestSet::SevenPt, TestSet::TwentySevenPt] {
+        let omega = paper_omega(set);
+        for smoother in [SmootherKind::WJacobi { omega }, SmootherKind::AsyncGs] {
+            for &n in &sizes {
+                // Figure 4: HMIS + one aggressive level.
+                let setup = build_setup(set, n, 1, smoother);
+                let b = random_rhs(setup.n(), 40 + n as u64);
+                for (name, cfg) in table1_methods() {
+                    let mut relres = 0.0;
+                    for _ in 0..runs {
+                        let (r, _, _) =
+                            run_method(&cfg, &setup, &b, cycles, threads, StopCriterion::One);
+                        relres += r;
+                    }
+                    relres /= runs as f64;
+                    println!(
+                        "{},{},\"{name}\",{n},{},{relres:e}",
+                        set.name(),
+                        smoother.name(),
+                        setup.n()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Figure 5: relative residual after 20 V(1,1)-cycles vs number of rows for
+//! the MFEM Laplace test set (FEM ball Laplacian substitute), ω-Jacobi and
+//! async GS smoothing, **no aggressive coarsening**.
+//!
+//! ```sh
+//! cargo run --release -p asyncmg-bench --bin fig5 [-- --sizes 9,13,17 --threads 4 --runs 3 --full]
+//! ```
+//!
+//! Output: CSV `smoother,method,grid_length,rows,relres`.
+
+use asyncmg_bench::{build_setup, run_method, table1_methods, Cli};
+use asyncmg_core::StopCriterion;
+use asyncmg_problems::{rhs::random_rhs, TestSet};
+use asyncmg_smoothers::SmootherKind;
+
+fn main() {
+    let cli = Cli::from_env();
+    let (sizes, runs, threads) = if cli.flag("full") {
+        (vec![21usize, 27, 33], 20usize, 68usize)
+    } else {
+        (vec![9usize, 13, 17], 3, 4)
+    };
+    let sizes = cli.list("sizes").unwrap_or(sizes);
+    let runs: usize = cli.get("runs").unwrap_or(runs);
+    let threads: usize = cli.get("threads").unwrap_or(threads);
+    let cycles = 20;
+
+    println!("smoother,method,grid_length,rows,relres");
+    for smoother in [SmootherKind::WJacobi { omega: 0.5 }, SmootherKind::AsyncGs] {
+        for &n in &sizes {
+            // Figure 5: no aggressive coarsening.
+            let setup = build_setup(TestSet::FemLaplace, n, 0, smoother);
+            let b = random_rhs(setup.n(), 50 + n as u64);
+            for (name, cfg) in table1_methods() {
+                let mut relres = 0.0;
+                for _ in 0..runs {
+                    let (r, _, _) =
+                        run_method(&cfg, &setup, &b, cycles, threads, StopCriterion::One);
+                    relres += r;
+                }
+                relres /= runs as f64;
+                println!("{},\"{name}\",{n},{},{relres:e}", smoother.name(), setup.n());
+            }
+        }
+    }
+}

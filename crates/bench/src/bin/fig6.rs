@@ -1,0 +1,70 @@
+//! Figure 6: wall-clock time to reach τ vs number of threads for the four
+//! test matrices with ω-Jacobi smoothing; sync Mult vs sync Multadd
+//! (lock-write) vs async Multadd (lock-write, local-res).
+//!
+//! ```sh
+//! cargo run --release -p asyncmg-bench --bin fig6 \
+//!     [-- --size 12 --threads 1,2,4,8 --runs 3 --tau 1e-9 --full]
+//! ```
+//!
+//! Output: CSV `test_set,method,threads,secs,vcycles,reached`.
+//!
+//! NOTE: on a machine with fewer cores than threads the absolute times are
+//! dominated by oversubscription; the paper's crossover (async Multadd wins
+//! at high thread counts) needs real cores to show in wall-clock terms.
+
+use asyncmg_bench::{build_setup, paper_omega, run_method, time_to_tolerance, Cli, MethodCfg};
+use asyncmg_core::{AsyncOptions, StopCriterion};
+use asyncmg_problems::{rhs::random_rhs, TestSet};
+use asyncmg_smoothers::SmootherKind;
+
+fn main() {
+    let cli = Cli::from_env();
+    let full = cli.flag("full");
+    let size: usize = cli.get("size").unwrap_or(if full { 30 } else { 12 });
+    let thread_counts: Vec<usize> =
+        cli.list("threads").unwrap_or(if full { vec![17, 34, 68, 136, 272] } else { vec![1, 2, 4, 8] });
+    let runs: usize = cli.get("runs").unwrap_or(3);
+    let tau: f64 = cli.get("tau").unwrap_or(1e-9);
+    let step: usize = cli.get("step").unwrap_or(5);
+    let max: usize = cli.get("max").unwrap_or(250);
+
+    let methods: Vec<(&str, MethodCfg)> = vec![
+        ("sync Mult", MethodCfg::Mult),
+        (
+            "sync Multadd lock-write",
+            MethodCfg::Additive(AsyncOptions { sync: true, ..Default::default() }),
+        ),
+        (
+            "Multadd lock-write local-res",
+            MethodCfg::Additive(AsyncOptions::default()),
+        ),
+    ];
+
+    println!("test_set,method,threads,secs,vcycles,reached");
+    for set in TestSet::all() {
+        let omega = paper_omega(set);
+        // Elasticity: non-aggressive coarsening and a larger cycle budget
+        // (see EXPERIMENTS.md).
+        let agg = if set == TestSet::Elasticity { 0 } else { 2 };
+        let set_max = if set == TestSet::Elasticity { max * 4 } else { max };
+        let setup = build_setup(set, size, agg, SmootherKind::WJacobi { omega });
+        let b = random_rhs(setup.n(), 6);
+        for &(name, ref cfg) in &methods {
+            for &threads in &thread_counts {
+                let res = time_to_tolerance(tau, step, set_max, runs, |t, _run| {
+                    run_method(cfg, &setup, &b, t, threads, StopCriterion::Two)
+                });
+                println!(
+                    "{},{name},{threads},{:.5},{},{}",
+                    set.name(),
+                    res.point.secs,
+                    res.point.vcycles,
+                    res.reached
+                );
+                use std::io::Write as _;
+                std::io::stdout().flush().ok();
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Terminal rendering of figure data: log-scale scatter/line charts in
+//! ASCII, so the regenerated figures can be *looked at*, not just parsed.
+
+/// One named series of `(x, y)` points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Renders series into a log10-y ASCII chart of the given size.
+///
+/// Each series is drawn with its own marker character; a legend is appended
+/// below the axes. Non-positive y values are clamped to the bottom row.
+pub fn log_plot(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 16 && height >= 4);
+    const MARKS: &[u8] = b"ox+*#@%&$~^=";
+    let mut xs: Vec<f64> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    for s in series {
+        for &(x, y) in &s.points {
+            xs.push(x);
+            if y > 0.0 && y.is_finite() {
+                ys.push(y.log10());
+            }
+        }
+    }
+    if xs.is_empty() || ys.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let (xmin, xmax) = min_max(&xs);
+    let (ymin, ymax) = min_max(&ys);
+    let xspan = (xmax - xmin).max(1e-12);
+    let yspan = (ymax - ymin).max(1e-12);
+
+    let mut grid = vec![vec![b' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        for &(x, y) in &s.points {
+            let col = (((x - xmin) / xspan) * (width - 1) as f64).round() as usize;
+            let ly = if y > 0.0 && y.is_finite() { y.log10() } else { ymin };
+            let row_f = ((ymax - ly) / yspan) * (height - 1) as f64;
+            let row = (row_f.round() as usize).min(height - 1);
+            grid[row][col.min(width - 1)] = mark;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (r, row) in grid.iter().enumerate() {
+        let y_here = ymax - yspan * r as f64 / (height - 1) as f64;
+        out.push_str(&format!("1e{:>6.1} |", y_here));
+        out.push_str(std::str::from_utf8(row).unwrap());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>9} +{}\n{:>10}{:<8.3}{:>width$.3}\n",
+        "",
+        "-".repeat(width),
+        "",
+        xmin,
+        xmax,
+        width = width - 8
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", MARKS[si % MARKS.len()] as char, s.label));
+    }
+    out
+}
+
+fn min_max(v: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in v {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Series> {
+        vec![
+            Series {
+                label: "fast".into(),
+                points: vec![(10.0, 1e-2), (20.0, 1e-4), (30.0, 1e-6)],
+            },
+            Series {
+                label: "slow".into(),
+                points: vec![(10.0, 1e-1), (20.0, 1e-2), (30.0, 1e-3)],
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_marks_and_legend() {
+        let p = log_plot("test", &sample(), 40, 10);
+        assert!(p.contains('o'));
+        assert!(p.contains('x'));
+        assert!(p.contains("fast"));
+        assert!(p.contains("slow"));
+        assert!(p.starts_with("test\n"));
+    }
+
+    #[test]
+    fn handles_empty() {
+        let p = log_plot("empty", &[], 40, 10);
+        assert!(p.contains("no data"));
+    }
+
+    #[test]
+    fn clamps_nonpositive_values() {
+        let s = vec![Series { label: "z".into(), points: vec![(0.0, 0.0), (1.0, 1.0)] }];
+        let p = log_plot("t", &s, 20, 5);
+        assert!(p.contains('o'));
+    }
+
+    #[test]
+    fn axis_labels_reflect_range() {
+        let p = log_plot("t", &sample(), 40, 8);
+        // x axis from 10 to 30
+        assert!(p.contains("10.000"));
+        assert!(p.contains("30.000"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Asynchronous multigrid methods — a Rust reproduction of
+//! Wolfson-Pou & Chow, *Asynchronous Multigrid Methods*, IPDPS 2019.
+//!
+//! The crate offers four layers:
+//!
+//! * [`setup`] — [`setup::MgSetup`] bundles an AMG hierarchy (from
+//!   `asyncmg-amg`) with smoothed interpolants and per-level smoothers,
+//! * sequential solvers — [`mult::solve_mult`] (the classical V(1,1)-cycle,
+//!   Algorithm 1) and [`additive::solve_additive`] (BPX, Multadd, AFACx,
+//!   Section II),
+//! * [`models`] — sequential simulations of the semi-async and full-async
+//!   models (Section III, Equations 6, 7 and 10),
+//! * [`asynchronous`] / [`parallel_mult`] — the shared-memory thread-team
+//!   implementations (Section IV, Algorithm 5): global-res / local-res,
+//!   lock-write / atomic-write, the residual-based `r-Multadd`, both stop
+//!   criteria, and the synchronous threaded baselines.
+//!
+//! # Quick start
+//!
+//! ```
+//! use asyncmg_amg::{build_hierarchy, AmgOptions};
+//! use asyncmg_core::additive::AdditiveMethod;
+//! use asyncmg_core::asynchronous::{solve_async, AsyncOptions};
+//! use asyncmg_core::setup::{MgOptions, MgSetup};
+//! use asyncmg_problems::{rhs::random_rhs, stencil::laplacian_7pt};
+//!
+//! let a = laplacian_7pt(8, 8, 8);
+//! let b = random_rhs(a.nrows(), 0);
+//! let setup = MgSetup::new(build_hierarchy(a, &AmgOptions::default()), MgOptions::default());
+//! let result = solve_async(
+//!     &setup,
+//!     &b,
+//!     &AsyncOptions { method: AdditiveMethod::Multadd, t_max: 40, n_threads: 4, ..Default::default() },
+//! );
+//! assert!(result.relres < 1e-2);
+//! ```
+
+// Indexed loops over multiple parallel arrays are the house style for
+// numerical kernels; the iterator forms clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
+
+
+pub mod additive;
+pub mod asynchronous;
+pub mod krylov;
+pub mod models;
+pub mod mult;
+pub mod parallel_mult;
+pub mod setup;
+
+pub use additive::{grid_correction, solve_additive, AdditiveMethod, CorrectionScratch, SolveResult};
+pub use krylov::{pcg, AdditivePrec, CgResult, IdentityPrec, JacobiPrec, Preconditioner, VCyclePrec};
+pub use asynchronous::{solve_async, AsyncOptions, AsyncResult, ResComp, StopCriterion, WriteMode};
+pub use models::{simulate, simulate_mean, ModelKind, ModelOptions, ModelResult};
+pub use mult::{mult_vcycle, solve_mult, MultScratch};
+pub use parallel_mult::solve_mult_threaded;
+pub use setup::{CoarseSolve, MgOptions, MgSetup};

@@ -1,0 +1,171 @@
+//! Threaded classical multiplicative multigrid ("sync Mult").
+//!
+//! All threads cooperate on every level with OpenMP-style static
+//! partitioning and a global barrier after each operation — the maximally
+//! synchronous baseline of the paper's Table I and Figure 6. On every grid
+//! of every cycle the full thread set synchronises several times, which is
+//! exactly the cost asynchronous Multadd avoids.
+
+use crate::asynchronous::AsyncResult;
+use crate::setup::{CoarseSolve, MgSetup};
+use asyncmg_smoothers::{LevelSmoother, SmootherKind};
+use asyncmg_sparse::vecops;
+use asyncmg_threads::{run_teams, RacyVec};
+use std::time::Instant;
+
+/// Runs `t_max` threaded multiplicative V(1,1)-cycles with `n_threads`
+/// threads.
+pub fn solve_mult_threaded(
+    setup: &MgSetup,
+    b: &[f64],
+    n_threads: usize,
+    t_max: usize,
+) -> AsyncResult {
+    let n = setup.n();
+    let ell = setup.n_levels() - 1;
+    let sizes = setup.hierarchy.level_sizes();
+    // Per-level shared work vectors.
+    let r: Vec<RacyVec> = sizes.iter().map(|&m| RacyVec::zeros(m)).collect();
+    let e: Vec<RacyVec> = sizes.iter().map(|&m| RacyVec::zeros(m)).collect();
+    let buf: Vec<RacyVec> = sizes.iter().map(|&m| RacyVec::zeros(m)).collect();
+    let old: Vec<RacyVec> = sizes.iter().map(|&m| RacyVec::zeros(m)).collect();
+    let x = RacyVec::zeros(n);
+    let smoothers: Vec<LevelSmoother> = setup.with_nblocks(n_threads);
+
+    let start = Instant::now();
+    run_teams(&[n_threads], |ctx| {
+        for _cycle in 0..t_max {
+            // r_0 = b − A x.
+            {
+                let xs = unsafe { x.as_slice() };
+                let chunk = ctx.chunk(n);
+                let dst = unsafe { r[0].slice_mut(chunk.clone()) };
+                for (off, i) in chunk.enumerate() {
+                    dst[off] = b[i] - setup.a(0).row_dot(i, xs);
+                }
+            }
+            ctx.barrier();
+            // Downward sweep.
+            for k in 0..ell {
+                let a_k = setup.a(k);
+                let nk = sizes[k];
+                // Pre-smooth from zero: e_k = Λ r_k (rank's block).
+                {
+                    let rk = unsafe { r[k].as_slice() };
+                    let range = rank_block(&smoothers[k], ctx.rank);
+                    let dst = unsafe { e[k].slice_mut(range.clone()) };
+                    smoothers[k].apply_zero_range(a_k, rk, dst, range);
+                }
+                ctx.barrier();
+                // buf = r_k − A e_k.
+                {
+                    let rk = unsafe { r[k].as_slice() };
+                    let ek = unsafe { e[k].as_slice() };
+                    let chunk = ctx.chunk(nk);
+                    let dst = unsafe { buf[k].slice_mut(chunk.clone()) };
+                    for (off, i) in chunk.enumerate() {
+                        dst[off] = rk[i] - a_k.row_dot(i, ek);
+                    }
+                }
+                ctx.barrier();
+                // r_{k+1} = Rᵀ buf.
+                {
+                    let src = unsafe { buf[k].as_slice() };
+                    let rest = setup.r(k);
+                    let chunk = ctx.chunk(sizes[k + 1]);
+                    let dst = unsafe { r[k + 1].slice_mut(chunk.clone()) };
+                    for (off, i) in chunk.enumerate() {
+                        dst[off] = rest.row_dot(i, src);
+                    }
+                }
+                ctx.barrier();
+            }
+            // Coarse solve by the master.
+            match (setup.opts.coarse, &setup.hierarchy.coarse_lu) {
+                (CoarseSolve::Exact, Some(lu)) => {
+                    if ctx.is_team_master() {
+                        let rl = unsafe { r[ell].as_slice() };
+                        let dst = unsafe { e[ell].slice_mut(0..sizes[ell]) };
+                        lu.solve(rl, dst);
+                    }
+                    ctx.barrier();
+                }
+                _ => {
+                    let rl = unsafe { r[ell].as_slice() };
+                    let range = rank_block(&smoothers[ell], ctx.rank);
+                    let dst = unsafe { e[ell].slice_mut(range.clone()) };
+                    smoothers[ell].apply_zero_range(setup.a(ell), rl, dst, range);
+                    ctx.barrier();
+                }
+            }
+            // Upward sweep.
+            for k in (0..ell).rev() {
+                let a_k = setup.a(k);
+                let nk = sizes[k];
+                // e_k += P e_{k+1} and snapshot into old.
+                {
+                    let src = unsafe { e[k + 1].as_slice() };
+                    let p = setup.p(k);
+                    let chunk = ctx.chunk(nk);
+                    let dst = unsafe { e[k].slice_mut(chunk.clone()) };
+                    let snap = unsafe { old[k].slice_mut(chunk.clone()) };
+                    for (off, i) in chunk.enumerate() {
+                        dst[off] += p.row_dot(i, src);
+                        snap[off] = dst[off];
+                    }
+                }
+                ctx.barrier();
+                // Post-smooth: e_k ← relax(A_k, r_k, e_k) against the
+                // sweep-start snapshot.
+                {
+                    let rk = unsafe { r[k].as_slice() };
+                    let snap = unsafe { old[k].as_slice() };
+                    let range = rank_block(&smoothers[k], ctx.rank);
+                    let dst = unsafe { e[k].slice_mut(range.clone()) };
+                    smoothers[k].relax_range(a_k, rk, dst, snap, range);
+                }
+                ctx.barrier();
+            }
+            // x += e_0.
+            {
+                let e0 = unsafe { e[0].as_slice() };
+                let chunk = ctx.chunk(n);
+                let dst = unsafe { x.slice_mut(chunk.clone()) };
+                for (off, i) in chunk.enumerate() {
+                    dst[off] += e0[i];
+                }
+            }
+            ctx.barrier();
+        }
+    });
+    let elapsed = start.elapsed();
+
+    let xv = unsafe { x.as_slice().to_vec() };
+    let mut res = vec![0.0; n];
+    setup.a(0).residual(b, &xv, &mut res);
+    let nb = vecops::norm2(b);
+    let relres = if nb > 0.0 { vecops::norm2(&res) / nb } else { vecops::norm2(&res) };
+    AsyncResult {
+        x: xv,
+        relres,
+        grid_corrections: vec![t_max; setup.n_levels()],
+        corrects_mean: t_max as f64,
+        elapsed,
+    }
+}
+
+/// The rank's smoother block, or an empty range when the level has fewer
+/// blocks than the team has threads.
+fn rank_block(sm: &LevelSmoother, rank: usize) -> std::ops::Range<usize> {
+    if rank < sm.blocks().len() {
+        sm.blocks()[rank].clone()
+    } else {
+        0..0
+    }
+}
+
+/// `true` when the smoother makes the threaded cycle bit-identical to the
+/// sequential one (Jacobi variants; block-GS depends on the block count).
+pub fn threaded_matches_sequential(kind: SmootherKind) -> bool {
+    !kind.is_block_gs()
+}

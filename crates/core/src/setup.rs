@@ -1,0 +1,225 @@
+//! Solver setup: hierarchy + smoothed interpolants + per-level smoothers.
+
+use asyncmg_amg::{smoothed_interpolants, Hierarchy, InterpSmoothing};
+use asyncmg_smoothers::{LevelSmoother, SmootherKind};
+use asyncmg_sparse::Csr;
+
+/// How the coarsest-grid equations `A_ℓ e = r_ℓ` are solved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoarseSolve {
+    /// Dense LU (`A_ℓ⁻¹`, as in Algorithm 1 and Multadd's `Λ_ℓ`).
+    Exact,
+    /// Smoothing sweeps only (as in AFACx, Algorithm 2).
+    Smooth {
+        /// Number of sweeps.
+        sweeps: usize,
+    },
+}
+
+/// Options shared by every solver in this crate.
+#[derive(Clone, Copy, Debug)]
+pub struct MgOptions {
+    /// The smoother used on every non-coarsest level.
+    pub smoother: SmootherKind,
+    /// Jacobi weight used to *build the smoothed interpolants* `P̄`.
+    /// The paper uses the ℓ1-Jacobi iteration matrix when the smoother is
+    /// ℓ1-Jacobi and the ω-Jacobi iteration matrix otherwise ("to keep the
+    /// smoothed interpolants sparse").
+    pub interp_omega: f64,
+    /// Number of modelled thread blocks for the block-GS smoothers in
+    /// *sequential* executions (threaded executions override this with the
+    /// actual team size).
+    pub nblocks: usize,
+    /// Coarsest-grid treatment for Mult/Multadd/BPX.
+    pub coarse: CoarseSolve,
+    /// Coarsest-grid treatment for AFACx (Algorithm 2 smooths).
+    pub afacx_coarse: CoarseSolve,
+    /// AFACx inner sweeps `s₁` (fine part of the V(s₁/s₂,0)-cycle).
+    pub afacx_s1: usize,
+    /// AFACx inner sweeps `s₂` (coarse part).
+    pub afacx_s2: usize,
+    /// Pre-smoothing sweeps of the multiplicative cycle (the paper uses
+    /// V(1,1)).
+    pub n_pre: usize,
+    /// Post-smoothing sweeps of the multiplicative cycle.
+    pub n_post: usize,
+}
+
+impl Default for MgOptions {
+    fn default() -> Self {
+        MgOptions {
+            smoother: SmootherKind::WJacobi { omega: 0.9 },
+            interp_omega: 0.9,
+            nblocks: 4,
+            coarse: CoarseSolve::Exact,
+            afacx_coarse: CoarseSolve::Smooth { sweeps: 1 },
+            afacx_s1: 1,
+            afacx_s2: 1,
+            n_pre: 1,
+            n_post: 1,
+        }
+    }
+}
+
+/// Everything precomputed before solving: the hierarchy, smoothed
+/// interpolants, and per-level smoothers.
+pub struct MgSetup {
+    /// The AMG hierarchy (operators, interpolants, coarse LU).
+    pub hierarchy: Hierarchy,
+    /// Smoothed interpolants `(P̄_k, R̄_k = P̄_kᵀ)` for `k = 0..ℓ−1`.
+    pub p_bar: Vec<(Csr, Csr)>,
+    /// One smoother per level.
+    pub smoothers: Vec<LevelSmoother>,
+    /// The options this setup was built with.
+    pub opts: MgOptions,
+}
+
+impl MgSetup {
+    /// Builds the setup from a hierarchy.
+    pub fn new(hierarchy: Hierarchy, opts: MgOptions) -> Self {
+        let interp_kind = match opts.smoother {
+            SmootherKind::L1Jacobi => InterpSmoothing::L1Jacobi,
+            _ => InterpSmoothing::WJacobi { omega: opts.interp_omega },
+        };
+        let p_bar = smoothed_interpolants(&hierarchy, interp_kind);
+        let smoothers = hierarchy
+            .levels
+            .iter()
+            .map(|l| LevelSmoother::new(&l.a, opts.smoother, opts.nblocks))
+            .collect();
+        MgSetup { hierarchy, p_bar, smoothers, opts }
+    }
+
+    /// Rebuilds the per-level smoothers with a different block count (used
+    /// by the threaded solvers, where the block count is the team size).
+    pub fn with_nblocks(&self, nblocks: usize) -> Vec<LevelSmoother> {
+        self.hierarchy
+            .levels
+            .iter()
+            .map(|l| LevelSmoother::new(&l.a, self.opts.smoother, nblocks))
+            .collect()
+    }
+
+    /// Number of levels (`ℓ + 1`).
+    pub fn n_levels(&self) -> usize {
+        self.hierarchy.n_levels()
+    }
+
+    /// Fine-grid size.
+    pub fn n(&self) -> usize {
+        self.hierarchy.levels[0].a.nrows()
+    }
+
+    /// The operator on level `k`.
+    pub fn a(&self, k: usize) -> &Csr {
+        &self.hierarchy.levels[k].a
+    }
+
+    /// Plain prolongation `P_{k+1}^k`.
+    pub fn p(&self, k: usize) -> &Csr {
+        self.hierarchy.levels[k].p.as_ref().expect("no P on coarsest level")
+    }
+
+    /// Plain restriction `(P_{k+1}^k)ᵀ`.
+    pub fn r(&self, k: usize) -> &Csr {
+        self.hierarchy.levels[k].r.as_ref().expect("no R on coarsest level")
+    }
+
+    /// Smoothed prolongation `P̄_{k+1}^k`.
+    pub fn p_bar(&self, k: usize) -> &Csr {
+        &self.p_bar[k].0
+    }
+
+    /// Smoothed restriction `P̄ᵀ`.
+    pub fn r_bar(&self, k: usize) -> &Csr {
+        &self.p_bar[k].1
+    }
+
+    /// Estimated flops for one correction of grid `k` under the given
+    /// additive method — the "work" of Section IV used to distribute
+    /// threads over grids.
+    pub fn grid_work(&self, k: usize, smoothed: bool) -> f64 {
+        let ell = self.n_levels() - 1;
+        let mut flops = 0.0;
+        // Restriction down and prolongation up through levels 0..k.
+        for j in 0..k {
+            let nnz = if smoothed && j < self.p_bar.len() {
+                self.p_bar[j].0.nnz()
+            } else {
+                self.hierarchy.levels[j].p.as_ref().map_or(0, |p| p.nnz())
+            };
+            flops += 4.0 * nnz as f64; // down + up, 2 flops per nnz
+        }
+        // Smoothing / solve at level k (+ level k+1 for AFACx-style work).
+        flops += 2.0 * self.a(k).nnz() as f64;
+        if k < ell {
+            flops += 2.0 * self.a(k + 1).nnz() as f64;
+        }
+        flops.max(1.0)
+    }
+
+    /// Work estimates for all grids.
+    pub fn work_estimates(&self, smoothed: bool) -> Vec<f64> {
+        (0..self.n_levels()).map(|k| self.grid_work(k, smoothed)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyncmg_amg::{build_hierarchy, AmgOptions};
+    use asyncmg_problems::stencil::laplacian_7pt;
+
+    fn setup() -> MgSetup {
+        let a = laplacian_7pt(8, 8, 8);
+        let h = build_hierarchy(a, &AmgOptions::default());
+        MgSetup::new(h, MgOptions::default())
+    }
+
+    #[test]
+    fn setup_has_consistent_shapes() {
+        let s = setup();
+        let ell = s.n_levels() - 1;
+        assert_eq!(s.p_bar.len(), ell);
+        assert_eq!(s.smoothers.len(), ell + 1);
+        for k in 0..ell {
+            assert_eq!(s.p(k).nrows(), s.a(k).nrows());
+            assert_eq!(s.p(k).ncols(), s.a(k + 1).nrows());
+            assert_eq!(s.p_bar(k).nrows(), s.p(k).nrows());
+            assert_eq!(s.p_bar(k).ncols(), s.p(k).ncols());
+        }
+    }
+
+    #[test]
+    fn l1_smoother_switches_interp_weights() {
+        let a = laplacian_7pt(6, 6, 6);
+        let h = build_hierarchy(a, &AmgOptions::default());
+        let s_j = MgSetup::new(
+            h.clone(),
+            MgOptions { smoother: SmootherKind::WJacobi { omega: 0.9 }, ..Default::default() },
+        );
+        let s_l1 =
+            MgSetup::new(h, MgOptions { smoother: SmootherKind::L1Jacobi, ..Default::default() });
+        assert!(s_j
+            .p_bar(0)
+            .vals()
+            .iter()
+            .zip(s_l1.p_bar(0).vals())
+            .any(|(a, b)| (a - b).abs() > 1e-12));
+    }
+
+    #[test]
+    fn work_estimates_are_positive_and_ordered_plain() {
+        let s = setup();
+        let w_smoothed = s.work_estimates(true);
+        let w_plain = s.work_estimates(false);
+        assert_eq!(w_smoothed.len(), s.n_levels());
+        assert!(w_smoothed.iter().all(|&x| x >= 1.0));
+        // Smoothed interpolants are denser, so per-grid work cannot shrink.
+        for (ws, wp) in w_smoothed.iter().zip(&w_plain) {
+            assert!(ws >= wp);
+        }
+        // With plain interpolants the finest grid carries the most work.
+        assert!(w_plain[0] >= *w_plain.last().unwrap());
+    }
+}

@@ -1,0 +1,79 @@
+//! Mapping a cube mesh onto a ball.
+//!
+//! The paper's "MFEM Laplace" test set discretises a sphere with a NURBS
+//! mesh. We reproduce the essential matrix properties (irregular element
+//! shapes, non-constant stencil weights, curved boundary) by smoothly
+//! mapping the vertices of a cube mesh onto the unit ball and assembling
+//! plain finite elements on the deformed mesh.
+
+/// Maps a point of the cube `[-1, 1]³` onto the unit ball.
+///
+/// Uses the volume-preserving-ish "spherified cube" map
+/// `x' = x √(1 − y²/2 − z²/2 + y²z²/3)` (and cyclic permutations), which is
+/// smooth, bijective on the cube, sends the cube surface to the unit sphere,
+/// and keeps interior elements well-shaped.
+pub fn map_cube_to_ball(p: [f64; 3]) -> [f64; 3] {
+    let [x, y, z] = p;
+    let (x2, y2, z2) = (x * x, y * y, z * z);
+    [
+        x * (1.0 - y2 / 2.0 - z2 / 2.0 + y2 * z2 / 3.0).max(0.0).sqrt(),
+        y * (1.0 - z2 / 2.0 - x2 / 2.0 + z2 * x2 / 3.0).max(0.0).sqrt(),
+        z * (1.0 - x2 / 2.0 - y2 / 2.0 + x2 * y2 / 3.0).max(0.0).sqrt(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn norm(p: [f64; 3]) -> f64 {
+        (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt()
+    }
+
+    #[test]
+    fn center_fixed() {
+        assert_eq!(map_cube_to_ball([0.0, 0.0, 0.0]), [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn surface_maps_to_sphere() {
+        for &p in &[
+            [1.0, 0.0, 0.0],
+            [1.0, 1.0, 1.0],
+            [-1.0, 0.5, -0.25],
+            [0.3, -1.0, 0.9],
+            [0.0, 0.0, 1.0],
+        ] {
+            assert!(p.iter().any(|c: &f64| c.abs() == 1.0));
+            let q = map_cube_to_ball(p);
+            assert!((norm(q) - 1.0).abs() < 1e-12, "{p:?} -> {q:?}");
+        }
+    }
+
+    #[test]
+    fn interior_stays_interior() {
+        for &p in &[[0.5, 0.5, 0.5], [-0.9, 0.1, 0.3], [0.0, 0.7, 0.0]] {
+            let q = map_cube_to_ball(p);
+            assert!(norm(q) < 1.0, "{p:?} -> {q:?}");
+        }
+    }
+
+    #[test]
+    fn axes_are_preserved() {
+        // Points on a coordinate axis are only scaled.
+        let q = map_cube_to_ball([0.5, 0.0, 0.0]);
+        assert_eq!(q[1], 0.0);
+        assert_eq!(q[2], 0.0);
+        assert!((q[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_is_odd() {
+        let p = [0.4, -0.7, 0.2];
+        let q = map_cube_to_ball(p);
+        let m = map_cube_to_ball([-p[0], -p[1], -p[2]]);
+        for d in 0..3 {
+            assert!((q[d] + m[d]).abs() < 1e-14);
+        }
+    }
+}

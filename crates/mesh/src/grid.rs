@@ -1,0 +1,145 @@
+//! Structured vertex grids with lexicographic numbering.
+
+/// An `nx × ny × nz` grid of vertices, numbered `x`-fastest:
+/// `id = i + nx * (j + ny * k)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StructuredGrid {
+    /// Vertices along x.
+    pub nx: usize,
+    /// Vertices along y.
+    pub ny: usize,
+    /// Vertices along z.
+    pub nz: usize,
+}
+
+impl StructuredGrid {
+    /// A cube grid with `n` vertices per side (the paper's "grid length").
+    pub fn cube(n: usize) -> Self {
+        StructuredGrid { nx: n, ny: n, nz: n }
+    }
+
+    /// A general box grid.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0);
+        StructuredGrid { nx, ny, nz }
+    }
+
+    /// Total number of vertices.
+    pub fn n_vertices(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Number of hexahedral cells (`(nx−1)(ny−1)(nz−1)`).
+    pub fn n_cells(&self) -> usize {
+        (self.nx - 1) * (self.ny - 1) * (self.nz - 1)
+    }
+
+    /// Vertex id at `(i, j, k)`.
+    #[inline]
+    pub fn vertex(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.nx && j < self.ny && k < self.nz);
+        i + self.nx * (j + self.ny * k)
+    }
+
+    /// The `(i, j, k)` coordinates of vertex `id`.
+    #[inline]
+    pub fn coords(&self, id: usize) -> (usize, usize, usize) {
+        let i = id % self.nx;
+        let j = (id / self.nx) % self.ny;
+        let k = id / (self.nx * self.ny);
+        (i, j, k)
+    }
+
+    /// Whether vertex `id` lies on the boundary of the box.
+    pub fn is_boundary(&self, id: usize) -> bool {
+        let (i, j, k) = self.coords(id);
+        i == 0
+            || j == 0
+            || k == 0
+            || i == self.nx - 1
+            || j == self.ny - 1
+            || k == self.nz - 1
+    }
+
+    /// The unit-cube position of vertex `id`, in `[0, 1]³`
+    /// (degenerate axes map to `0.5`).
+    pub fn unit_position(&self, id: usize) -> [f64; 3] {
+        let (i, j, k) = self.coords(id);
+        let f = |v: usize, n: usize| {
+            if n > 1 {
+                v as f64 / (n - 1) as f64
+            } else {
+                0.5
+            }
+        };
+        [f(i, self.nx), f(j, self.ny), f(k, self.nz)]
+    }
+
+    /// Iterates over the 8 vertex ids of cell `(ci, cj, ck)` in the
+    /// conventional order: `x` fastest, then `y`, then `z`.
+    pub fn cell_vertices(&self, ci: usize, cj: usize, ck: usize) -> [usize; 8] {
+        debug_assert!(ci + 1 < self.nx && cj + 1 < self.ny && ck + 1 < self.nz);
+        [
+            self.vertex(ci, cj, ck),
+            self.vertex(ci + 1, cj, ck),
+            self.vertex(ci, cj + 1, ck),
+            self.vertex(ci + 1, cj + 1, ck),
+            self.vertex(ci, cj, ck + 1),
+            self.vertex(ci + 1, cj, ck + 1),
+            self.vertex(ci, cj + 1, ck + 1),
+            self.vertex(ci + 1, cj + 1, ck + 1),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_roundtrip() {
+        let g = StructuredGrid::new(4, 5, 6);
+        for k in 0..6 {
+            for j in 0..5 {
+                for i in 0..4 {
+                    let id = g.vertex(i, j, k);
+                    assert_eq!(g.coords(id), (i, j, k));
+                }
+            }
+        }
+        assert_eq!(g.n_vertices(), 120);
+        assert_eq!(g.n_cells(), 3 * 4 * 5);
+    }
+
+    #[test]
+    fn boundary_detection() {
+        let g = StructuredGrid::cube(3);
+        let interior: Vec<usize> = (0..27).filter(|&id| !g.is_boundary(id)).collect();
+        assert_eq!(interior, vec![g.vertex(1, 1, 1)]);
+    }
+
+    #[test]
+    fn unit_positions_span_cube() {
+        let g = StructuredGrid::cube(3);
+        assert_eq!(g.unit_position(g.vertex(0, 0, 0)), [0.0, 0.0, 0.0]);
+        assert_eq!(g.unit_position(g.vertex(2, 2, 2)), [1.0, 1.0, 1.0]);
+        assert_eq!(g.unit_position(g.vertex(1, 1, 1)), [0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn cell_vertices_are_distinct_and_adjacent() {
+        let g = StructuredGrid::cube(3);
+        let vs = g.cell_vertices(1, 1, 1);
+        let mut sorted = vs;
+        sorted.sort_unstable();
+        sorted.windows(2).for_each(|w| assert!(w[0] < w[1]));
+        assert_eq!(vs[0], g.vertex(1, 1, 1));
+        assert_eq!(vs[7], g.vertex(2, 2, 2));
+    }
+
+    #[test]
+    fn degenerate_axis_position() {
+        let g = StructuredGrid::new(3, 1, 3);
+        assert_eq!(g.unit_position(g.vertex(0, 0, 0))[1], 0.5);
+    }
+}

@@ -1,0 +1,108 @@
+//! Hexahedral-element meshes of box domains (the elasticity beam).
+
+use crate::grid::StructuredGrid;
+
+/// A mesh of 8-node hexahedral elements filling a box `[0,Lx]×[0,Ly]×[0,Lz]`.
+#[derive(Clone, Debug)]
+pub struct HexMesh {
+    /// The underlying vertex grid.
+    pub grid: StructuredGrid,
+    /// Vertex coordinates.
+    pub vertices: Vec<[f64; 3]>,
+    /// Elements as 8 vertex ids (x fastest, then y, then z — matching
+    /// [`StructuredGrid::cell_vertices`]).
+    pub elements: Vec<[usize; 8]>,
+    /// Physical box dimensions.
+    pub dims: [f64; 3],
+}
+
+impl HexMesh {
+    /// A beam of `ex × ey × ez` *elements* with physical dimensions `dims`.
+    ///
+    /// The long axis is x (the cantilever direction of the paper's
+    /// multi-material beam problem).
+    pub fn beam(ex: usize, ey: usize, ez: usize, dims: [f64; 3]) -> Self {
+        assert!(ex > 0 && ey > 0 && ez > 0);
+        let grid = StructuredGrid::new(ex + 1, ey + 1, ez + 1);
+        let mut vertices = Vec::with_capacity(grid.n_vertices());
+        for id in 0..grid.n_vertices() {
+            let p = grid.unit_position(id);
+            vertices.push([p[0] * dims[0], p[1] * dims[1], p[2] * dims[2]]);
+        }
+        let mut elements = Vec::with_capacity(grid.n_cells());
+        for ck in 0..ez {
+            for cj in 0..ey {
+                for ci in 0..ex {
+                    elements.push(grid.cell_vertices(ci, cj, ck));
+                }
+            }
+        }
+        HexMesh { grid, vertices, elements, dims }
+    }
+
+    /// Number of vertices (nodes).
+    pub fn n_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of elements.
+    pub fn n_elements(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether node `id` lies on the clamped face `x = 0`.
+    pub fn on_clamped_face(&self, id: usize) -> bool {
+        let (i, _, _) = self.grid.coords(id);
+        i == 0
+    }
+
+    /// The element centroid, used to pick the material of a multi-material
+    /// beam.
+    pub fn element_centroid(&self, e: usize) -> [f64; 3] {
+        let mut c = [0.0; 3];
+        for &v in &self.elements[e] {
+            for d in 0..3 {
+                c[d] += self.vertices[v][d];
+            }
+        }
+        for d in &mut c {
+            *d /= 8.0;
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beam_counts() {
+        let m = HexMesh::beam(4, 2, 2, [4.0, 1.0, 1.0]);
+        assert_eq!(m.n_vertices(), 5 * 3 * 3);
+        assert_eq!(m.n_elements(), 16);
+    }
+
+    #[test]
+    fn clamped_face_nodes() {
+        let m = HexMesh::beam(3, 1, 1, [3.0, 1.0, 1.0]);
+        let clamped = (0..m.n_vertices()).filter(|&id| m.on_clamped_face(id)).count();
+        assert_eq!(clamped, 4); // 2×2 nodes at x = 0
+    }
+
+    #[test]
+    fn coordinates_scale_with_dims() {
+        let m = HexMesh::beam(2, 2, 2, [8.0, 1.0, 2.0]);
+        let last = m.vertices[m.n_vertices() - 1];
+        assert_eq!(last, [8.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn centroid_inside_element() {
+        let m = HexMesh::beam(2, 1, 1, [2.0, 1.0, 1.0]);
+        let c = m.element_centroid(0);
+        assert!((c[0] - 0.5).abs() < 1e-14);
+        assert!((c[1] - 0.5).abs() < 1e-14);
+        assert!((c[2] - 0.5).abs() < 1e-14);
+    }
+}

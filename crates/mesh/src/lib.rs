@@ -1,0 +1,28 @@
+//! Structured 3-D meshes for the asyncmg test problems.
+//!
+//! The paper's four test sets come from finite-difference stencils on a cube
+//! and from MFEM discretisations (a NURBS ball and a cantilever beam). This
+//! crate provides the mesh layer for the from-scratch equivalents:
+//!
+//! * [`StructuredGrid`] — an `nx × ny × nz` vertex grid with lexicographic
+//!   numbering (finite-difference stencils, hexahedral elements),
+//! * [`TetMesh`] — a tetrahedral mesh obtained by six-way (Kuhn) subdivision
+//!   of every hexahedral cell, optionally with vertices mapped onto a ball
+//!   (the substitute for the paper's NURBS-sphere mesh),
+//! * [`HexMesh`] — a hexahedral-element mesh of a beam domain used by the
+//!   elasticity problem.
+
+// Indexed loops over multiple parallel arrays are the house style for
+// numerical kernels; the iterator forms clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
+
+
+pub mod ball;
+pub mod grid;
+pub mod hex;
+pub mod tet;
+
+pub use ball::map_cube_to_ball;
+pub use grid::StructuredGrid;
+pub use hex::HexMesh;
+pub use tet::TetMesh;

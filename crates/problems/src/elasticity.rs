@@ -1,0 +1,281 @@
+//! 3-D linear elasticity on a multi-material cantilever beam.
+//!
+//! Substitute for the paper's "MFEM Elasticity" test set. Trilinear 8-node
+//! hexahedral elements with 2×2×2 Gauss quadrature, isotropic materials,
+//! three displacement dofs per node. The beam is clamped (homogeneous
+//! Dirichlet on all components) at the `x = 0` face, and is split into two
+//! materials along its length, stiff near the clamp and soft at the free
+//! end — the structure of MFEM's cantilever example the paper used.
+
+use asyncmg_mesh::HexMesh;
+use asyncmg_sparse::{Coo, Csr};
+
+/// An isotropic material.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Material {
+    /// Young's modulus.
+    pub e: f64,
+    /// Poisson ratio.
+    pub nu: f64,
+}
+
+impl Material {
+    /// Lamé parameters `(λ, μ)`.
+    pub fn lame(self) -> (f64, f64) {
+        let lambda = self.e * self.nu / ((1.0 + self.nu) * (1.0 - 2.0 * self.nu));
+        let mu = self.e / (2.0 * (1.0 + self.nu));
+        (lambda, mu)
+    }
+}
+
+/// The two materials of the beam.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BeamMaterials {
+    /// Material of the clamped half.
+    pub stiff: Material,
+    /// Material of the free half.
+    pub soft: Material,
+}
+
+impl Default for BeamMaterials {
+    fn default() -> Self {
+        BeamMaterials {
+            stiff: Material { e: 10.0, nu: 0.25 },
+            soft: Material { e: 1.0, nu: 0.25 },
+        }
+    }
+}
+
+/// Assembles the elasticity stiffness matrix for a beam of
+/// `ex × ey × ez` hexahedral elements with physical size `dims`,
+/// clamped at `x = 0`. Returns the SPD system over free dofs.
+pub fn elasticity_beam(
+    ex: usize,
+    ey: usize,
+    ez: usize,
+    dims: [f64; 3],
+    materials: BeamMaterials,
+) -> Csr {
+    let mesh = HexMesh::beam(ex, ey, ez, dims);
+    assemble_elasticity(&mesh, materials, true)
+}
+
+/// Assembles the elasticity stiffness matrix on `mesh`. When `clamp` is set,
+/// all dofs of nodes on the `x = 0` face are eliminated; otherwise the full
+/// singular (floating) system is returned — useful for testing the
+/// rigid-body null space.
+pub fn assemble_elasticity(mesh: &HexMesh, materials: BeamMaterials, clamp: bool) -> Csr {
+    let nv = mesh.n_vertices();
+    let mut free: Vec<Option<usize>> = vec![None; 3 * nv];
+    let mut n_free = 0usize;
+    for v in 0..nv {
+        let clamped = clamp && mesh.on_clamped_face(v);
+        for d in 0..3 {
+            if !clamped {
+                free[3 * v + d] = Some(n_free);
+                n_free += 1;
+            }
+        }
+    }
+    // All elements share one geometry; cache one stiffness per material.
+    let h = [
+        mesh.dims[0] / (mesh.grid.nx - 1) as f64,
+        mesh.dims[1] / (mesh.grid.ny - 1) as f64,
+        mesh.dims[2] / (mesh.grid.nz - 1) as f64,
+    ];
+    let k_stiff = hex_stiffness(h, materials.stiff);
+    let k_soft = hex_stiffness(h, materials.soft);
+    let half = mesh.dims[0] / 2.0;
+
+    let mut coo = Coo::with_capacity(n_free, n_free, mesh.n_elements() * 24 * 24 / 2);
+    for e in 0..mesh.n_elements() {
+        let ke = if mesh.element_centroid(e)[0] <= half { &k_stiff } else { &k_soft };
+        let verts = mesh.elements[e];
+        for (li, &vi) in verts.iter().enumerate() {
+            for di in 0..3 {
+                let Some(ri) = free[3 * vi + di] else { continue };
+                for (lj, &vj) in verts.iter().enumerate() {
+                    for dj in 0..3 {
+                        let Some(rj) = free[3 * vj + dj] else { continue };
+                        let v = ke[(3 * li + di) * 24 + (3 * lj + dj)];
+                        if v != 0.0 {
+                            coo.push(ri, rj, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    coo.to_csr().drop_small(1e-14)
+}
+
+/// The 24×24 stiffness matrix of an axis-aligned hexahedral element of size
+/// `h` with isotropic material `mat`, computed with 2×2×2 Gauss quadrature.
+/// Row-major, dof order `(node, component)` with nodes in x-fastest bit
+/// order.
+pub fn hex_stiffness(h: [f64; 3], mat: Material) -> Vec<f64> {
+    let (lambda, mu) = mat.lame();
+    // Constitutive matrix D (6×6, Voigt order xx,yy,zz,xy,yz,zx).
+    let mut dmat = [[0.0f64; 6]; 6];
+    for i in 0..3 {
+        for j in 0..3 {
+            dmat[i][j] = lambda;
+        }
+        dmat[i][i] = lambda + 2.0 * mu;
+        dmat[3 + i][3 + i] = mu;
+    }
+    let gp = 1.0 / 3.0f64.sqrt();
+    let det_j = h[0] * h[1] * h[2] / 8.0; // Jacobian of [-1,1]³ → element
+    let scale = [2.0 / h[0], 2.0 / h[1], 2.0 / h[2]]; // dξ/dx etc.
+
+    let mut k = vec![0.0f64; 24 * 24];
+    for &gx in &[-gp, gp] {
+        for &gy in &[-gp, gp] {
+            for &gz in &[-gp, gp] {
+                // Shape-function derivatives in physical coordinates.
+                let mut dn = [[0.0f64; 3]; 8]; // dn[node][dim]
+                for (l, d) in dn.iter_mut().enumerate() {
+                    let sx = if l & 1 == 0 { -1.0 } else { 1.0 };
+                    let sy = if l & 2 == 0 { -1.0 } else { 1.0 };
+                    let sz = if l & 4 == 0 { -1.0 } else { 1.0 };
+                    d[0] = sx * (1.0 + sy * gy) * (1.0 + sz * gz) / 8.0 * scale[0];
+                    d[1] = (1.0 + sx * gx) * sy * (1.0 + sz * gz) / 8.0 * scale[1];
+                    d[2] = (1.0 + sx * gx) * (1.0 + sy * gy) * sz / 8.0 * scale[2];
+                }
+                // B matrix (6×24): strain = B · u.
+                let mut b = [[0.0f64; 24]; 6];
+                for l in 0..8 {
+                    let c = 3 * l;
+                    b[0][c] = dn[l][0];
+                    b[1][c + 1] = dn[l][1];
+                    b[2][c + 2] = dn[l][2];
+                    b[3][c] = dn[l][1];
+                    b[3][c + 1] = dn[l][0];
+                    b[4][c + 1] = dn[l][2];
+                    b[4][c + 2] = dn[l][1];
+                    b[5][c] = dn[l][2];
+                    b[5][c + 2] = dn[l][0];
+                }
+                // K += Bᵀ D B · detJ (unit Gauss weights).
+                let mut db = [[0.0f64; 24]; 6];
+                for i in 0..6 {
+                    for j in 0..24 {
+                        let mut acc = 0.0;
+                        for m in 0..6 {
+                            acc += dmat[i][m] * b[m][j];
+                        }
+                        db[i][j] = acc;
+                    }
+                }
+                for i in 0..24 {
+                    for j in 0..24 {
+                        let mut acc = 0.0;
+                        for m in 0..6 {
+                            acc += b[m][i] * db[m][j];
+                        }
+                        k[i * 24 + j] += acc * det_j;
+                    }
+                }
+            }
+        }
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyncmg_sparse::DenseLu;
+
+    #[test]
+    fn element_stiffness_is_symmetric() {
+        let k = hex_stiffness([1.0, 0.5, 2.0], Material { e: 3.0, nu: 0.3 });
+        for i in 0..24 {
+            for j in 0..24 {
+                assert!((k[i * 24 + j] - k[j * 24 + i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn element_annihilates_rigid_translations() {
+        let k = hex_stiffness([1.0, 1.0, 1.0], Material { e: 1.0, nu: 0.25 });
+        for d in 0..3 {
+            let mut u = [0.0f64; 24];
+            for l in 0..8 {
+                u[3 * l + d] = 1.0;
+            }
+            for i in 0..24 {
+                let r: f64 = (0..24).map(|j| k[i * 24 + j] * u[j]).sum();
+                assert!(r.abs() < 1e-12, "row {i}: {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn element_annihilates_rigid_rotation() {
+        // Rotation about z: u = (-y, x, 0) evaluated at the 8 corners of a
+        // unit element centred at the origin.
+        let h = [1.0, 1.0, 1.0];
+        let k = hex_stiffness(h, Material { e: 2.0, nu: 0.3 });
+        let mut u = [0.0f64; 24];
+        for l in 0..8 {
+            let x = if l & 1 == 0 { -0.5 } else { 0.5 };
+            let y = if l & 2 == 0 { -0.5 } else { 0.5 };
+            u[3 * l] = -y;
+            u[3 * l + 1] = x;
+        }
+        for i in 0..24 {
+            let r: f64 = (0..24).map(|j| k[i * 24 + j] * u[j]).sum();
+            assert!(r.abs() < 1e-12, "row {i}: {r}");
+        }
+    }
+
+    #[test]
+    fn floating_assembly_has_rigid_null_space() {
+        let mesh = asyncmg_mesh::HexMesh::beam(3, 2, 2, [3.0, 1.0, 1.0]);
+        let a = assemble_elasticity(&mesh, BeamMaterials::default(), false);
+        let nv = mesh.n_vertices();
+        // Translation in y.
+        let mut u = vec![0.0; 3 * nv];
+        for v in 0..nv {
+            u[3 * v + 1] = 1.0;
+        }
+        let mut r = vec![0.0; 3 * nv];
+        a.spmv(&u, &mut r);
+        let nrm: f64 = r.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!(nrm < 1e-10, "translation residual {nrm}");
+        // Rotation about x: u = (0, -z, y).
+        for v in 0..nv {
+            let p = mesh.vertices[v];
+            u[3 * v] = 0.0;
+            u[3 * v + 1] = -p[2];
+            u[3 * v + 2] = p[1];
+        }
+        a.spmv(&u, &mut r);
+        let nrm: f64 = r.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!(nrm < 1e-10, "rotation residual {nrm}");
+    }
+
+    #[test]
+    fn clamped_beam_is_spd() {
+        let a = elasticity_beam(4, 2, 2, [4.0, 1.0, 1.0], BeamMaterials::default());
+        assert!(a.is_symmetric(1e-10));
+        assert!(a.diag().iter().all(|&d| d > 0.0));
+        assert!(DenseLu::factor(&a).is_some());
+        // 5×3×3 nodes minus the 3×3 clamped face, ×3 dofs.
+        assert_eq!(a.nrows(), (5 * 9 - 9) * 3);
+    }
+
+    #[test]
+    fn two_materials_change_entries() {
+        let uniform = BeamMaterials {
+            stiff: Material { e: 1.0, nu: 0.25 },
+            soft: Material { e: 1.0, nu: 0.25 },
+        };
+        let a_two = elasticity_beam(4, 2, 2, [4.0, 1.0, 1.0], BeamMaterials::default());
+        let a_uni = elasticity_beam(4, 2, 2, [4.0, 1.0, 1.0], uniform);
+        assert_eq!(a_two.nrows(), a_uni.nrows());
+        assert!(a_two.vals().iter().zip(a_uni.vals()).any(|(x, y)| (x - y).abs() > 1e-12));
+    }
+}

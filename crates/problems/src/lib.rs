@@ -1,0 +1,106 @@
+//! Test-matrix generators reproducing the paper's four test sets.
+//!
+//! * [`stencil::laplacian_7pt`] / [`stencil::laplacian_27pt`] — the "7pt" and
+//!   "27pt" sets: 3-D Laplacians in a cube discretised with centered
+//!   differences,
+//! * [`fem::fem_laplace_ball`] — the "MFEM Laplace" substitute: a P1
+//!   tetrahedral finite-element Laplacian on a ball (the paper used a NURBS
+//!   sphere mesh; see DESIGN.md for the substitution argument),
+//! * [`elasticity::elasticity_beam`] — the "MFEM Elasticity" substitute:
+//!   3-D linear elasticity on a multi-material cantilever beam with
+//!   trilinear hexahedral elements,
+//! * [`rhs::random_rhs`] — random right-hand sides with entries in `[-1, 1]`
+//!   (Section V).
+
+// Indexed loops over multiple parallel arrays are the house style for
+// numerical kernels; the iterator forms clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
+
+
+pub mod elasticity;
+pub mod fem;
+pub mod rhs;
+pub mod stencil;
+
+use asyncmg_sparse::Csr;
+
+/// The four test sets of the paper's Section V.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TestSet {
+    /// 3-D Laplacian, 7-point stencil in a cube.
+    SevenPt,
+    /// 3-D Laplacian, 27-point stencil in a cube.
+    TwentySevenPt,
+    /// FEM Laplacian on a ball (MFEM Laplace substitute).
+    FemLaplace,
+    /// Multi-material cantilever-beam elasticity (MFEM Elasticity
+    /// substitute).
+    Elasticity,
+}
+
+impl TestSet {
+    /// Builds the matrix for the given "grid length" `n` (vertices per cube
+    /// side for the Laplacians; elements along the beam for elasticity).
+    pub fn matrix(self, n: usize) -> Csr {
+        match self {
+            TestSet::SevenPt => stencil::laplacian_7pt(n, n, n),
+            TestSet::TwentySevenPt => stencil::laplacian_27pt(n, n, n),
+            TestSet::FemLaplace => fem::fem_laplace_ball(n),
+            TestSet::Elasticity => {
+                // Beam with 4:1:1 aspect ratio, as in MFEM's cantilever
+                // example; n elements along the long axis.
+                let c = (n / 4).max(1);
+                elasticity::elasticity_beam(n, c, c, [4.0, 1.0, 1.0], Default::default())
+            }
+        }
+    }
+
+    /// Human-readable name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            TestSet::SevenPt => "7pt",
+            TestSet::TwentySevenPt => "27pt",
+            TestSet::FemLaplace => "MFEM Laplace",
+            TestSet::Elasticity => "MFEM Elasticity",
+        }
+    }
+
+    /// All four test sets in the paper's order.
+    pub fn all() -> [TestSet; 4] {
+        [TestSet::SevenPt, TestSet::TwentySevenPt, TestSet::FemLaplace, TestSet::Elasticity]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(TestSet::SevenPt.name(), "7pt");
+        assert_eq!(TestSet::Elasticity.name(), "MFEM Elasticity");
+        assert_eq!(TestSet::all().len(), 4);
+    }
+
+    #[test]
+    fn matrices_are_spd_shaped() {
+        for set in TestSet::all() {
+            let a = set.matrix(6);
+            assert_eq!(a.nrows(), a.ncols());
+            assert!(a.is_symmetric(1e-10), "{} not symmetric", set.name());
+            assert!(a.diag().iter().all(|&d| d > 0.0), "{} diag", set.name());
+        }
+    }
+
+    #[test]
+    fn table1_row_counts_match_paper() {
+        // Table I: 7pt/27pt have 27,000 rows (30³) with 183,600 and 681,472
+        // non-zeros respectively.
+        let a7 = TestSet::SevenPt.matrix(30);
+        assert_eq!(a7.nrows(), 27_000);
+        assert_eq!(a7.nnz(), 183_600);
+        let a27 = TestSet::TwentySevenPt.matrix(30);
+        assert_eq!(a27.nrows(), 27_000);
+        assert_eq!(a27.nnz(), 681_472);
+    }
+}

@@ -1,0 +1,47 @@
+//! Right-hand sides for the experiments.
+//!
+//! Section V: "We used random right-hand sides with values in [−1, 1]."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A reproducible random right-hand side with entries uniform in `[−1, 1]`.
+pub fn random_rhs(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-1.0..=1.0)).collect()
+}
+
+/// The vector of all ones (manufactured-solution tests).
+pub fn ones(n: usize) -> Vec<f64> {
+    vec![1.0; n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rhs_in_range() {
+        let b = random_rhs(1000, 7);
+        assert!(b.iter().all(|&v| (-1.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn rhs_reproducible_and_seed_sensitive() {
+        assert_eq!(random_rhs(64, 1), random_rhs(64, 1));
+        assert_ne!(random_rhs(64, 1), random_rhs(64, 2));
+    }
+
+    #[test]
+    fn rhs_not_degenerate() {
+        let b = random_rhs(1000, 3);
+        let mean: f64 = b.iter().sum::<f64>() / b.len() as f64;
+        assert!(mean.abs() < 0.2);
+        assert!(b.iter().any(|&v| v > 0.5) && b.iter().any(|&v| v < -0.5));
+    }
+
+    #[test]
+    fn ones_is_ones() {
+        assert_eq!(ones(3), vec![1.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,162 @@
+//! Coordinate-format (triplet) sparse matrix builder.
+//!
+//! Problem generators assemble matrices by pushing `(row, col, value)`
+//! triplets; duplicates are summed when converting to [`Csr`], which matches
+//! the assembly semantics of finite-element and finite-difference codes.
+
+use crate::csr::Csr;
+
+/// A sparse matrix under assembly, stored as unsorted triplets.
+#[derive(Clone, Debug, Default)]
+pub struct Coo {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<u32>,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl Coo {
+    /// Creates an empty `nrows × ncols` builder.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        assert!(nrows <= u32::MAX as usize && ncols <= u32::MAX as usize);
+        Coo { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Creates an empty builder with room for `cap` triplets.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        let mut c = Self::new(nrows, ncols);
+        c.rows.reserve(cap);
+        c.cols.reserve(cap);
+        c.vals.reserve(cap);
+        c
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (duplicates included).
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Adds `v` at `(i, j)`. Duplicate entries are summed on conversion.
+    pub fn push(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.nrows && j < self.ncols, "({i},{j}) out of bounds");
+        self.rows.push(i as u32);
+        self.cols.push(j as u32);
+        self.vals.push(v);
+    }
+
+    /// Converts to CSR, summing duplicate entries and sorting columns within
+    /// each row. Entries that sum to exactly zero are kept (structural
+    /// zeros do occur in FEM assembly and are harmless).
+    pub fn to_csr(&self) -> Csr {
+        let nnz = self.vals.len();
+        // Counting sort by row.
+        let mut row_counts = vec![0u32; self.nrows + 1];
+        for &r in &self.rows {
+            row_counts[r as usize + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            row_counts[i + 1] += row_counts[i];
+        }
+        let row_ptr_tmp = row_counts.clone();
+        let mut col_idx = vec![0u32; nnz];
+        let mut vals = vec![0.0f64; nnz];
+        {
+            let mut next = row_ptr_tmp.clone();
+            for k in 0..nnz {
+                let r = self.rows[k] as usize;
+                let dst = next[r] as usize;
+                col_idx[dst] = self.cols[k];
+                vals[dst] = self.vals[k];
+                next[r] += 1;
+            }
+        }
+        // Sort within each row and combine duplicates.
+        let mut out_ptr = vec![0u32; self.nrows + 1];
+        let mut out_cols: Vec<u32> = Vec::with_capacity(nnz);
+        let mut out_vals: Vec<f64> = Vec::with_capacity(nnz);
+        let mut scratch: Vec<(u32, f64)> = Vec::new();
+        for i in 0..self.nrows {
+            let lo = row_ptr_tmp[i] as usize;
+            let hi = row_ptr_tmp[i + 1] as usize;
+            scratch.clear();
+            scratch.extend(col_idx[lo..hi].iter().copied().zip(vals[lo..hi].iter().copied()));
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut k = 0;
+            while k < scratch.len() {
+                let c = scratch[k].0;
+                let mut v = scratch[k].1;
+                k += 1;
+                while k < scratch.len() && scratch[k].0 == c {
+                    v += scratch[k].1;
+                    k += 1;
+                }
+                out_cols.push(c);
+                out_vals.push(v);
+            }
+            out_ptr[i + 1] = out_cols.len() as u32;
+        }
+        Csr::from_raw(self.nrows, self.ncols, out_ptr, out_cols, out_vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix() {
+        let coo = Coo::new(3, 3);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nrows(), 3);
+        assert_eq!(csr.nnz(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 0, 2.0);
+        coo.push(1, 0, -1.0);
+        coo.push(0, 1, 4.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.get(0, 0), 3.0);
+        assert_eq!(csr.get(0, 1), 4.0);
+        assert_eq!(csr.get(1, 0), -1.0);
+        assert_eq!(csr.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn columns_sorted_within_rows() {
+        let mut coo = Coo::new(1, 5);
+        for &j in &[4usize, 1, 3, 0, 2] {
+            coo.push(0, j, j as f64);
+        }
+        let csr = coo.to_csr();
+        let (cols, vals) = csr.row(0);
+        assert_eq!(cols, &[0, 1, 2, 3, 4]);
+        assert_eq!(vals, &[0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn unbalanced_rows() {
+        let mut coo = Coo::new(4, 4);
+        coo.push(3, 0, 1.0);
+        coo.push(3, 1, 2.0);
+        coo.push(3, 2, 3.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.row(0).0.len(), 0);
+        assert_eq!(csr.row(3).0.len(), 3);
+    }
+}

@@ -1,0 +1,433 @@
+//! Compressed sparse row matrices and their matrix-vector kernels.
+//!
+//! Row-range variants of every kernel (`*_rows`) exist so that a thread team
+//! can split a kernel over its members with static scheduling, exactly like
+//! the OpenMP `parallel for` loops in the paper's Algorithms 3–5.
+
+use crate::atomic::AtomicF64Vec;
+
+/// A sparse matrix in compressed sparse row format.
+///
+/// Column indices are `u32` (half the memory of `usize` indices, the usual
+/// HPC choice); columns are sorted within each row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl Csr {
+    /// Builds a CSR matrix from raw parts.
+    ///
+    /// # Panics
+    /// Panics if the arrays are inconsistent (debug builds also verify that
+    /// columns are in range and sorted).
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<u32>,
+        col_idx: Vec<u32>,
+        vals: Vec<f64>,
+    ) -> Self {
+        assert_eq!(row_ptr.len(), nrows + 1);
+        assert_eq!(col_idx.len(), vals.len());
+        assert_eq!(*row_ptr.last().unwrap() as usize, col_idx.len());
+        #[cfg(debug_assertions)]
+        {
+            for i in 0..nrows {
+                let lo = row_ptr[i] as usize;
+                let hi = row_ptr[i + 1] as usize;
+                assert!(lo <= hi);
+                for k in lo..hi {
+                    assert!((col_idx[k] as usize) < ncols);
+                    if k > lo {
+                        assert!(col_idx[k - 1] < col_idx[k], "row {i} not sorted");
+                    }
+                }
+            }
+        }
+        Csr { nrows, ncols, row_ptr, col_idx, vals }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let row_ptr = (0..=n as u32).collect();
+        let col_idx = (0..n as u32).collect();
+        let vals = vec![1.0; n];
+        Csr { nrows: n, ncols: n, row_ptr, col_idx, vals }
+    }
+
+    /// A diagonal matrix with the given diagonal.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let row_ptr = (0..=n as u32).collect();
+        let col_idx = (0..n as u32).collect();
+        Csr { nrows: n, ncols: n, row_ptr, col_idx, vals: diag.to_vec() }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// The raw row-pointer array (length `nrows + 1`).
+    #[inline]
+    pub fn row_ptr(&self) -> &[u32] {
+        &self.row_ptr
+    }
+
+    /// The raw column-index array.
+    #[inline]
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// The raw value array.
+    #[inline]
+    pub fn vals(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Mutable access to the value array (structure is fixed).
+    #[inline]
+    pub fn vals_mut(&mut self) -> &mut [f64] {
+        &mut self.vals
+    }
+
+    /// Column indices and values of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+        let lo = self.row_ptr[i] as usize;
+        let hi = self.row_ptr[i + 1] as usize;
+        (&self.col_idx[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// The entry at `(i, j)`, or `0.0` when not stored.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&(j as u32)) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// The main diagonal as a dense vector (`0.0` where absent).
+    pub fn diag(&self) -> Vec<f64> {
+        (0..self.nrows).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Row-wise ℓ1 norms `Σ_j |a_ij|`, the diagonal of the ℓ1-Jacobi
+    /// smoothing matrix of the paper's Section V.
+    pub fn l1_row_norms(&self) -> Vec<f64> {
+        (0..self.nrows)
+            .map(|i| self.row(i).1.iter().map(|v| v.abs()).sum())
+            .collect()
+    }
+
+    /// `y = A x`.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv_rows(0..self.nrows, x, y);
+    }
+
+    /// `y[rows] = (A x)[rows]` — the row-range kernel used by thread teams.
+    pub fn spmv_rows(&self, rows: std::ops::Range<usize>, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.ncols);
+        debug_assert_eq!(y.len(), self.nrows);
+        for i in rows {
+            let lo = self.row_ptr[i] as usize;
+            let hi = self.row_ptr[i + 1] as usize;
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.vals[k] * x[self.col_idx[k] as usize];
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// Single-row dot product `(A x)_i`.
+    #[inline]
+    pub fn row_dot(&self, i: usize, x: &[f64]) -> f64 {
+        let lo = self.row_ptr[i] as usize;
+        let hi = self.row_ptr[i + 1] as usize;
+        let mut acc = 0.0;
+        for k in lo..hi {
+            acc += self.vals[k] * x[self.col_idx[k] as usize];
+        }
+        acc
+    }
+
+    /// Single-row dot product reading `x` from a shared atomic vector.
+    ///
+    /// This is the kernel inside asynchronous Gauss-Seidel and the global-res
+    /// residual update, where `x` is concurrently mutated by other grids.
+    #[inline]
+    pub fn row_dot_atomic(&self, i: usize, x: &AtomicF64Vec) -> f64 {
+        let lo = self.row_ptr[i] as usize;
+        let hi = self.row_ptr[i + 1] as usize;
+        let mut acc = 0.0;
+        for k in lo..hi {
+            acc += self.vals[k] * x.load(self.col_idx[k] as usize);
+        }
+        acc
+    }
+
+    /// `r[rows] = (b − A x)[rows]` — residual kernel.
+    pub fn residual_rows(&self, rows: std::ops::Range<usize>, b: &[f64], x: &[f64], r: &mut [f64]) {
+        for i in rows {
+            r[i] = b[i] - self.row_dot(i, x);
+        }
+    }
+
+    /// `r = b − A x`.
+    pub fn residual(&self, b: &[f64], x: &[f64], r: &mut [f64]) {
+        self.residual_rows(0..self.nrows, b, x, r);
+    }
+
+    /// `y += A x` over a row range.
+    pub fn spmv_add_rows(&self, rows: std::ops::Range<usize>, x: &[f64], y: &mut [f64]) {
+        for i in rows {
+            y[i] += self.row_dot(i, x);
+        }
+    }
+
+    /// The transpose as a new CSR matrix (used for restriction `R = Pᵀ`).
+    pub fn transpose(&self) -> Csr {
+        let mut counts = vec![0u32; self.ncols + 1];
+        for &c in &self.col_idx {
+            counts[c as usize + 1] += 1;
+        }
+        for j in 0..self.ncols {
+            counts[j + 1] += counts[j];
+        }
+        let row_ptr = counts.clone();
+        let mut next = counts;
+        let mut col_idx = vec![0u32; self.nnz()];
+        let mut vals = vec![0.0; self.nnz()];
+        for i in 0..self.nrows {
+            let lo = self.row_ptr[i] as usize;
+            let hi = self.row_ptr[i + 1] as usize;
+            for k in lo..hi {
+                let j = self.col_idx[k] as usize;
+                let dst = next[j] as usize;
+                col_idx[dst] = i as u32;
+                vals[dst] = self.vals[k];
+                next[j] += 1;
+            }
+        }
+        // Rows of the transpose are produced in increasing original-row
+        // order, so columns are already sorted.
+        Csr { nrows: self.ncols, ncols: self.nrows, row_ptr, col_idx, vals }
+    }
+
+    /// Whether the matrix is numerically symmetric to tolerance `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        let t = self.transpose();
+        if t.row_ptr != self.row_ptr || t.col_idx != self.col_idx {
+            // Structures differ; fall back to slow entry-wise comparison.
+            for i in 0..self.nrows {
+                let (cols, vals) = self.row(i);
+                for (&j, &v) in cols.iter().zip(vals) {
+                    if (v - self.get(j as usize, i)).abs() > tol {
+                        return false;
+                    }
+                }
+            }
+            return true;
+        }
+        self.vals
+            .iter()
+            .zip(&t.vals)
+            .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Infinity norm `max_i Σ_j |a_ij|`.
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.nrows)
+            .map(|i| self.row(i).1.iter().map(|v| v.abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// Scales row `i` by `s[i]` in place (`A ← diag(s) A`).
+    pub fn scale_rows(&mut self, s: &[f64]) {
+        assert_eq!(s.len(), self.nrows);
+        for i in 0..self.nrows {
+            let lo = self.row_ptr[i] as usize;
+            let hi = self.row_ptr[i + 1] as usize;
+            for v in &mut self.vals[lo..hi] {
+                *v *= s[i];
+            }
+        }
+    }
+
+    /// Converts to a dense row-major array (tests and the coarse solve).
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut d = vec![0.0; self.nrows * self.ncols];
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                d[i * self.ncols + j as usize] = v;
+            }
+        }
+        d
+    }
+
+    /// Drops stored entries with `|a_ij| <= tol`, keeping the diagonal.
+    pub fn drop_small(&self, tol: f64) -> Csr {
+        let mut row_ptr = vec![0u32; self.nrows + 1];
+        let mut col_idx = Vec::with_capacity(self.nnz());
+        let mut vals = Vec::with_capacity(self.nnz());
+        for i in 0..self.nrows {
+            let (cols, vs) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vs) {
+                if v.abs() > tol || j as usize == i {
+                    col_idx.push(j);
+                    vals.push(v);
+                }
+            }
+            row_ptr[i + 1] = col_idx.len() as u32;
+        }
+        Csr { nrows: self.nrows, ncols: self.ncols, row_ptr, col_idx, vals }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn small() -> Csr {
+        // [ 2 -1  0 ]
+        // [-1  2 -1 ]
+        // [ 0 -1  2 ]
+        let mut c = Coo::new(3, 3);
+        for i in 0..3usize {
+            c.push(i, i, 2.0);
+            if i > 0 {
+                c.push(i, i - 1, -1.0);
+            }
+            if i < 2 {
+                c.push(i, i + 1, -1.0);
+            }
+        }
+        c.to_csr()
+    }
+
+    #[test]
+    fn spmv_tridiag() {
+        let a = small();
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        a.spmv(&x, &mut y);
+        assert_eq!(y, [0.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn residual_matches_definition() {
+        let a = small();
+        let b = [1.0, 1.0, 1.0];
+        let x = [0.5, 1.0, 0.5];
+        let mut r = [0.0; 3];
+        a.residual(&b, &x, &mut r);
+        let mut ax = [0.0; 3];
+        a.spmv(&x, &mut ax);
+        for i in 0..3 {
+            assert!((r[i] - (b[i] - ax[i])).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn transpose_of_symmetric_is_identical() {
+        let a = small();
+        let t = a.transpose();
+        assert_eq!(a, t);
+        assert!(a.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn transpose_rectangular() {
+        let mut c = Coo::new(2, 3);
+        c.push(0, 0, 1.0);
+        c.push(0, 2, 2.0);
+        c.push(1, 1, 3.0);
+        let a = c.to_csr();
+        let t = a.transpose();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.ncols(), 2);
+        assert_eq!(t.get(0, 0), 1.0);
+        assert_eq!(t.get(2, 0), 2.0);
+        assert_eq!(t.get(1, 1), 3.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn diag_and_l1() {
+        let a = small();
+        assert_eq!(a.diag(), vec![2.0, 2.0, 2.0]);
+        assert_eq!(a.l1_row_norms(), vec![3.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn identity_behaves() {
+        let i3 = Csr::identity(3);
+        let x = [5.0, -1.0, 2.0];
+        let mut y = [0.0; 3];
+        i3.spmv(&x, &mut y);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn spmv_rows_partitions_compose() {
+        let a = small();
+        let x = [1.0, -2.0, 0.5];
+        let mut full = [0.0; 3];
+        a.spmv(&x, &mut full);
+        let mut split = [0.0; 3];
+        a.spmv_rows(0..1, &x, &mut split);
+        a.spmv_rows(1..3, &x, &mut split);
+        assert_eq!(full, split);
+    }
+
+    #[test]
+    fn norm_inf_small() {
+        assert_eq!(small().norm_inf(), 4.0);
+    }
+
+    #[test]
+    fn drop_small_keeps_diagonal() {
+        let mut c = Coo::new(2, 2);
+        c.push(0, 0, 1e-14);
+        c.push(0, 1, 1.0);
+        c.push(1, 1, 2.0);
+        let a = c.to_csr().drop_small(1e-12);
+        assert_eq!(a.get(0, 0), 1e-14); // diagonal kept
+        assert_eq!(a.get(0, 1), 1.0);
+        assert_eq!(a.nnz(), 3);
+    }
+
+    #[test]
+    fn scale_rows_applies() {
+        let mut a = small();
+        a.scale_rows(&[1.0, 2.0, 0.5]);
+        assert_eq!(a.get(1, 0), -2.0);
+        assert_eq!(a.get(2, 2), 1.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Dense matrices and LU factorisation for the coarsest-grid exact solve.
+//!
+//! Multigrid hierarchies bottom out at a grid small enough (tens of rows)
+//! that a dense direct solve is the cheapest, most robust option; this module
+//! provides the `A_ℓ⁻¹` of Algorithms 1, 2 and 5.
+
+use crate::csr::Csr;
+
+/// A dense row-major matrix.
+#[derive(Clone, Debug)]
+pub struct DenseMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// A zero matrix.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        DenseMatrix { n_rows, n_cols, data: vec![0.0; n_rows * n_cols] }
+    }
+
+    /// Builds from a sparse matrix.
+    pub fn from_csr(a: &Csr) -> Self {
+        DenseMatrix { n_rows: a.nrows(), n_cols: a.ncols(), data: a.to_dense() }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n_cols + j]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn get_mut(&mut self, i: usize, j: usize) -> &mut f64 {
+        &mut self.data[i * self.n_cols + j]
+    }
+}
+
+/// An LU factorisation with partial pivoting of a square matrix.
+#[derive(Clone, Debug)]
+pub struct DenseLu {
+    n: usize,
+    lu: Vec<f64>,
+    piv: Vec<u32>,
+}
+
+impl DenseLu {
+    /// Factors a square sparse matrix. Returns `None` when the matrix is
+    /// numerically singular.
+    pub fn factor(a: &Csr) -> Option<Self> {
+        assert_eq!(a.nrows(), a.ncols(), "LU requires a square matrix");
+        let n = a.nrows();
+        let mut lu = a.to_dense();
+        let mut piv: Vec<u32> = (0..n as u32).collect();
+        for k in 0..n {
+            // Pivot search.
+            let mut p = k;
+            let mut best = lu[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = lu[i * n + k].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best == 0.0 {
+                return None;
+            }
+            if p != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, p * n + j);
+                }
+                piv.swap(k, p);
+            }
+            let pivot = lu[k * n + k];
+            for i in (k + 1)..n {
+                let m = lu[i * n + k] / pivot;
+                lu[i * n + k] = m;
+                if m != 0.0 {
+                    for j in (k + 1)..n {
+                        lu[i * n + j] -= m * lu[k * n + j];
+                    }
+                }
+            }
+        }
+        Some(DenseLu { n, lu, piv })
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A x = b`, writing the solution into `x`.
+    pub fn solve(&self, b: &[f64], x: &mut [f64]) {
+        assert_eq!(b.len(), self.n);
+        assert_eq!(x.len(), self.n);
+        let n = self.n;
+        // Apply the row permutation.
+        for i in 0..n {
+            x[i] = b[self.piv[i] as usize];
+        }
+        // Forward substitution with unit lower triangle.
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Backward substitution.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = acc / self.lu[i * n + i];
+        }
+    }
+
+    /// Convenience: allocates and returns the solution.
+    pub fn solve_vec(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.n];
+        self.solve(b, &mut x);
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn tridiag(n: usize) -> Csr {
+        let mut c = Coo::new(n, n);
+        for i in 0..n {
+            c.push(i, i, 2.0);
+            if i > 0 {
+                c.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                c.push(i, i + 1, -1.0);
+            }
+        }
+        c.to_csr()
+    }
+
+    #[test]
+    fn lu_solves_tridiag() {
+        let a = tridiag(10);
+        let lu = DenseLu::factor(&a).unwrap();
+        let xs: Vec<f64> = (0..10).map(|i| (i as f64).sin() + 1.0).collect();
+        let mut b = vec![0.0; 10];
+        a.spmv(&xs, &mut b);
+        let got = lu.solve_vec(&b);
+        for (g, e) in got.iter().zip(&xs) {
+            assert!((g - e).abs() < 1e-12, "{g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn lu_requires_pivoting() {
+        // [0 1; 1 0] has a zero leading pivot.
+        let mut c = Coo::new(2, 2);
+        c.push(0, 1, 1.0);
+        c.push(1, 0, 1.0);
+        let a = c.to_csr();
+        let lu = DenseLu::factor(&a).unwrap();
+        let got = lu.solve_vec(&[3.0, 5.0]);
+        assert!((got[0] - 5.0).abs() < 1e-14);
+        assert!((got[1] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut c = Coo::new(2, 2);
+        c.push(0, 0, 1.0);
+        c.push(0, 1, 2.0);
+        c.push(1, 0, 2.0);
+        c.push(1, 1, 4.0);
+        assert!(DenseLu::factor(&c.to_csr()).is_none());
+    }
+
+    #[test]
+    fn solve_identity() {
+        let lu = DenseLu::factor(&Csr::identity(4)).unwrap();
+        let b = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(lu.solve_vec(&b), b.to_vec());
+    }
+
+    #[test]
+    fn dense_matrix_access() {
+        let mut m = DenseMatrix::zeros(2, 3);
+        *m.get_mut(1, 2) = 5.0;
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.nrows(), 2);
+        assert_eq!(m.ncols(), 3);
+    }
+}

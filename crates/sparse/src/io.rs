@@ -1,0 +1,253 @@
+//! Matrix Market (`.mtx`) import/export.
+//!
+//! Lets users run the solvers on external matrices (e.g. SuiteSparse
+//! downloads) and dump the generated test problems for cross-checking
+//! against other packages. Supports the `matrix coordinate real
+//! {general|symmetric}` flavour, which covers the SPD systems this library
+//! targets.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Errors from Matrix Market parsing.
+#[derive(Debug)]
+pub enum MtxError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed or unsupported content, with a description.
+    Parse(String),
+}
+
+impl std::fmt::Display for MtxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MtxError::Io(e) => write!(f, "I/O error: {e}"),
+            MtxError::Parse(m) => write!(f, "Matrix Market parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MtxError {}
+
+impl From<std::io::Error> for MtxError {
+    fn from(e: std::io::Error) -> Self {
+        MtxError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> MtxError {
+    MtxError::Parse(msg.into())
+}
+
+/// Reads a Matrix Market file from `reader`.
+///
+/// Symmetric files are expanded (the strictly-lower triangle is mirrored).
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<Csr, MtxError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err("empty file"))??;
+    let mut fields = header.split_whitespace();
+    if fields.next() != Some("%%MatrixMarket") {
+        return Err(parse_err("missing %%MatrixMarket banner"));
+    }
+    if fields.next() != Some("matrix") || fields.next() != Some("coordinate") {
+        return Err(parse_err("only `matrix coordinate` files are supported"));
+    }
+    let field = fields.next().unwrap_or("");
+    if field != "real" && field != "integer" {
+        return Err(parse_err(format!("unsupported field type `{field}`")));
+    }
+    let symmetry = fields.next().unwrap_or("general").to_string();
+    if symmetry != "general" && symmetry != "symmetric" {
+        return Err(parse_err(format!("unsupported symmetry `{symmetry}`")));
+    }
+
+    // Skip comments; read the size line.
+    let size_line = loop {
+        let line = lines
+            .next()
+            .ok_or_else(|| parse_err("missing size line"))??;
+        let t = line.trim();
+        if !t.is_empty() && !t.starts_with('%') {
+            break line;
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|s| s.parse().map_err(|_| parse_err(format!("bad size entry `{s}`"))))
+        .collect::<Result<_, _>>()?;
+    let [nrows, ncols, nnz] = dims[..] else {
+        return Err(parse_err("size line must have 3 entries"));
+    };
+
+    let mut coo = Coo::with_capacity(nrows, ncols, nnz);
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let i: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err("bad row index"))?;
+        let j: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err("bad column index"))?;
+        let v: f64 = parts
+            .next()
+            .map(|s| s.parse().map_err(|_| parse_err(format!("bad value `{s}`"))))
+            .transpose()?
+            .unwrap_or(1.0);
+        if i == 0 || j == 0 || i > nrows || j > ncols {
+            return Err(parse_err(format!("entry ({i},{j}) out of bounds")));
+        }
+        coo.push(i - 1, j - 1, v);
+        if symmetry == "symmetric" && i != j {
+            coo.push(j - 1, i - 1, v);
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(format!("expected {nnz} entries, found {seen}")));
+    }
+    Ok(coo.to_csr())
+}
+
+/// Reads a Matrix Market file from disk.
+pub fn read_matrix_market_file(path: &std::path::Path) -> Result<Csr, MtxError> {
+    read_matrix_market(std::fs::File::open(path)?)
+}
+
+/// Writes `a` as a `general` Matrix Market file.
+pub fn write_matrix_market<W: Write>(a: &Csr, writer: W) -> Result<(), MtxError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by asyncmg-sparse")?;
+    writeln!(w, "{} {} {}", a.nrows(), a.ncols(), a.nnz())?;
+    for i in 0..a.nrows() {
+        let (cols, vals) = a.row(i);
+        for (&j, &v) in cols.iter().zip(vals) {
+            writeln!(w, "{} {} {:.17e}", i + 1, j + 1, v)?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes `a` to a file.
+pub fn write_matrix_market_file(a: &Csr, path: &std::path::Path) -> Result<(), MtxError> {
+    write_matrix_market(a, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "%%MatrixMarket matrix coordinate real general\n\
+        % a comment\n\
+        3 3 4\n\
+        1 1 2.0\n\
+        2 2 2.0\n\
+        3 3 2.0\n\
+        1 3 -1.0\n";
+
+    #[test]
+    fn reads_general() {
+        let a = read_matrix_market(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(a.nrows(), 3);
+        assert_eq!(a.nnz(), 4);
+        assert_eq!(a.get(0, 2), -1.0);
+        assert_eq!(a.get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn reads_symmetric_and_mirrors() {
+        let mtx = "%%MatrixMarket matrix coordinate real symmetric\n\
+            2 2 2\n\
+            1 1 4.0\n\
+            2 1 -1.0\n";
+        let a = read_matrix_market(mtx.as_bytes()).unwrap();
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.get(1, 0), -1.0);
+        assert!(a.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn roundtrip_preserves_matrix() {
+        let a = read_matrix_market(SAMPLE.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&a, &mut buf).unwrap();
+        let b = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_banner() {
+        assert!(read_matrix_market("not a matrix\n1 1 0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_count() {
+        let mtx = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n";
+        assert!(read_matrix_market(mtx.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        let mtx = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market(mtx.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_unsupported_symmetry() {
+        let mtx = "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1.0\n";
+        assert!(read_matrix_market(mtx.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn pattern_entries_default_to_one() {
+        // Values are optional for pattern-ish files with integer/real field;
+        // a missing value is read as 1.0.
+        let mtx = "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1\n";
+        let a = read_matrix_market(mtx.as_bytes()).unwrap();
+        assert_eq!(a.get(0, 0), 1.0);
+    }
+}
+
+#[cfg(test)]
+mod file_tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    #[test]
+    fn file_roundtrip() {
+        let mut coo = Coo::new(4, 4);
+        for i in 0..4 {
+            coo.push(i, i, (i + 1) as f64);
+        }
+        coo.push(0, 3, -2.5);
+        let a = coo.to_csr();
+        let dir = std::env::temp_dir().join("asyncmg_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.mtx");
+        write_matrix_market_file(&a, &path).unwrap();
+        let b = read_matrix_market_file(&path).unwrap();
+        assert_eq!(a, b);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_matrix_market_file(std::path::Path::new("/nonexistent/x.mtx"))
+            .unwrap_err();
+        assert!(matches!(err, MtxError::Io(_)));
+        assert!(err.to_string().contains("I/O"));
+    }
+}

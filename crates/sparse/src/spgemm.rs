@@ -1,0 +1,211 @@
+//! Sparse matrix-matrix products (Gustavson's algorithm) and the Galerkin
+//! triple product `Pᵀ A P` used to build coarse-grid operators.
+
+use crate::csr::Csr;
+
+/// Computes `C = A B` with Gustavson's row-merge algorithm.
+///
+/// A dense accumulator plus a marker array gives `O(flops)` time; rows of the
+/// result are sorted by column.
+pub fn spgemm(a: &Csr, b: &Csr) -> Csr {
+    assert_eq!(a.ncols(), b.nrows(), "dimension mismatch in spgemm");
+    let nrows = a.nrows();
+    let ncols = b.ncols();
+    let mut acc = vec![0.0f64; ncols];
+    let mut marker = vec![u32::MAX; ncols];
+    let mut touched: Vec<u32> = Vec::new();
+
+    let mut row_ptr = vec![0u32; nrows + 1];
+    let mut col_idx: Vec<u32> = Vec::new();
+    let mut vals: Vec<f64> = Vec::new();
+
+    for i in 0..nrows {
+        touched.clear();
+        let (a_cols, a_vals) = a.row(i);
+        for (&k, &av) in a_cols.iter().zip(a_vals) {
+            let (b_cols, b_vals) = b.row(k as usize);
+            for (&j, &bv) in b_cols.iter().zip(b_vals) {
+                let ju = j as usize;
+                if marker[ju] != i as u32 {
+                    marker[ju] = i as u32;
+                    acc[ju] = av * bv;
+                    touched.push(j);
+                } else {
+                    acc[ju] += av * bv;
+                }
+            }
+        }
+        touched.sort_unstable();
+        for &j in &touched {
+            col_idx.push(j);
+            vals.push(acc[j as usize]);
+        }
+        row_ptr[i + 1] = col_idx.len() as u32;
+    }
+    Csr::from_raw(nrows, ncols, row_ptr, col_idx, vals)
+}
+
+/// The Galerkin triple product `A_c = Pᵀ A P`.
+///
+/// Computed as `R (A P)` with `R = Pᵀ` formed explicitly, the same structure
+/// BoomerAMG uses. The result of an exact triple product of a symmetric `A`
+/// is symmetric up to rounding.
+pub fn rap(a: &Csr, p: &Csr) -> Csr {
+    assert_eq!(a.nrows(), a.ncols());
+    assert_eq!(a.ncols(), p.nrows());
+    let r = p.transpose();
+    let ap = spgemm(a, p);
+    spgemm(&r, &ap)
+}
+
+/// Computes `alpha · A + beta · B` for matrices of identical shape.
+pub fn add_scaled(a: &Csr, b: &Csr, alpha: f64, beta: f64) -> Csr {
+    assert_eq!(a.nrows(), b.nrows());
+    assert_eq!(a.ncols(), b.ncols());
+    let nrows = a.nrows();
+    let mut row_ptr = vec![0u32; nrows + 1];
+    let mut col_idx: Vec<u32> = Vec::with_capacity(a.nnz() + b.nnz());
+    let mut vals: Vec<f64> = Vec::with_capacity(a.nnz() + b.nnz());
+    for i in 0..nrows {
+        let (ac, av) = a.row(i);
+        let (bc, bv) = b.row(i);
+        let (mut ka, mut kb) = (0usize, 0usize);
+        while ka < ac.len() || kb < bc.len() {
+            let ca = ac.get(ka).copied().unwrap_or(u32::MAX);
+            let cb = bc.get(kb).copied().unwrap_or(u32::MAX);
+            if ca < cb {
+                col_idx.push(ca);
+                vals.push(alpha * av[ka]);
+                ka += 1;
+            } else if cb < ca {
+                col_idx.push(cb);
+                vals.push(beta * bv[kb]);
+                kb += 1;
+            } else {
+                col_idx.push(ca);
+                vals.push(alpha * av[ka] + beta * bv[kb]);
+                ka += 1;
+                kb += 1;
+            }
+        }
+        row_ptr[i + 1] = col_idx.len() as u32;
+    }
+    Csr::from_raw(nrows, a.ncols(), row_ptr, col_idx, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn dense_mul(a: &Csr, b: &Csr) -> Vec<f64> {
+        let (m, k, n) = (a.nrows(), a.ncols(), b.ncols());
+        let da = a.to_dense();
+        let db = b.to_dense();
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for l in 0..k {
+                let v = da[i * k + l];
+                if v != 0.0 {
+                    for j in 0..n {
+                        c[i * n + j] += v * db[l * n + j];
+                    }
+                }
+            }
+        }
+        c
+    }
+
+    fn tridiag(n: usize) -> Csr {
+        let mut c = Coo::new(n, n);
+        for i in 0..n {
+            c.push(i, i, 2.0);
+            if i > 0 {
+                c.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                c.push(i, i + 1, -1.0);
+            }
+        }
+        c.to_csr()
+    }
+
+    #[test]
+    fn spgemm_matches_dense() {
+        let a = tridiag(6);
+        let b = tridiag(6);
+        let c = spgemm(&a, &b);
+        let cd = dense_mul(&a, &b);
+        let got = c.to_dense();
+        for (x, y) in got.iter().zip(&cd) {
+            assert!((x - y).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn spgemm_rectangular() {
+        // P: 4x2 linear interpolation
+        let mut p = Coo::new(4, 2);
+        p.push(0, 0, 1.0);
+        p.push(1, 0, 0.5);
+        p.push(1, 1, 0.5);
+        p.push(2, 1, 1.0);
+        p.push(3, 1, 0.5);
+        let p = p.to_csr();
+        let a = tridiag(4);
+        let ap = spgemm(&a, &p);
+        let expect = dense_mul(&a, &p);
+        let got = ap.to_dense();
+        for (x, y) in got.iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn rap_is_symmetric_for_symmetric_a() {
+        let a = tridiag(8);
+        let mut p = Coo::new(8, 4);
+        for c in 0..4usize {
+            let f = 2 * c;
+            p.push(f, c, 1.0);
+            if f + 1 < 8 {
+                p.push(f + 1, c, 0.5);
+                if c + 1 < 4 {
+                    p.push(f + 1, c + 1, 0.5);
+                }
+            }
+        }
+        let p = p.to_csr();
+        let ac = rap(&a, &p);
+        assert_eq!(ac.nrows(), 4);
+        assert!(ac.is_symmetric(1e-14));
+        // Spot-check against dense computation.
+        let r = p.transpose();
+        let dense = dense_mul(&r, &spgemm(&a, &p));
+        let got = ac.to_dense();
+        for (x, y) in got.iter().zip(&dense) {
+            assert!((x - y).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn add_scaled_matches_dense() {
+        let a = tridiag(5);
+        let i5 = Csr::identity(5);
+        let c = add_scaled(&a, &i5, 2.0, -3.0);
+        for i in 0..5 {
+            for j in 0..5 {
+                let expect = 2.0 * a.get(i, j) - 3.0 * if i == j { 1.0 } else { 0.0 };
+                assert!((c.get(i, j) - expect).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = tridiag(5);
+        let i5 = Csr::identity(5);
+        assert_eq!(spgemm(&a, &i5), a);
+        assert_eq!(spgemm(&i5, &a), a);
+    }
+}

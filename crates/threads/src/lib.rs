@@ -1,0 +1,34 @@
+//! Thread teams, barriers and static loop partitioning.
+//!
+//! The paper implements asynchronous multigrid in OpenMP: every grid `k` of
+//! the hierarchy owns a subset of threads, operations inside a grid are
+//! OpenMP `parallel for` loops over that subset with static scheduling, and
+//! *only* the threads of one grid synchronise with each other (the blue
+//! `Sync()` calls of Figure 3). This crate provides the equivalent runtime:
+//!
+//! * [`SpinBarrier`] — a sense-reversing barrier used for both team-local and
+//!   global synchronisation points,
+//! * [`chunk_range`] — OpenMP-style static partitioning of an iteration
+//!   space,
+//! * [`partition`] — work-proportional assignment of threads to grids
+//!   (Section IV: "threads are distributed among the grids to balance the
+//!   amount of work"),
+//! * [`TeamCtx`] / [`run_teams`] — a fork-join entry point that launches one
+//!   OS thread per team member and hands each a context describing its team,
+//! * [`RacyVec`] — a shared `f64` buffer written in disjoint ranges between
+//!   barriers (team-local vectors of Algorithm 5).
+
+// Indexed loops over multiple parallel arrays are the house style for
+// numerical kernels; the iterator forms clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
+
+
+pub mod barrier;
+pub mod partition;
+pub mod racy;
+pub mod team;
+
+pub use barrier::SpinBarrier;
+pub use partition::{chunk_range, GridTeamLayout};
+pub use racy::RacyVec;
+pub use team::{run_teams, TeamCtx};

@@ -1,0 +1,131 @@
+//! A shared `f64` buffer written in disjoint ranges between barriers.
+//!
+//! Team-local vectors in Algorithm 5 (`r^k`, `x^k`, the per-level `e` and `c`
+//! work vectors) are written by the team's threads in disjoint row ranges,
+//! with a team barrier between a write phase and any read of another
+//! thread's range. [`RacyVec`] encodes that pattern: it hands out raw
+//! sub-slices through an `UnsafeCell`, with a safety contract that writers
+//! never overlap each other or concurrent readers, and that reads of another
+//! thread's writes are separated from them by a barrier (which provides the
+//! Acquire/Release edge).
+
+use std::cell::UnsafeCell;
+
+/// A fixed-length shared buffer of `f64` with caller-enforced aliasing rules.
+pub struct RacyVec {
+    data: UnsafeCell<Box<[f64]>>,
+    len: usize,
+}
+
+// SAFETY: all access goes through the unsafe methods below whose contracts
+// require externally-synchronised disjoint access.
+unsafe impl Sync for RacyVec {}
+unsafe impl Send for RacyVec {}
+
+impl RacyVec {
+    /// A zero-initialised buffer of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        RacyVec { data: UnsafeCell::new(vec![0.0; n].into_boxed_slice()), len: n }
+    }
+
+    /// A buffer initialised from a slice.
+    pub fn from_slice(s: &[f64]) -> Self {
+        RacyVec { data: UnsafeCell::new(s.to_vec().into_boxed_slice()), len: s.len() }
+    }
+
+    /// Length of the buffer.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A mutable view of `range`.
+    ///
+    /// # Safety
+    /// Between two barrier synchronisations, no other thread may read or
+    /// write any element of `range`.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    pub unsafe fn slice_mut(&self, range: std::ops::Range<usize>) -> &mut [f64] {
+        let data = &mut *self.data.get();
+        &mut data[range]
+    }
+
+    /// A shared view of the whole buffer.
+    ///
+    /// # Safety
+    /// Every element read must either have been written by this thread, or
+    /// the write must be separated from this read by a barrier; no concurrent
+    /// writer may overlap the elements actually read.
+    #[inline]
+    pub unsafe fn as_slice(&self) -> &[f64] {
+        &*self.data.get()
+    }
+
+    /// Exclusive view for single-threaded phases (setup, verification).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        unsafe { &mut *self.data.get() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::barrier::SpinBarrier;
+    use std::sync::Arc;
+
+    #[test]
+    fn exclusive_access() {
+        let mut v = RacyVec::zeros(4);
+        v.as_mut_slice()[2] = 5.0;
+        unsafe {
+            assert_eq!(v.as_slice()[2], 5.0);
+        }
+    }
+
+    #[test]
+    fn disjoint_parallel_writes_with_barrier() {
+        let n = 1024;
+        let nthreads = 4;
+        let v = Arc::new(RacyVec::zeros(n));
+        let b = Arc::new(SpinBarrier::new(nthreads));
+        let mut handles = Vec::new();
+        for t in 0..nthreads {
+            let v = Arc::clone(&v);
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                let range = crate::partition::chunk_range(n, nthreads, t);
+                // Phase 1: write own chunk.
+                unsafe {
+                    for (off, x) in v.slice_mut(range.clone()).iter_mut().enumerate() {
+                        *x = (range.start + off) as f64;
+                    }
+                }
+                b.wait();
+                // Phase 2: read everything.
+                let total: f64 = unsafe { v.as_slice().iter().sum() };
+                let expect = (n * (n - 1) / 2) as f64;
+                assert_eq!(total, expect);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn from_slice_copies() {
+        let v = RacyVec::from_slice(&[1.0, 2.0]);
+        unsafe {
+            assert_eq!(v.as_slice(), &[1.0, 2.0]);
+        }
+        assert_eq!(v.len(), 2);
+        assert!(!v.is_empty());
+    }
+}

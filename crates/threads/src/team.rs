@@ -1,0 +1,183 @@
+//! Fork-join execution of grid teams.
+//!
+//! [`run_teams`] launches one OS thread per team member and calls the
+//! provided closure with a [`TeamCtx`] describing the thread's position.
+//! All threads are joined before `run_teams` returns, so the closure may
+//! borrow stack data (`std::thread::scope`).
+
+use crate::barrier::SpinBarrier;
+use crate::partition::chunk_range;
+
+/// Where a thread sits: its team, its rank within the team, and the barriers
+/// it may use.
+pub struct TeamCtx<'a> {
+    /// Index of this thread's team.
+    pub team_id: usize,
+    /// Rank within the team, `0..team_size`.
+    pub rank: usize,
+    /// Number of threads in this team.
+    pub team_size: usize,
+    /// Rank among all threads, `0..n_threads`.
+    pub global_rank: usize,
+    /// Total number of threads across all teams.
+    pub n_threads: usize,
+    team_barrier: &'a SpinBarrier,
+    global_barrier: &'a SpinBarrier,
+}
+
+impl<'a> TeamCtx<'a> {
+    /// Synchronises the threads of this team (the blue `Sync()` of Fig. 3).
+    #[inline]
+    pub fn barrier(&self) {
+        self.team_barrier.wait();
+    }
+
+    /// Synchronises *all* threads (the red `Sync()` of Fig. 3; used only by
+    /// the synchronous variants).
+    #[inline]
+    pub fn global_barrier(&self) {
+        self.global_barrier.wait();
+    }
+
+    /// This thread's static chunk of a loop over `0..n`, split across the
+    /// team.
+    #[inline]
+    pub fn chunk(&self, n: usize) -> std::ops::Range<usize> {
+        chunk_range(n, self.team_size, self.rank)
+    }
+
+    /// This thread's static chunk of a loop over `0..n`, split across *all*
+    /// threads (the `GlobalParFor` of Algorithm 5).
+    #[inline]
+    pub fn global_chunk(&self, n: usize) -> std::ops::Range<usize> {
+        chunk_range(n, self.n_threads, self.global_rank)
+    }
+
+    /// Whether this thread is its team's master (rank 0).
+    #[inline]
+    pub fn is_team_master(&self) -> bool {
+        self.rank == 0
+    }
+
+    /// Whether this thread is the global master (global rank 0).
+    #[inline]
+    pub fn is_global_master(&self) -> bool {
+        self.global_rank == 0
+    }
+}
+
+/// Runs `f` on `Σ team_sizes` threads grouped into teams, then joins them.
+///
+/// `f` receives each thread's [`TeamCtx`]. Panics in any thread propagate.
+pub fn run_teams<F>(team_sizes: &[usize], f: F)
+where
+    F: Fn(TeamCtx<'_>) + Sync,
+{
+    assert!(!team_sizes.is_empty());
+    assert!(team_sizes.iter().all(|&s| s > 0), "empty team");
+    let n_threads: usize = team_sizes.iter().sum();
+    let team_barriers: Vec<SpinBarrier> =
+        team_sizes.iter().map(|&s| SpinBarrier::new(s)).collect();
+    let global_barrier = SpinBarrier::new(n_threads);
+
+    std::thread::scope(|scope| {
+        let mut global_rank = 0usize;
+        for (team_id, &size) in team_sizes.iter().enumerate() {
+            for rank in 0..size {
+                let ctx = TeamCtx {
+                    team_id,
+                    rank,
+                    team_size: size,
+                    global_rank,
+                    n_threads,
+                    team_barrier: &team_barriers[team_id],
+                    global_barrier: &global_barrier,
+                };
+                let f = &f;
+                scope.spawn(move || f(ctx));
+                global_rank += 1;
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_thread_runs_once() {
+        let count = AtomicUsize::new(0);
+        run_teams(&[2, 3, 1], |ctx| {
+            assert!(ctx.rank < ctx.team_size);
+            assert!(ctx.global_rank < ctx.n_threads);
+            assert_eq!(ctx.n_threads, 6);
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn global_ranks_are_unique_and_dense() {
+        let seen = [const { AtomicUsize::new(0) }; 5];
+        run_teams(&[1, 2, 2], |ctx| {
+            seen[ctx.global_rank].fetch_add(1, Ordering::SeqCst);
+        });
+        for s in &seen {
+            assert_eq!(s.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn team_chunks_tile_iteration_space() {
+        let n = 37;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        run_teams(&[4], |ctx| {
+            for i in ctx.chunk(n) {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn global_chunks_tile_across_teams() {
+        let n = 23;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        run_teams(&[2, 3], |ctx| {
+            for i in ctx.global_chunk(n) {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn team_barrier_synchronises_only_team() {
+        // Two teams progress through different numbers of phases without
+        // deadlocking, proving team barriers are independent.
+        run_teams(&[2, 2], |ctx| {
+            let phases = if ctx.team_id == 0 { 10 } else { 3 };
+            for _ in 0..phases {
+                ctx.barrier();
+            }
+        });
+    }
+
+    #[test]
+    fn masters_identified() {
+        let team_masters = AtomicUsize::new(0);
+        let global_masters = AtomicUsize::new(0);
+        run_teams(&[3, 3], |ctx| {
+            if ctx.is_team_master() {
+                team_masters.fetch_add(1, Ordering::SeqCst);
+            }
+            if ctx.is_global_master() {
+                global_masters.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert_eq!(team_masters.load(Ordering::SeqCst), 2);
+        assert_eq!(global_masters.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Compare every solver variant on the 27-point Poisson problem — a
+//! miniature of the paper's Table I row block for one matrix.
+//!
+//! ```sh
+//! cargo run --release -p asyncmg-apps --example poisson_cube [grid_length] [threads]
+//! ```
+
+use asyncmg_amg::{build_hierarchy, AmgOptions};
+use asyncmg_core::additive::{solve_additive, AdditiveMethod};
+use asyncmg_core::asynchronous::{solve_async, AsyncOptions, ResComp, WriteMode};
+use asyncmg_core::mult::solve_mult;
+use asyncmg_core::parallel_mult::solve_mult_threaded;
+use asyncmg_core::setup::{MgOptions, MgSetup};
+use asyncmg_problems::{rhs::random_rhs, stencil::laplacian_27pt};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
+    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let t_max = 20;
+
+    let a = laplacian_27pt(n, n, n);
+    println!("27pt, grid length {n}: {} rows, {} nnz, {threads} threads, {t_max} V-cycles\n",
+        a.nrows(), a.nnz());
+    let b = random_rhs(a.nrows(), 7);
+    let h = build_hierarchy(a, &AmgOptions { aggressive_levels: 1, ..Default::default() });
+    let setup = MgSetup::new(h, MgOptions::default());
+
+    println!("{:<38} {:>10} {:>9}", "method", "relres", "time");
+    let seq = solve_mult(&setup, &b, t_max);
+    println!("{:<38} {:>10.2e} {:>9}", "Mult (sequential)", seq.final_relres(), "-");
+    let m = solve_mult_threaded(&setup, &b, threads, t_max);
+    println!("{:<38} {:>10.2e} {:>8.1?}", "sync Mult (threaded)", m.relres, m.elapsed);
+
+    let seq_add = solve_additive(&setup, AdditiveMethod::Multadd, &b, t_max);
+    println!(
+        "{:<38} {:>10.2e} {:>9}",
+        "sync Multadd (sequential)",
+        seq_add.final_relres(),
+        "-"
+    );
+
+    for (label, opts) in [
+        (
+            "sync Multadd, lock-write",
+            AsyncOptions { sync: true, t_max, n_threads: threads, ..Default::default() },
+        ),
+        (
+            "Multadd, lock-write, local-res",
+            AsyncOptions { t_max, n_threads: threads, ..Default::default() },
+        ),
+        (
+            "Multadd, lock-write, global-res",
+            AsyncOptions {
+                res_comp: ResComp::Global,
+                t_max,
+                n_threads: threads,
+                ..Default::default()
+            },
+        ),
+        (
+            "Multadd, atomic-write, local-res",
+            AsyncOptions {
+                write: WriteMode::Atomic,
+                t_max,
+                n_threads: threads,
+                ..Default::default()
+            },
+        ),
+        (
+            "r-Multadd, atomic-write, local-res",
+            AsyncOptions {
+                write: WriteMode::Atomic,
+                residual_based: true,
+                t_max,
+                n_threads: threads,
+                ..Default::default()
+            },
+        ),
+        (
+            "AFACx, lock-write",
+            AsyncOptions {
+                method: AdditiveMethod::Afacx,
+                t_max,
+                n_threads: threads,
+                ..Default::default()
+            },
+        ),
+    ] {
+        let r = solve_async(&setup, &b, &opts);
+        println!("{label:<38} {:>10.2e} {:>8.1?}", r.relres, r.elapsed);
+    }
+}

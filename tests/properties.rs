@@ -1,0 +1,162 @@
+//! Property-based tests (proptest) on the core data structures and solver
+//! invariants.
+#![allow(clippy::needless_range_loop)]
+
+use asyncmg_amg::{build_hierarchy, AmgOptions, Coarsening};
+use asyncmg_core::setup::{MgOptions, MgSetup};
+use asyncmg_sparse::{rap, spgemm, Coo, Csr};
+use proptest::prelude::*;
+
+/// A random diagonally dominant SPD-ish sparse matrix.
+fn dd_matrix(n: usize, entries: &[(usize, usize, f64)]) -> Csr {
+    let mut coo = Coo::new(n, n);
+    let mut row_sums = vec![0.0f64; n];
+    for &(i, j, v) in entries {
+        let (i, j) = (i % n, j % n);
+        if i != j {
+            let v = -(v.abs());
+            coo.push(i, j, v);
+            coo.push(j, i, v);
+            row_sums[i] += v.abs();
+            row_sums[j] += v.abs();
+        }
+    }
+    for i in 0..n {
+        coo.push(i, i, row_sums[i] + 1.0);
+    }
+    coo.to_csr()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn transpose_is_involutive(
+        entries in prop::collection::vec((0usize..30, 0usize..30, -5.0f64..5.0), 1..120)
+    ) {
+        let a = dd_matrix(30, &entries);
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn spmv_is_linear(
+        entries in prop::collection::vec((0usize..20, 0usize..20, -3.0f64..3.0), 1..60),
+        x in prop::collection::vec(-10.0f64..10.0, 20),
+        y in prop::collection::vec(-10.0f64..10.0, 20),
+        c in -4.0f64..4.0,
+    ) {
+        let a = dd_matrix(20, &entries);
+        let mut ax = vec![0.0; 20];
+        let mut ay = vec![0.0; 20];
+        a.spmv(&x, &mut ax);
+        a.spmv(&y, &mut ay);
+        let z: Vec<f64> = x.iter().zip(&y).map(|(xi, yi)| c * xi + yi).collect();
+        let mut az = vec![0.0; 20];
+        a.spmv(&z, &mut az);
+        for i in 0..20 {
+            let expect = c * ax[i] + ay[i];
+            prop_assert!((az[i] - expect).abs() < 1e-9 * (1.0 + expect.abs()));
+        }
+    }
+
+    #[test]
+    fn spgemm_associates_with_spmv(
+        entries in prop::collection::vec((0usize..15, 0usize..15, -3.0f64..3.0), 1..50),
+        x in prop::collection::vec(-5.0f64..5.0, 15),
+    ) {
+        // (A·A) x == A (A x)
+        let a = dd_matrix(15, &entries);
+        let aa = spgemm(&a, &a);
+        let mut ax = vec![0.0; 15];
+        a.spmv(&x, &mut ax);
+        let mut aax = vec![0.0; 15];
+        a.spmv(&ax, &mut aax);
+        let mut aax2 = vec![0.0; 15];
+        aa.spmv(&x, &mut aax2);
+        for i in 0..15 {
+            prop_assert!((aax[i] - aax2[i]).abs() < 1e-8 * (1.0 + aax[i].abs()));
+        }
+    }
+
+    #[test]
+    fn rap_is_symmetric_for_random_dd_matrices(
+        entries in prop::collection::vec((0usize..24, 0usize..24, -3.0f64..3.0), 10..100)
+    ) {
+        let a = dd_matrix(24, &entries);
+        let s = asyncmg_amg::classical_strength(&a, 0.25);
+        let cf = asyncmg_amg::coarsen::coarsen(&s, Coarsening::Hmis, 1);
+        let nc = asyncmg_amg::coarsen::n_coarse(&cf);
+        prop_assume!(nc > 0 && nc < 24);
+        let p = asyncmg_amg::interp::build_interpolation(
+            &a, &s, &cf, asyncmg_amg::Interpolation::ClassicalModified, 0.0);
+        let ac = rap(&a, &p);
+        prop_assert!(ac.is_symmetric(1e-9));
+        prop_assert_eq!(ac.nrows(), nc);
+    }
+
+    #[test]
+    fn hierarchy_always_terminates_and_shrinks(
+        entries in prop::collection::vec((0usize..40, 0usize..40, -3.0f64..3.0), 30..200)
+    ) {
+        let a = dd_matrix(40, &entries);
+        let h = build_hierarchy(a, &AmgOptions { max_coarse: 8, ..Default::default() });
+        let sizes = h.level_sizes();
+        for w in sizes.windows(2) {
+            prop_assert!(w[1] < w[0]);
+        }
+    }
+
+    #[test]
+    fn mult_reduces_residual_on_random_dd_systems(
+        entries in prop::collection::vec((0usize..30, 0usize..30, -3.0f64..3.0), 20..150),
+        bvec in prop::collection::vec(-1.0f64..1.0, 30),
+    ) {
+        let a = dd_matrix(30, &entries);
+        let h = build_hierarchy(a, &AmgOptions { max_coarse: 8, ..Default::default() });
+        let s = MgSetup::new(h, MgOptions::default());
+        let res = asyncmg_core::mult::solve_mult(&s, &bvec, 15);
+        // Diagonally dominant + damped Jacobi ⇒ convergent cycle.
+        prop_assert!(res.final_relres() < 0.9, "relres {}", res.final_relres());
+    }
+
+    #[test]
+    fn dense_lu_solves_random_dd_systems(
+        entries in prop::collection::vec((0usize..12, 0usize..12, -3.0f64..3.0), 5..60),
+        xs in prop::collection::vec(-5.0f64..5.0, 12),
+    ) {
+        let a = dd_matrix(12, &entries);
+        let lu = asyncmg_sparse::DenseLu::factor(&a).expect("dd matrix nonsingular");
+        let mut b = vec![0.0; 12];
+        a.spmv(&xs, &mut b);
+        let got = lu.solve_vec(&b);
+        for i in 0..12 {
+            prop_assert!((got[i] - xs[i]).abs() < 1e-7 * (1.0 + xs[i].abs()));
+        }
+    }
+
+    #[test]
+    fn interpolation_rows_bounded_and_c_rows_identity(
+        entries in prop::collection::vec((0usize..25, 0usize..25, -3.0f64..3.0), 20..120)
+    ) {
+        let a = dd_matrix(25, &entries);
+        let s = asyncmg_amg::classical_strength(&a, 0.25);
+        let cf = asyncmg_amg::coarsen::coarsen(&s, Coarsening::Pmis, 2);
+        let nc = asyncmg_amg::coarsen::n_coarse(&cf);
+        prop_assume!(nc > 0);
+        let p = asyncmg_amg::interp::build_interpolation(
+            &a, &s, &cf, asyncmg_amg::Interpolation::ClassicalModified, 0.0);
+        let (cmap, _) = asyncmg_amg::interp::coarse_map(&cf);
+        for i in 0..25 {
+            if cf[i] == asyncmg_amg::Cf::C {
+                let (cols, vals) = p.row(i);
+                prop_assert_eq!(cols, &[cmap[i]][..]);
+                prop_assert_eq!(vals, &[1.0][..]);
+            } else {
+                // Diagonally dominant rows give bounded weights.
+                for v in p.row(i).1 {
+                    prop_assert!(v.abs() < 10.0, "weight {v}");
+                }
+            }
+        }
+    }
+}
