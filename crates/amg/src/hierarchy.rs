@@ -100,9 +100,8 @@ pub fn build_hierarchy(a: Csr, opts: &AmgOptions) -> Hierarchy {
     let mut level_idx = 0usize;
     // Per-dof function labels for the unknown approach; coarse dofs inherit
     // the label of their C-point.
-    let mut funcs: Option<Vec<u8>> = (opts.num_functions > 1).then(|| {
-        (0..current.nrows()).map(|i| (i % opts.num_functions) as u8).collect()
-    });
+    let mut funcs: Option<Vec<u8>> = (opts.num_functions > 1)
+        .then(|| (0..current.nrows()).map(|i| (i % opts.num_functions) as u8).collect());
     while current.nrows() > opts.max_coarse && levels.len() + 1 < opts.max_levels {
         let s = classical_strength_funcs(&current, opts.theta, funcs.as_deref());
         let aggressive = level_idx < opts.aggressive_levels;
@@ -116,8 +115,7 @@ pub fn build_hierarchy(a: Csr, opts: &AmgOptions) -> Hierarchy {
         if nc == 0 || nc >= current.nrows() {
             break; // coarsening stalled
         }
-        let interp_kind =
-            if aggressive { Interpolation::Multipass } else { opts.interp };
+        let interp_kind = if aggressive { Interpolation::Multipass } else { opts.interp };
         let p = build_interpolation(&current, &s, &cf, interp_kind, opts.trunc);
         if p.ncols() == 0 {
             break;
@@ -173,10 +171,7 @@ mod tests {
     fn aggressive_reduces_complexity() {
         let a = laplacian_27pt(10, 10, 10);
         let plain = build_hierarchy(a.clone(), &AmgOptions::default());
-        let agg = build_hierarchy(
-            a,
-            &AmgOptions { aggressive_levels: 1, ..AmgOptions::default() },
-        );
+        let agg = build_hierarchy(a, &AmgOptions { aggressive_levels: 1, ..AmgOptions::default() });
         assert!(
             agg.levels[1].a.nrows() < plain.levels[1].a.nrows(),
             "aggressive first coarse level {} vs plain {}",

@@ -18,7 +18,6 @@
 // numerical kernels; the iterator forms clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod coarsen;
 pub mod hierarchy;
 pub mod interp;

@@ -86,11 +86,8 @@ pub fn classical_strength_funcs(a: &Csr, theta: f64, funcs: Option<&[u8]>) -> St
                 max_abs = max_abs.max(v.abs());
             }
         }
-        let (threshold, use_abs) = if max_neg > 0.0 {
-            (theta * max_neg, false)
-        } else {
-            (theta * max_abs, true)
-        };
+        let (threshold, use_abs) =
+            if max_neg > 0.0 { (theta * max_neg, false) } else { (theta * max_abs, true) };
         if threshold > 0.0 {
             for (&j, &v) in cols.iter().zip(vals) {
                 if j as usize == i || !same_func(j) {

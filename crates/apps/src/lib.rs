@@ -4,7 +4,6 @@
 // numerical kernels; the iterator forms clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]
 
-
 use asyncmg_amg::{build_hierarchy, AmgOptions};
 use asyncmg_core::setup::{MgOptions, MgSetup};
 use asyncmg_problems::TestSet;
@@ -19,14 +18,10 @@ pub fn paper_setup(set: TestSet, n: usize) -> MgSetup {
     };
     let num_functions = if set == TestSet::Elasticity { 3 } else { 1 };
     let h = build_hierarchy(a, &AmgOptions { num_functions, ..Default::default() });
-    MgSetup::new(
-        h,
-        MgOptions {
-            smoother: asyncmg_smoothers::SmootherKind::WJacobi { omega },
-            interp_omega: omega,
-            ..Default::default()
-        },
-    )
+    let mut opts = MgOptions::default();
+    opts.smoother = asyncmg_smoothers::SmootherKind::WJacobi { omega };
+    opts.interp_omega = omega;
+    MgSetup::new(h, opts)
 }
 
 /// Formats a relative residual in the compact scientific style used by the

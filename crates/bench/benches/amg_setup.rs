@@ -2,9 +2,7 @@
 //! Galerkin triple product — the cost of the paper's BoomerAMG setup that
 //! our hierarchy builder replaces.
 
-use asyncmg_amg::{
-    build_hierarchy, classical_strength, coarsen, interp, AmgOptions, Coarsening,
-};
+use asyncmg_amg::{build_hierarchy, classical_strength, coarsen, interp, AmgOptions, Coarsening};
 use asyncmg_problems::TestSet;
 use asyncmg_sparse::rap;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -37,17 +35,20 @@ fn bench_setup(c: &mut Criterion) {
         });
     });
 
-    let p = interp::build_interpolation(&a, &s, &cf, asyncmg_amg::Interpolation::ClassicalModified, 0.0);
+    let p = interp::build_interpolation(
+        &a,
+        &s,
+        &cf,
+        asyncmg_amg::Interpolation::ClassicalModified,
+        0.0,
+    );
     c.bench_function("galerkin_rap", |bench| {
         bench.iter(|| rap(black_box(&a), &p));
     });
 
     c.bench_function("full_hierarchy_hmis_agg1", |bench| {
         bench.iter(|| {
-            build_hierarchy(
-                a.clone(),
-                &AmgOptions { aggressive_levels: 1, ..Default::default() },
-            )
+            build_hierarchy(a.clone(), &AmgOptions { aggressive_levels: 1, ..Default::default() })
         });
     });
 }

@@ -3,11 +3,12 @@
 //! per-cycle cost comparison underlying Table I's timing columns.
 
 use asyncmg_amg::{build_hierarchy, AmgOptions};
-use asyncmg_core::additive::{solve_additive, AdditiveMethod};
-use asyncmg_core::asynchronous::{solve_async, AsyncOptions};
-use asyncmg_core::mult::solve_mult;
-use asyncmg_core::parallel_mult::solve_mult_threaded;
+use asyncmg_core::additive::{solve_additive_probed, AdditiveMethod};
+use asyncmg_core::asynchronous::{solve_async_probed, AsyncOptions};
+use asyncmg_core::mult::solve_mult_probed;
+use asyncmg_core::parallel_mult::solve_mult_threaded_probed;
 use asyncmg_core::setup::{MgOptions, MgSetup};
+use asyncmg_core::NoopProbe;
 use asyncmg_problems::{rhs::random_rhs, TestSet};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -19,29 +20,37 @@ fn bench_cycles(c: &mut Criterion) {
     let b = random_rhs(setup.n(), 5);
 
     c.bench_function("mult_5_cycles_sequential", |bench| {
-        bench.iter(|| solve_mult(&setup, black_box(&b), 5));
+        bench.iter(|| solve_mult_probed(&setup, black_box(&b), 5, None, &NoopProbe));
     });
 
     c.bench_function("multadd_5_cycles_sequential", |bench| {
-        bench.iter(|| solve_additive(&setup, AdditiveMethod::Multadd, black_box(&b), 5));
+        bench.iter(|| {
+            solve_additive_probed(
+                &setup,
+                AdditiveMethod::Multadd,
+                black_box(&b),
+                5,
+                None,
+                &NoopProbe,
+            )
+        });
     });
 
     c.bench_function("afacx_5_cycles_sequential", |bench| {
-        bench.iter(|| solve_additive(&setup, AdditiveMethod::Afacx, black_box(&b), 5));
+        bench.iter(|| {
+            solve_additive_probed(&setup, AdditiveMethod::Afacx, black_box(&b), 5, None, &NoopProbe)
+        });
     });
 
     c.bench_function("mult_5_cycles_threaded_2t", |bench| {
-        bench.iter(|| solve_mult_threaded(&setup, black_box(&b), 2, 5));
+        bench.iter(|| solve_mult_threaded_probed(&setup, black_box(&b), 2, 5, None, &NoopProbe));
     });
 
     c.bench_function("async_multadd_5_corrections_2t", |bench| {
-        bench.iter(|| {
-            solve_async(
-                &setup,
-                black_box(&b),
-                &AsyncOptions { t_max: 5, n_threads: 2, ..Default::default() },
-            )
-        });
+        let mut opts = AsyncOptions::default();
+        opts.t_max = 5;
+        opts.n_threads = 2;
+        bench.iter(|| solve_async_probed(&setup, black_box(&b), &opts, &NoopProbe));
     });
 }
 

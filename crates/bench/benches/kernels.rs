@@ -38,11 +38,9 @@ fn bench_kernels(c: &mut Criterion) {
         bench.iter(|| rb.spmv(black_box(&x), &mut yc));
     });
 
-    for kind in [
-        SmootherKind::WJacobi { omega: 0.9 },
-        SmootherKind::L1Jacobi,
-        SmootherKind::HybridJgs,
-    ] {
+    for kind in
+        [SmootherKind::WJacobi { omega: 0.9 }, SmootherKind::L1Jacobi, SmootherKind::HybridJgs]
+    {
         let sm = LevelSmoother::new(a0, kind, 4);
         let b = random_rhs(n, 2);
         let mut xv = vec![0.0; n];

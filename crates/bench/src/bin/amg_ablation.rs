@@ -9,8 +9,9 @@
 
 use asyncmg_amg::{build_hierarchy, AmgOptions, Coarsening};
 use asyncmg_bench::Cli;
-use asyncmg_core::mult::solve_mult;
+use asyncmg_core::mult::solve_mult_probed;
 use asyncmg_core::setup::{MgOptions, MgSetup};
+use asyncmg_core::NoopProbe;
 use asyncmg_problems::{rhs::random_rhs, TestSet};
 
 fn main() {
@@ -18,11 +19,7 @@ fn main() {
     let size: usize = cli.get("size").unwrap_or(14);
     let a = TestSet::TwentySevenPt.matrix(size);
     let b = random_rhs(a.nrows(), 3);
-    println!(
-        "27pt grid length {size}: {} rows, {} nnz\n",
-        a.nrows(),
-        a.nnz()
-    );
+    println!("27pt grid length {size}: {} rows, {} nnz\n", a.nrows(), a.nnz());
     println!(
         "{:<10} {:>4} {:>7} {:>8} {:>8} {:>12} {:>10}",
         "coarsening", "agg", "levels", "op-cx", "grid-cx", "relres@20", "setup"
@@ -39,7 +36,7 @@ fn main() {
             let gcx = h.grid_complexity();
             let levels = h.n_levels();
             let setup = MgSetup::new(h, MgOptions::default());
-            let res = solve_mult(&setup, &b, 20);
+            let res = solve_mult_probed(&setup, &b, 20, None, &NoopProbe);
             println!(
                 "{:<10} {:>4} {:>7} {:>8.2} {:>8.2} {:>12.2e} {:>9.1?}",
                 format!("{coarsening:?}"),

@@ -11,12 +11,13 @@
 
 use asyncmg_bench::plot::{log_plot, Series};
 use asyncmg_bench::{build_setup, Cli};
-use std::collections::BTreeMap;
 use asyncmg_core::additive::AdditiveMethod;
 use asyncmg_core::models::{simulate_mean, ModelKind, ModelOptions};
-use asyncmg_core::mult::solve_mult;
+use asyncmg_core::mult::solve_mult_probed;
+use asyncmg_core::NoopProbe;
 use asyncmg_problems::{rhs::random_rhs, TestSet};
 use asyncmg_smoothers::SmootherKind;
+use std::collections::BTreeMap;
 
 fn main() {
     let cli = Cli::from_env();
@@ -35,25 +36,19 @@ fn main() {
     println!("method,alpha,grid_length,rows,relres");
     for &n in &sizes {
         // Figure 1 uses ω-Jacobi (ω = .9) and HMIS + 1 aggressive level.
-        let setup = build_setup(
-            TestSet::TwentySevenPt,
-            n,
-            1,
-            SmootherKind::WJacobi { omega: 0.9 },
-        );
+        let setup = build_setup(TestSet::TwentySevenPt, n, 1, SmootherKind::WJacobi { omega: 0.9 });
         let b = random_rhs(setup.n(), 27 + n as u64);
-        let sync = solve_mult(&setup, &b, cycles);
+        let sync = solve_mult_probed(&setup, &b, cycles, None, &NoopProbe);
         println!("Mult,sync,{n},{},{:e}", setup.n(), sync.final_relres());
         curves.entry("Mult (sync)".into()).or_default().push((n as f64, sync.final_relres()));
         for method in [AdditiveMethod::Afacx, AdditiveMethod::Multadd] {
             for &alpha in &alphas {
-                let opts = ModelOptions {
-                    model: ModelKind::SemiAsync,
-                    alpha,
-                    delta: 0,
-                    updates_per_grid: cycles,
-                    seed: 1000 + n as u64,
-                };
+                let mut opts = ModelOptions::default();
+                opts.model = ModelKind::SemiAsync;
+                opts.alpha = alpha;
+                opts.delta = 0;
+                opts.updates_per_grid = cycles;
+                opts.seed = 1000 + n as u64;
                 let relres = simulate_mean(&setup, method, &b, &opts, runs);
                 println!("{},{alpha},{n},{},{relres:e}", method.name(), setup.n());
                 curves

@@ -12,7 +12,8 @@
 use asyncmg_bench::{build_setup, Cli};
 use asyncmg_core::additive::AdditiveMethod;
 use asyncmg_core::models::{simulate_mean, ModelKind, ModelOptions};
-use asyncmg_core::mult::solve_mult;
+use asyncmg_core::mult::solve_mult_probed;
+use asyncmg_core::NoopProbe;
 use asyncmg_problems::{rhs::random_rhs, TestSet};
 use asyncmg_smoothers::SmootherKind;
 
@@ -31,34 +32,23 @@ fn main() {
 
     println!("method,version,delta,grid_length,rows,relres");
     for &n in &sizes {
-        let setup = build_setup(
-            TestSet::TwentySevenPt,
-            n,
-            1,
-            SmootherKind::WJacobi { omega: 0.9 },
-        );
+        let setup = build_setup(TestSet::TwentySevenPt, n, 1, SmootherKind::WJacobi { omega: 0.9 });
         let b = random_rhs(setup.n(), 90 + n as u64);
-        let sync = solve_mult(&setup, &b, cycles);
+        let sync = solve_mult_probed(&setup, &b, cycles, None, &NoopProbe);
         println!("Mult,sync,0,{n},{},{:e}", setup.n(), sync.final_relres());
-        for (version, model) in [
-            ("solution", ModelKind::FullAsyncSolution),
-            ("residual", ModelKind::FullAsyncResidual),
-        ] {
+        for (version, model) in
+            [("solution", ModelKind::FullAsyncSolution), ("residual", ModelKind::FullAsyncResidual)]
+        {
             for method in [AdditiveMethod::Afacx, AdditiveMethod::Multadd] {
                 for &delta in &deltas {
-                    let opts = ModelOptions {
-                        model,
-                        alpha,
-                        delta,
-                        updates_per_grid: cycles,
-                        seed: 2000 + n as u64,
-                    };
+                    let mut opts = ModelOptions::default();
+                    opts.model = model;
+                    opts.alpha = alpha;
+                    opts.delta = delta;
+                    opts.updates_per_grid = cycles;
+                    opts.seed = 2000 + n as u64;
                     let relres = simulate_mean(&setup, method, &b, &opts, runs);
-                    println!(
-                        "{},{version},{delta},{n},{},{relres:e}",
-                        method.name(),
-                        setup.n()
-                    );
+                    println!("{},{version},{delta},{n},{},{relres:e}", method.name(), setup.n());
                 }
             }
         }

@@ -22,23 +22,22 @@ fn main() {
     let cli = Cli::from_env();
     let full = cli.flag("full");
     let size: usize = cli.get("size").unwrap_or(if full { 30 } else { 12 });
-    let thread_counts: Vec<usize> =
-        cli.list("threads").unwrap_or(if full { vec![17, 34, 68, 136, 272] } else { vec![1, 2, 4, 8] });
+    let thread_counts: Vec<usize> = cli.list("threads").unwrap_or(if full {
+        vec![17, 34, 68, 136, 272]
+    } else {
+        vec![1, 2, 4, 8]
+    });
     let runs: usize = cli.get("runs").unwrap_or(3);
     let tau: f64 = cli.get("tau").unwrap_or(1e-9);
     let step: usize = cli.get("step").unwrap_or(5);
     let max: usize = cli.get("max").unwrap_or(250);
 
+    let mut sync_multadd = AsyncOptions::default();
+    sync_multadd.sync = true;
     let methods: Vec<(&str, MethodCfg)> = vec![
         ("sync Mult", MethodCfg::Mult),
-        (
-            "sync Multadd lock-write",
-            MethodCfg::Additive(AsyncOptions { sync: true, ..Default::default() }),
-        ),
-        (
-            "Multadd lock-write local-res",
-            MethodCfg::Additive(AsyncOptions::default()),
-        ),
+        ("sync Multadd lock-write", MethodCfg::Additive(sync_multadd)),
+        ("Multadd lock-write local-res", MethodCfg::Additive(AsyncOptions::default())),
     ];
 
     println!("test_set,method,threads,secs,vcycles,reached");

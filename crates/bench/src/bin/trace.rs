@@ -1,0 +1,83 @@
+//! Export a full telemetry trace of one asynchronous solve as JSON
+//! (schema `asyncmg-trace-v1`, see docs/telemetry.md), plus a summary and
+//! an optional ASCII convergence plot on stderr.
+//!
+//! ```sh
+//! cargo run --release -p asyncmg-bench --bin trace \
+//!     [-- --size 16 --threads 4 --tol 1e-8 --t-max 200 --out trace.json --plot]
+//! ```
+//!
+//! Without `--out` the JSON goes to stdout.
+
+use asyncmg_amg::{build_hierarchy, AmgOptions};
+use asyncmg_bench::plot::{log_plot, Series};
+use asyncmg_bench::Cli;
+use asyncmg_core::setup::{MgOptions, MgSetup};
+use asyncmg_core::{Method, Solver};
+use asyncmg_problems::{rhs::random_rhs, stencil::laplacian_7pt};
+
+fn main() {
+    let cli = Cli::from_env();
+    let size: usize = cli.get("size").unwrap_or(16);
+    let threads: usize = cli.get("threads").unwrap_or(4);
+    let tol: f64 = cli.get("tol").unwrap_or(1e-8);
+    let t_max: usize = cli.get("t-max").unwrap_or(200);
+    let method = match cli.get::<String>("method").as_deref() {
+        Some("afacx") => Method::Afacx,
+        Some("bpx") => Method::Bpx,
+        Some("mult") => Method::Mult,
+        _ => Method::Multadd,
+    };
+
+    let a = laplacian_7pt(size, size, size);
+    let b = random_rhs(a.nrows(), 7);
+    let setup = MgSetup::new(build_hierarchy(a, &AmgOptions::default()), MgOptions::default());
+
+    let report = Solver::new(&setup)
+        .method(method)
+        .threads(threads)
+        .t_max(t_max)
+        .tolerance(tol)
+        .with_trace()
+        .run(&b);
+    let trace = report.trace.as_ref().expect("with_trace attaches a trace");
+
+    eprintln!(
+        "{} on 7pt {size}^3, {threads} threads: relres {:.2e} (tol {tol:.0e}, converged: {}) \
+         in {:.1?}, corrections {:?}",
+        method.name(),
+        report.relres,
+        report.converged,
+        report.elapsed,
+        report.grid_corrections
+    );
+    for (ph, t) in asyncmg_core::Phase::ALL.iter().zip(&trace.phase_totals) {
+        if t.count > 0 {
+            eprintln!(
+                "  phase {:<15} {:>8} × {:>10.3} ms total",
+                ph.name(),
+                t.count,
+                t.total_ns as f64 / 1e6
+            );
+        }
+    }
+    if trace.dropped_events > 0 {
+        eprintln!("  ({} events dropped to ring overwrite)", trace.dropped_events);
+    }
+
+    if cli.flag("plot") && trace.residual_history.len() > 1 {
+        let points: Vec<(f64, f64)> =
+            trace.residual_history.iter().map(|s| (s.t_ns as f64 / 1e6, s.relres)).collect();
+        let series = [Series { label: format!("{} relres vs ms", method.name()), points }];
+        eprintln!("\n{}", log_plot("residual trace", &series, 60, 16));
+    }
+
+    let json = trace.to_json();
+    match cli.get::<String>("out") {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("write trace JSON");
+            eprintln!("wrote {} bytes to {path}", json.len());
+        }
+        None => print!("{json}"),
+    }
+}

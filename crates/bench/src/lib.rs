@@ -9,7 +9,6 @@
 // numerical kernels; the iterator forms clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod plot;
 
 use asyncmg_amg::{build_hierarchy, AmgOptions};
@@ -36,20 +35,16 @@ impl Cli {
     /// The value following `--name`, parsed.
     pub fn get<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
         let key = format!("--{name}");
-        self.args
-            .windows(2)
-            .find(|w| w[0] == key)
-            .and_then(|w| w[1].parse().ok())
+        self.args.windows(2).find(|w| w[0] == key).and_then(|w| w[1].parse().ok())
     }
 
     /// A comma-separated list following `--name`.
     pub fn list<T: std::str::FromStr>(&self, name: &str) -> Option<Vec<T>> {
         let key = format!("--{name}");
-        self.args.windows(2).find(|w| w[0] == key).map(|w| {
-            w[1].split(',')
-                .filter_map(|s| s.parse().ok())
-                .collect()
-        })
+        self.args
+            .windows(2)
+            .find(|w| w[0] == key)
+            .map(|w| w[1].split(',').filter_map(|s| s.parse().ok()).collect())
     }
 }
 
@@ -74,14 +69,12 @@ pub fn build_setup(
     // Elasticity has 3 interleaved displacement dofs per node; the unknown
     // approach is essential there (as in BoomerAMG's num_functions).
     let num_functions = if set == TestSet::Elasticity { 3 } else { 1 };
-    let h = build_hierarchy(
-        a,
-        &AmgOptions { aggressive_levels, num_functions, ..Default::default() },
-    );
-    MgSetup::new(
-        h,
-        MgOptions { smoother, interp_omega: paper_omega(set), ..Default::default() },
-    )
+    let h =
+        build_hierarchy(a, &AmgOptions { aggressive_levels, num_functions, ..Default::default() });
+    let mut opts = MgOptions::default();
+    opts.smoother = smoother;
+    opts.interp_omega = paper_omega(set);
+    MgSetup::new(h, opts)
 }
 
 /// The four smoothers of Table I for a given test set.
@@ -218,68 +211,60 @@ pub enum MethodCfg {
 pub fn table1_methods() -> Vec<(&'static str, MethodCfg)> {
     use asyncmg_core::additive::AdditiveMethod as M;
     use asyncmg_core::{AsyncOptions, ResComp, WriteMode};
-    let base = AsyncOptions::default();
+    // AsyncOptions is #[non_exhaustive]: derive each row from the default.
+    let cfg = |f: &dyn Fn(&mut AsyncOptions)| {
+        let mut o = AsyncOptions::default();
+        f(&mut o);
+        MethodCfg::Additive(o)
+    };
     vec![
         ("sync Mult", MethodCfg::Mult),
-        (
-            "sync Multadd, lock-write",
-            MethodCfg::Additive(AsyncOptions { sync: true, ..base }),
-        ),
+        ("sync Multadd, lock-write", cfg(&|o| o.sync = true)),
         (
             "sync Multadd, atomic-write",
-            MethodCfg::Additive(AsyncOptions { sync: true, write: WriteMode::Atomic, ..base }),
+            cfg(&|o| {
+                o.sync = true;
+                o.write = WriteMode::Atomic;
+            }),
         ),
         (
             "sync AFACx, lock-write",
-            MethodCfg::Additive(AsyncOptions { method: M::Afacx, sync: true, ..base }),
+            cfg(&|o| {
+                o.method = M::Afacx;
+                o.sync = true;
+            }),
         ),
         (
             "sync AFACx, atomic-write",
-            MethodCfg::Additive(AsyncOptions {
-                method: M::Afacx,
-                sync: true,
-                write: WriteMode::Atomic,
-                ..base
+            cfg(&|o| {
+                o.method = M::Afacx;
+                o.sync = true;
+                o.write = WriteMode::Atomic;
             }),
         ),
-        (
-            "AFACx, lock-write",
-            MethodCfg::Additive(AsyncOptions { method: M::Afacx, ..base }),
-        ),
+        ("AFACx, lock-write", cfg(&|o| o.method = M::Afacx)),
         (
             "AFACx, atomic-write",
-            MethodCfg::Additive(AsyncOptions {
-                method: M::Afacx,
-                write: WriteMode::Atomic,
-                ..base
+            cfg(&|o| {
+                o.method = M::Afacx;
+                o.write = WriteMode::Atomic;
             }),
         ),
-        (
-            "Multadd, lock-write, global-res",
-            MethodCfg::Additive(AsyncOptions { res_comp: ResComp::Global, ..base }),
-        ),
-        (
-            "Multadd, lock-write, local-res",
-            MethodCfg::Additive(base),
-        ),
+        ("Multadd, lock-write, global-res", cfg(&|o| o.res_comp = ResComp::Global)),
+        ("Multadd, lock-write, local-res", cfg(&|_| ())),
         (
             "Multadd, atomic-write, global-res",
-            MethodCfg::Additive(AsyncOptions {
-                write: WriteMode::Atomic,
-                res_comp: ResComp::Global,
-                ..base
+            cfg(&|o| {
+                o.write = WriteMode::Atomic;
+                o.res_comp = ResComp::Global;
             }),
         ),
-        (
-            "Multadd, atomic-write, local-res",
-            MethodCfg::Additive(AsyncOptions { write: WriteMode::Atomic, ..base }),
-        ),
+        ("Multadd, atomic-write, local-res", cfg(&|o| o.write = WriteMode::Atomic)),
         (
             "r-Multadd, atomic-write, local-res",
-            MethodCfg::Additive(AsyncOptions {
-                write: WriteMode::Atomic,
-                residual_based: true,
-                ..base
+            cfg(&|o| {
+                o.write = WriteMode::Atomic;
+                o.res_comp = ResComp::ResidualBased;
             }),
         ),
     ]
@@ -295,14 +280,20 @@ pub fn run_method(
     n_threads: usize,
     criterion: asyncmg_core::StopCriterion,
 ) -> (f64, f64, f64) {
+    use asyncmg_core::NoopProbe;
     match cfg {
         MethodCfg::Mult => {
-            let r = asyncmg_core::solve_mult_threaded(setup, b, n_threads, t_max);
+            let r = asyncmg_core::solve_mult_threaded_probed(
+                setup, b, n_threads, t_max, None, &NoopProbe,
+            );
             (r.relres, r.elapsed.as_secs_f64(), t_max as f64)
         }
         MethodCfg::Additive(opts) => {
-            let opts = asyncmg_core::AsyncOptions { t_max, n_threads, criterion, ..*opts };
-            let r = asyncmg_core::solve_async(setup, b, &opts);
+            let mut opts = *opts;
+            opts.t_max = t_max;
+            opts.n_threads = n_threads;
+            opts.criterion = criterion;
+            let r = asyncmg_core::solve_async_probed(setup, b, &opts, &NoopProbe);
             (r.relres, r.elapsed.as_secs_f64(), r.corrects_mean)
         }
     }
@@ -322,12 +313,7 @@ mod tests {
 
     #[test]
     fn run_method_executes_both_kinds() {
-        let s = build_setup(
-            TestSet::SevenPt,
-            6,
-            0,
-            SmootherKind::WJacobi { omega: 0.9 },
-        );
+        let s = build_setup(TestSet::SevenPt, 6, 0, SmootherKind::WJacobi { omega: 0.9 });
         let b = asyncmg_problems::rhs::random_rhs(s.n(), 0);
         for (name, cfg) in table1_methods().iter().take(2) {
             let (relres, secs, corrects) =
@@ -415,4 +401,3 @@ mod cli_tests {
         assert_eq!(c.list::<usize>("sizes"), Some(vec![1, 3]));
     }
 }
-

@@ -87,14 +87,8 @@ mod tests {
 
     fn sample() -> Vec<Series> {
         vec![
-            Series {
-                label: "fast".into(),
-                points: vec![(10.0, 1e-2), (20.0, 1e-4), (30.0, 1e-6)],
-            },
-            Series {
-                label: "slow".into(),
-                points: vec![(10.0, 1e-1), (20.0, 1e-2), (30.0, 1e-3)],
-            },
+            Series { label: "fast".into(), points: vec![(10.0, 1e-2), (20.0, 1e-4), (30.0, 1e-6)] },
+            Series { label: "slow".into(), points: vec![(10.0, 1e-1), (20.0, 1e-2), (30.0, 1e-3)] },
         ]
     }
 

@@ -16,6 +16,8 @@
 
 use crate::setup::{CoarseSolve, MgSetup};
 use asyncmg_sparse::vecops;
+use asyncmg_telemetry::{NoopProbe, Probe};
+use std::time::Instant;
 
 /// The additive methods of the paper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -88,18 +90,21 @@ pub fn grid_correction(
     scratch.c[0].copy_from_slice(r);
     for j in 0..k {
         let (head, tail) = scratch.c.split_at_mut(j + 1);
-        let restrict = if method.uses_smoothed_interpolants() {
-            setup.r_bar(j)
-        } else {
-            setup.r(j)
-        };
+        let restrict =
+            if method.uses_smoothed_interpolants() { setup.r_bar(j) } else { setup.r(j) };
         restrict.spmv(&head[j], &mut tail[0]);
     }
 
     match method {
         AdditiveMethod::Multadd | AdditiveMethod::Bpx => {
             if k == ell {
-                coarse_apply(setup, setup.opts.coarse, &scratch.c[k], &mut scratch.e[k], &mut scratch.buf[k]);
+                coarse_apply(
+                    setup,
+                    setup.opts.coarse,
+                    &scratch.c[k],
+                    &mut scratch.e[k],
+                    &mut scratch.buf[k],
+                );
             } else if method == AdditiveMethod::Multadd {
                 // Λ_k = symmetrized smoother (paper Section II.B.1).
                 let (ck, ek, bk) = (&scratch.c[k], &mut scratch.e[k], &mut scratch.buf[k]);
@@ -143,7 +148,14 @@ pub fn grid_correction(
                     scratch.buf[k][i] = scratch.c[k][i] - scratch.buf[k][i];
                 }
                 let g = std::mem::take(&mut scratch.buf[k]);
-                smooth_zero_sweeps(setup, k, setup.opts.afacx_s1, &g, &mut e_head[k], &mut scratch.buf2[k]);
+                smooth_zero_sweeps(
+                    setup,
+                    k,
+                    setup.opts.afacx_s1,
+                    &g,
+                    &mut e_head[k],
+                    &mut scratch.buf2[k],
+                );
                 scratch.buf[k] = g;
             }
         }
@@ -152,11 +164,7 @@ pub fn grid_correction(
     // Prolongate the correction back to the fine grid.
     for j in (0..k).rev() {
         let (head, tail) = scratch.e.split_at_mut(j + 1);
-        let prolong = if method.uses_smoothed_interpolants() {
-            setup.p_bar(j)
-        } else {
-            setup.p(j)
-        };
+        let prolong = if method.uses_smoothed_interpolants() { setup.p_bar(j) } else { setup.p(j) };
         prolong.spmv(&tail[0], &mut head[j]);
     }
     out.copy_from_slice(&scratch.e[0]);
@@ -224,11 +232,27 @@ impl SolveResult {
 /// Runs `t_max` synchronous additive V-cycles starting from `x = 0`:
 /// each cycle computes `r = b − A x` once, every grid contributes its
 /// correction from the *same* residual, and the corrections are summed.
+#[deprecated(note = "use Solver")]
 pub fn solve_additive(
     setup: &MgSetup,
     method: AdditiveMethod,
     b: &[f64],
     t_max: usize,
+) -> SolveResult {
+    solve_additive_probed(setup, method, b, t_max, None, &NoopProbe)
+}
+
+/// [`solve_additive`] with tolerance-based early stopping and telemetry:
+/// each cycle reports one correction event per grid and one residual sample
+/// to `probe`, and the run ends as soon as the relative residual drops below
+/// `tol` (when given).
+pub fn solve_additive_probed<P: Probe + ?Sized>(
+    setup: &MgSetup,
+    method: AdditiveMethod,
+    b: &[f64],
+    t_max: usize,
+    tol: Option<f64>,
+    probe: &P,
 ) -> SolveResult {
     let n = setup.n();
     let nb = vecops::norm2(b);
@@ -237,20 +261,34 @@ pub fn solve_additive(
     let mut corr = vec![0.0; n];
     let mut scratch = CorrectionScratch::new(setup);
     let mut history = Vec::with_capacity(t_max);
-    for _ in 0..t_max {
+    let epoch = Instant::now();
+    for cycle in 0..t_max {
         setup.a(0).residual(b, &x, &mut r);
         for k in 0..setup.n_levels() {
             grid_correction(setup, method, k, &r, &mut corr, &mut scratch);
             vecops::axpy(1.0, &corr, &mut x);
+            if probe.enabled() {
+                let t_ns = epoch.elapsed().as_nanos() as u64;
+                probe.correction(0, k, cycle, t_ns, f64::NAN);
+            }
         }
         setup.a(0).residual(b, &x, &mut r);
-        history.push(if nb > 0.0 { vecops::norm2(&r) / nb } else { vecops::norm2(&r) });
+        let rel = if nb > 0.0 { vecops::norm2(&r) / nb } else { vecops::norm2(&r) };
+        history.push(rel);
+        if probe.enabled() {
+            probe.residual_sample(epoch.elapsed().as_nanos() as u64, rel);
+        }
+        if tol.is_some_and(|t| rel < t) {
+            break;
+        }
     }
     SolveResult { x, history }
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated solve_* wrappers stay covered until removed.
+    #![allow(deprecated)]
     use super::*;
     use crate::setup::MgOptions;
     use asyncmg_amg::{build_hierarchy, AmgOptions};
@@ -268,11 +306,7 @@ mod tests {
         let s = setup(8, MgOptions::default());
         let b = random_rhs(s.n(), 3);
         let res = solve_additive(&s, AdditiveMethod::Multadd, &b, 30);
-        assert!(
-            res.final_relres() < 1e-6,
-            "Multadd relres {} after 30 cycles",
-            res.final_relres()
-        );
+        assert!(res.final_relres() < 1e-6, "Multadd relres {} after 30 cycles", res.final_relres());
     }
 
     #[test]

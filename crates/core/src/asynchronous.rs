@@ -21,8 +21,8 @@ use crate::additive::AdditiveMethod;
 use crate::setup::{CoarseSolve, MgSetup};
 use asyncmg_smoothers::{async_gs_sweep, LevelSmoother, SmootherKind};
 use asyncmg_sparse::{vecops, AtomicF64Vec, Csr};
-use asyncmg_threads::{run_teams, GridTeamLayout, RacyVec, TeamCtx};
-use parking_lot::Mutex;
+use asyncmg_telemetry::{NoopProbe, Phase, Probe};
+use asyncmg_threads::{run_teams, GridTeamLayout, RacyVec, SpinLock, TeamCtx};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -33,39 +33,62 @@ pub enum ResComp {
     Local,
     /// A shared residual updated by a non-blocking global loop.
     Global,
+    /// `r-Multadd` (Equation 10): the shared residual is updated
+    /// incrementally as `r ← r − A e` after each correction instead of being
+    /// recomputed from `x`.
+    ResidualBased,
 }
 
 /// How racy writes to shared vectors are performed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WriteMode {
-    /// Team master holds a mutex while the team writes (lock-write).
+    /// Team master holds a lock while the team writes (lock-write).
     Lock,
     /// Element-wise atomic fetch-add (atomic-write).
     Atomic,
 }
 
 /// Convergence-detection criterion (Section V).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum StopCriterion {
     /// Each grid stops after exactly `t_max` own corrections.
     One,
     /// A master thread raises a stop flag once *all* grids have done at
     /// least `t_max` corrections; grids keep correcting until they see it.
     Two,
+    /// Stop once the global relative residual drops below `relres`, with
+    /// `t_max` corrections per grid as a hard cap. In asynchronous runs a
+    /// monitor thread samples the racy shared iterate every `check_every`
+    /// and raises the stop flag; synchronous runs check at cycle ends.
+    Tolerance {
+        /// Target relative residual 2-norm.
+        relres: f64,
+        /// Monitor sampling period (asynchronous executions only).
+        check_every: Duration,
+    },
+}
+
+impl StopCriterion {
+    /// Tolerance stopping with the default 100 µs monitor period.
+    pub fn tolerance(relres: f64) -> Self {
+        StopCriterion::Tolerance { relres, check_every: Duration::from_micros(100) }
+    }
 }
 
 /// Options for the threaded solver.
+///
+/// Marked `#[non_exhaustive]`: construct with [`AsyncOptions::default`] and
+/// assign the fields you need.
 #[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
 pub struct AsyncOptions {
     /// Additive method (Multadd or AFACx; BPX is supported but diverges).
     pub method: AdditiveMethod,
-    /// Residual computation flavour.
+    /// Residual computation flavour (including the residual-based
+    /// `r-Multadd`).
     pub res_comp: ResComp,
     /// Shared-write flavour.
     pub write: WriteMode,
-    /// `r-Multadd`: update the shared residual as `r ← r − A e` instead of
-    /// recomputing it from `x` (overrides `res_comp`).
-    pub residual_based: bool,
     /// Stop criterion.
     pub criterion: StopCriterion,
     /// Corrections per grid ("V-cycles").
@@ -84,7 +107,6 @@ impl Default for AsyncOptions {
             method: AdditiveMethod::Multadd,
             res_comp: ResComp::Local,
             write: WriteMode::Lock,
-            residual_based: false,
             criterion: StopCriterion::One,
             t_max: 20,
             n_threads: 4,
@@ -178,20 +200,45 @@ struct TeamData {
 }
 
 /// The shared state of one solve.
-struct Shared<'a> {
+struct Shared<'a, P: Probe + ?Sized> {
     setup: &'a MgSetup,
     b: &'a [f64],
     x: AtomicF64Vec,
     r_glob: AtomicF64Vec,
-    x_lock: Mutex<()>,
-    r_lock: Mutex<()>,
+    x_lock: SpinLock,
+    r_lock: SpinLock,
     stop: AtomicBool,
     counters: Vec<AtomicUsize>,
     opts: AsyncOptions,
+    probe: &'a P,
+    epoch: Instant,
+    /// `‖b‖₂`, with zero replaced by 1 so relative residuals stay defined.
+    norm_b: f64,
+}
+
+impl<P: Probe + ?Sized> Shared<'_, P> {
+    /// Nanoseconds since the solve epoch (for probe timestamps).
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
 }
 
 /// Solves `A x = b` with the threaded additive solver.
+#[deprecated(note = "use Solver")]
 pub fn solve_async(setup: &MgSetup, b: &[f64], opts: &AsyncOptions) -> AsyncResult {
+    solve_async_probed(setup, b, opts, &NoopProbe)
+}
+
+/// [`solve_async`] with telemetry: every correction, timed phase and monitor
+/// residual sample is reported to `probe`. With [`NoopProbe`] the hooks
+/// compile to nothing.
+pub fn solve_async_probed<P: Probe + ?Sized>(
+    setup: &MgSetup,
+    b: &[f64],
+    opts: &AsyncOptions,
+    probe: &P,
+) -> AsyncResult {
     let n = setup.n();
     assert_eq!(b.len(), n);
     assert!(opts.n_threads > 0 && opts.t_max > 0);
@@ -211,29 +258,54 @@ pub fn solve_async(setup: &MgSetup, b: &[f64], opts: &AsyncOptions) -> AsyncResu
         })
         .collect();
 
+    let nb = vecops::norm2(b);
     let shared = Shared {
         setup,
         b,
         x: AtomicF64Vec::zeros(n),
         r_glob: AtomicF64Vec::from_slice(b),
-        x_lock: Mutex::new(()),
-        r_lock: Mutex::new(()),
+        x_lock: SpinLock::new(),
+        r_lock: SpinLock::new(),
         stop: AtomicBool::new(false),
         counters: (0..setup.n_levels()).map(|_| AtomicUsize::new(0)).collect(),
         opts: *opts,
+        probe,
+        epoch: Instant::now(),
+        norm_b: if nb > 0.0 { nb } else { 1.0 },
     };
 
     let start = Instant::now();
-    run_teams(&layout.sizes, |ctx| {
-        team_worker(&shared, &teams[ctx.team_id], &ctx);
-    });
+    match opts.criterion {
+        StopCriterion::Tolerance { relres, check_every } if !opts.sync => {
+            // Asynchronous tolerance stopping needs an observer: the worker
+            // threads never compute a global residual. The monitor samples
+            // the racy shared iterate and raises the stop flag.
+            let done = AtomicBool::new(false);
+            std::thread::scope(|s| {
+                s.spawn(|| monitor_loop(&shared, relres, check_every, &done));
+                run_teams(&layout.sizes, |ctx| {
+                    team_worker(&shared, &teams[ctx.team_id], &ctx);
+                });
+                done.store(true, Ordering::Release);
+            });
+        }
+        _ => {
+            run_teams(&layout.sizes, |ctx| {
+                team_worker(&shared, &teams[ctx.team_id], &ctx);
+            });
+        }
+    }
     let elapsed = start.elapsed();
 
     let x = shared.x.to_vec();
     let mut r = vec![0.0; n];
     setup.a(0).residual(b, &x, &mut r);
-    let nb = vecops::norm2(b);
     let relres = if nb > 0.0 { vecops::norm2(&r) / nb } else { vecops::norm2(&r) };
+    if probe.enabled() {
+        // Close the residual trace with the exact post-run value, so every
+        // instrumented solve has at least one sample.
+        probe.residual_sample(shared.now_ns(), relres);
+    }
     let grid_corrections: Vec<usize> =
         shared.counters.iter().map(|c| c.load(Ordering::Relaxed)).collect();
     let corrects_mean =
@@ -241,9 +313,49 @@ pub fn solve_async(setup: &MgSetup, b: &[f64], opts: &AsyncOptions) -> AsyncResu
     AsyncResult { x, relres, grid_corrections, corrects_mean, elapsed }
 }
 
+/// The tolerance monitor: periodically computes the relative residual from
+/// the racy shared iterate (atomic reads, no locks — the workers never
+/// wait on the monitor) and raises the stop flag once it is below `tol`.
+fn monitor_loop<P: Probe + ?Sized>(
+    shared: &Shared<'_, P>,
+    tol: f64,
+    check_every: Duration,
+    done: &AtomicBool,
+) {
+    let a0 = shared.setup.a(0);
+    let n = shared.setup.n();
+    loop {
+        // Sleep in short slices so a finished run does not leave the monitor
+        // sleeping out a long check interval.
+        let mut slept = Duration::ZERO;
+        while slept < check_every {
+            if done.load(Ordering::Acquire) {
+                return;
+            }
+            let slice = (check_every - slept).min(Duration::from_millis(1));
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+        if done.load(Ordering::Acquire) {
+            return;
+        }
+        let mut sum = 0.0;
+        for i in 0..n {
+            let v = shared.b[i] - a0.row_dot_atomic(i, &shared.x);
+            sum += v * v;
+        }
+        let relres = sum.sqrt() / shared.norm_b;
+        shared.probe.residual_sample(shared.now_ns(), relres);
+        if relres < tol {
+            shared.stop.store(true, Ordering::Release);
+            return;
+        }
+    }
+}
+
 /// The per-thread procedure (Algorithm 5, generalised to teams that own
 /// several grids and to the synchronous execution mode).
-fn team_worker(shared: &Shared<'_>, team: &TeamData, ctx: &TeamCtx<'_>) {
+fn team_worker<P: Probe + ?Sized>(shared: &Shared<'_, P>, team: &TeamData, ctx: &TeamCtx<'_>) {
     let setup = shared.setup;
     let opts = &shared.opts;
     let n = setup.n();
@@ -260,11 +372,14 @@ fn team_worker(shared: &Shared<'_>, team: &TeamData, ctx: &TeamCtx<'_>) {
     loop {
         let mut team_done = true;
         for grid in &team.grids {
-            // Criterion 1: a grid past t_max stops correcting. The counter
-            // is only incremented by this team between barriers, so all
-            // team threads read a consistent value here.
+            // Criterion 1 (and the Tolerance cap): a grid past t_max stops
+            // correcting. The counter is only incremented by this team
+            // between barriers, so all team threads read a consistent value
+            // here.
             let count = shared.counters[grid.k].load(Ordering::Acquire);
-            if opts.criterion == StopCriterion::One && !opts.sync && count >= opts.t_max {
+            let capped =
+                matches!(opts.criterion, StopCriterion::One | StopCriterion::Tolerance { .. });
+            if capped && !opts.sync && count >= opts.t_max {
                 continue;
             }
             team_done = false;
@@ -273,6 +388,24 @@ fn team_worker(shared: &Shared<'_>, team: &TeamData, ctx: &TeamCtx<'_>) {
             residual_phase(shared, team, grid, ctx);
             if ctx.is_team_master() {
                 shared.counters[grid.k].fetch_add(1, Ordering::AcqRel);
+                if shared.probe.enabled() {
+                    // Local-res teams just refreshed r_local; its norm is the
+                    // cheaply available local view of convergence. Other
+                    // flavours report NaN rather than pay for a norm.
+                    let local_res = if opts.res_comp == ResComp::Local && !opts.sync {
+                        let r = unsafe { team.r_local.as_slice() };
+                        vecops::norm2(r) / shared.norm_b
+                    } else {
+                        f64::NAN
+                    };
+                    shared.probe.correction(
+                        ctx.global_rank,
+                        grid.k,
+                        count,
+                        shared.now_ns(),
+                        local_res,
+                    );
+                }
             }
             ctx.barrier();
             if !opts.sync {
@@ -287,7 +420,7 @@ fn team_worker(shared: &Shared<'_>, team: &TeamData, ctx: &TeamCtx<'_>) {
         }
 
         match (opts.sync, opts.criterion) {
-            (true, _) => {
+            (true, criterion) => {
                 // Synchronous execution: one global cycle done; global
                 // residual SpMV, then everyone proceeds to the next cycle.
                 ctx.global_barrier();
@@ -304,6 +437,32 @@ fn team_worker(shared: &Shared<'_>, team: &TeamData, ctx: &TeamCtx<'_>) {
                     }
                 }
                 ctx.barrier();
+                // The residual is already up to date here, so tolerance
+                // checking (and trace sampling) is a norm away. Every
+                // thread takes this branch or none — the decision depends
+                // only on shared state.
+                let tol = match criterion {
+                    StopCriterion::Tolerance { relres, .. } => Some(relres),
+                    _ => None,
+                };
+                if tol.is_some() || shared.probe.enabled() {
+                    if ctx.is_global_master() {
+                        let mut sum = 0.0;
+                        for i in 0..n {
+                            let v = shared.r_glob.load(i);
+                            sum += v * v;
+                        }
+                        let relres = sum.sqrt() / shared.norm_b;
+                        shared.probe.residual_sample(shared.now_ns(), relres);
+                        if tol.is_some_and(|t| relres < t) {
+                            shared.stop.store(true, Ordering::Release);
+                        }
+                    }
+                    ctx.global_barrier();
+                    if shared.stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                }
                 let cycles = shared.counters[team.grids[0].k].load(Ordering::Acquire);
                 if cycles >= opts.t_max {
                     break;
@@ -314,12 +473,22 @@ fn team_worker(shared: &Shared<'_>, team: &TeamData, ctx: &TeamCtx<'_>) {
                     break;
                 }
             }
+            (false, StopCriterion::Tolerance { .. }) => {
+                // The monitor raises the global flag; t_max caps each grid
+                // (so `team_done` also terminates the team). The flag is
+                // republished team-coherently, as for Criterion 2.
+                if ctx.is_team_master() {
+                    team.stop_local.store(shared.stop.load(Ordering::Acquire), Ordering::Release);
+                }
+                ctx.barrier();
+                if team.stop_local.load(Ordering::Acquire) || team_done {
+                    break;
+                }
+            }
             (false, StopCriterion::Two) => {
                 if ctx.is_global_master() {
-                    let all_done = shared
-                        .counters
-                        .iter()
-                        .all(|c| c.load(Ordering::Acquire) >= opts.t_max);
+                    let all_done =
+                        shared.counters.iter().all(|c| c.load(Ordering::Acquire) >= opts.t_max);
                     if all_done {
                         shared.stop.store(true, Ordering::Release);
                     }
@@ -327,8 +496,7 @@ fn team_worker(shared: &Shared<'_>, team: &TeamData, ctx: &TeamCtx<'_>) {
                 // Publish a team-coherent snapshot of the flag (see
                 // `TeamData::stop_local`).
                 if ctx.is_team_master() {
-                    team.stop_local
-                        .store(shared.stop.load(Ordering::Acquire), Ordering::Release);
+                    team.stop_local.store(shared.stop.load(Ordering::Acquire), Ordering::Release);
                 }
                 ctx.barrier();
                 if team.stop_local.load(Ordering::Acquire) {
@@ -341,12 +509,21 @@ fn team_worker(shared: &Shared<'_>, team: &TeamData, ctx: &TeamCtx<'_>) {
 
 /// Restrict the team-local residual to level `k`, compute the correction
 /// `e_k`, and prolongate it back to `e_0` (team-parallel, team barriers).
-fn correction_phase(shared: &Shared<'_>, team: &TeamData, grid: &GridData, ctx: &TeamCtx<'_>) {
+fn correction_phase<P: Probe + ?Sized>(
+    shared: &Shared<'_, P>,
+    team: &TeamData,
+    grid: &GridData,
+    ctx: &TeamCtx<'_>,
+) {
     let setup = shared.setup;
     let opts = &shared.opts;
     let k = grid.k;
     let ell = setup.n_levels() - 1;
     let smoothed = opts.method.uses_smoothed_interpolants();
+    // Phase timing by the team master only: it participates in every team
+    // barrier, so its wall time spans the team-parallel phase.
+    let timing = shared.probe.enabled() && ctx.is_team_master();
+    let mut t0 = if timing { shared.now_ns() } else { 0 };
 
     // Downward: c_{j+1} = R_j c_j (c_0 = r_local).
     for j in 0..k {
@@ -372,6 +549,11 @@ fn correction_phase(shared: &Shared<'_>, team: &TeamData, grid: &GridData, ctx: 
             grid.c[k].as_slice()
         }
     };
+    if timing && k > 0 {
+        let now = shared.now_ns();
+        shared.probe.phase(ctx.global_rank, k, Phase::Restrict, t0, now - t0);
+        t0 = now;
+    }
 
     // Level-k correction.
     match opts.method {
@@ -427,6 +609,11 @@ fn correction_phase(shared: &Shared<'_>, team: &TeamData, grid: &GridData, ctx: 
             }
         }
     }
+    if timing {
+        let now = shared.now_ns();
+        shared.probe.phase(ctx.global_rank, k, Phase::Smooth, t0, now - t0);
+        t0 = now;
+    }
 
     // Upward: e_j = P_j e_{j+1}.
     for j in (0..k).rev() {
@@ -439,6 +626,10 @@ fn correction_phase(shared: &Shared<'_>, team: &TeamData, grid: &GridData, ctx: 
         }
         ctx.barrier();
     }
+    if timing && k > 0 {
+        let now = shared.now_ns();
+        shared.probe.phase(ctx.global_rank, k, Phase::Prolong, t0, now - t0);
+    }
 }
 
 /// Which level a smoothing call targets.
@@ -450,7 +641,12 @@ enum Level {
 
 /// `e = Λ c` for the symmetrized Multadd smoother (Jacobi variants) or one
 /// block-GS application (hybrid/async), team-parallel.
-fn team_multadd_lambda(shared: &Shared<'_>, grid: &GridData, c: &[f64], ctx: &TeamCtx<'_>) {
+fn team_multadd_lambda<P: Probe + ?Sized>(
+    shared: &Shared<'_, P>,
+    grid: &GridData,
+    c: &[f64],
+    ctx: &TeamCtx<'_>,
+) {
     let setup = shared.setup;
     let a = setup.a(grid.k);
     let sm = &grid.sm_k;
@@ -497,8 +693,8 @@ fn team_multadd_lambda(shared: &Shared<'_>, grid: &GridData, c: &[f64], ctx: &Te
 /// Team-parallel smoothing from a zero initial guess: `sweeps` relaxations
 /// on `A e = c` at level `k` or `k+1` (the `s₁`/`s₂` of an AFACx
 /// V(s₁/s₂,0)-cycle).
-fn team_smooth_zero(
-    shared: &Shared<'_>,
+fn team_smooth_zero<P: Probe + ?Sized>(
+    shared: &Shared<'_, P>,
     grid: &GridData,
     c: &[f64],
     level: Level,
@@ -585,8 +781,8 @@ fn block_or_chunk(sm: &LevelSmoother, ctx: &TeamCtx<'_>, n: usize) -> std::ops::
 }
 
 /// Coarse solve by the team master (dense LU), or smoothing sweeps.
-fn team_coarse_solve(
-    shared: &Shared<'_>,
+fn team_coarse_solve<P: Probe + ?Sized>(
+    shared: &Shared<'_, P>,
     grid: &GridData,
     c: &[f64],
     ctx: &TeamCtx<'_>,
@@ -612,22 +808,29 @@ fn team_coarse_solve(
 }
 
 /// `x += e_0`, with lock-write or atomic-write.
-fn write_x_phase(shared: &Shared<'_>, team: &TeamData, grid: &GridData, ctx: &TeamCtx<'_>) {
+fn write_x_phase<P: Probe + ?Sized>(
+    shared: &Shared<'_, P>,
+    team: &TeamData,
+    grid: &GridData,
+    ctx: &TeamCtx<'_>,
+) {
     let n = shared.setup.n();
     let e0 = unsafe { grid.e[0].as_slice() };
+    let timing = shared.probe.enabled() && ctx.is_team_master();
+    let t0 = if timing { shared.now_ns() } else { 0 };
     match shared.opts.write {
         WriteMode::Lock => {
             if ctx.is_team_master() {
-                // SAFETY of the raw lock: released below by the same thread
-                // after the team's write barrier.
-                std::mem::forget(shared.x_lock.lock());
+                // Acquired by the master, released by the master after the
+                // team's write barrier — the explicit lock/unlock pair of
+                // SpinLock fits this asymmetric protocol.
+                shared.x_lock.lock();
             }
             ctx.barrier();
             shared.x.add_rows_exclusive(ctx.chunk(n), e0);
             ctx.barrier();
             if ctx.is_team_master() {
-                // Matching unlock for the forgotten guard.
-                unsafe { shared.x_lock.force_unlock() };
+                shared.x_lock.unlock();
             }
         }
         WriteMode::Atomic => {
@@ -635,12 +838,21 @@ fn write_x_phase(shared: &Shared<'_>, team: &TeamData, grid: &GridData, ctx: &Te
             ctx.barrier();
         }
     }
+    if timing {
+        let now = shared.now_ns();
+        shared.probe.phase(ctx.global_rank, grid.k, Phase::SharedWrite, t0, now - t0);
+    }
     let _ = team;
 }
 
 /// Refresh the team-local residual (Algorithm 5 lines 11–19, plus the
 /// residual-based variant).
-fn residual_phase(shared: &Shared<'_>, team: &TeamData, grid: &GridData, ctx: &TeamCtx<'_>) {
+fn residual_phase<P: Probe + ?Sized>(
+    shared: &Shared<'_, P>,
+    team: &TeamData,
+    grid: &GridData,
+    ctx: &TeamCtx<'_>,
+) {
     let setup = shared.setup;
     let opts = &shared.opts;
     let n = setup.n();
@@ -650,7 +862,25 @@ fn residual_phase(shared: &Shared<'_>, team: &TeamData, grid: &GridData, ctx: &T
         // of the cycle; nothing to do per grid.
         return;
     }
-    if opts.residual_based {
+    let timing = shared.probe.enabled() && ctx.is_team_master();
+    let t0 = if timing { shared.now_ns() } else { 0 };
+    residual_phase_inner(shared, team, grid, ctx, n, a0);
+    if timing {
+        let now = shared.now_ns();
+        shared.probe.phase(ctx.global_rank, grid.k, Phase::ResidualUpdate, t0, now - t0);
+    }
+}
+
+fn residual_phase_inner<P: Probe + ?Sized>(
+    shared: &Shared<'_, P>,
+    team: &TeamData,
+    grid: &GridData,
+    ctx: &TeamCtx<'_>,
+    n: usize,
+    a0: &Csr,
+) {
+    let opts = &shared.opts;
+    if opts.res_comp == ResComp::ResidualBased {
         // delta = A e_0 (team-parallel), then r_glob −= delta.
         let e0 = unsafe { grid.e[0].as_slice() };
         let chunk = ctx.chunk(n);
@@ -665,7 +895,7 @@ fn residual_phase(shared: &Shared<'_>, team: &TeamData, grid: &GridData, ctx: &T
         match opts.write {
             WriteMode::Lock => {
                 if ctx.is_team_master() {
-                    std::mem::forget(shared.r_lock.lock());
+                    shared.r_lock.lock();
                 }
                 ctx.barrier();
                 let chunk = ctx.chunk(n);
@@ -674,7 +904,7 @@ fn residual_phase(shared: &Shared<'_>, team: &TeamData, grid: &GridData, ctx: &T
                 }
                 ctx.barrier();
                 if ctx.is_team_master() {
-                    unsafe { shared.r_lock.force_unlock() };
+                    shared.r_lock.unlock();
                 }
             }
             WriteMode::Atomic => {
@@ -728,11 +958,14 @@ fn residual_phase(shared: &Shared<'_>, team: &TeamData, grid: &GridData, ctx: &T
             }
             ctx.barrier();
         }
+        ResComp::ResidualBased => unreachable!("handled above"),
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated solve_* wrappers stay covered until removed.
+    #![allow(deprecated)]
     use super::*;
     use crate::setup::MgOptions;
     use asyncmg_amg::{build_hierarchy, AmgOptions};
@@ -767,11 +1000,8 @@ mod tests {
     fn async_local_res_converges() {
         let s = setup_n(6);
         let b = random_rhs(s.n(), 3);
-        let par = solve_async(
-            &s,
-            &b,
-            &AsyncOptions { t_max: 40, n_threads: 4, ..Default::default() },
-        );
+        let par =
+            solve_async(&s, &b, &AsyncOptions { t_max: 40, n_threads: 4, ..Default::default() });
         assert!(par.relres < 1e-2, "relres {}", par.relres);
         assert!(par.grid_corrections.iter().all(|&c| c == 40));
         assert_eq!(par.corrects_mean, 40.0);
@@ -826,7 +1056,12 @@ mod tests {
         let par = solve_async(
             &s,
             &b,
-            &AsyncOptions { write: WriteMode::Atomic, t_max: 40, n_threads: 4, ..Default::default() },
+            &AsyncOptions {
+                write: WriteMode::Atomic,
+                t_max: 40,
+                n_threads: 4,
+                ..Default::default()
+            },
         );
         assert!(par.relres < 1e-2, "atomic-write relres {}", par.relres);
     }
@@ -839,7 +1074,7 @@ mod tests {
             &s,
             &b,
             &AsyncOptions {
-                residual_based: true,
+                res_comp: ResComp::ResidualBased,
                 write: WriteMode::Atomic,
                 t_max: 40,
                 n_threads: 4,
@@ -915,16 +1150,11 @@ mod tests {
         use asyncmg_smoothers::SmootherKind;
         let a = laplacian_7pt(6, 6, 6);
         let h = build_hierarchy(a, &AmgOptions::default());
-        let s = MgSetup::new(
-            h,
-            MgOptions { smoother: SmootherKind::AsyncGs, ..Default::default() },
-        );
+        let s =
+            MgSetup::new(h, MgOptions { smoother: SmootherKind::AsyncGs, ..Default::default() });
         let b = random_rhs(s.n(), 3);
-        let par = solve_async(
-            &s,
-            &b,
-            &AsyncOptions { t_max: 40, n_threads: 4, ..Default::default() },
-        );
+        let par =
+            solve_async(&s, &b, &AsyncOptions { t_max: 40, n_threads: 4, ..Default::default() });
         assert!(par.relres < 1e-2, "async GS relres {}", par.relres);
     }
 
@@ -933,16 +1163,11 @@ mod tests {
         use asyncmg_smoothers::SmootherKind;
         let a = laplacian_7pt(6, 6, 6);
         let h = build_hierarchy(a, &AmgOptions::default());
-        let s = MgSetup::new(
-            h,
-            MgOptions { smoother: SmootherKind::HybridJgs, ..Default::default() },
-        );
+        let s =
+            MgSetup::new(h, MgOptions { smoother: SmootherKind::HybridJgs, ..Default::default() });
         let b = random_rhs(s.n(), 3);
-        let par = solve_async(
-            &s,
-            &b,
-            &AsyncOptions { t_max: 40, n_threads: 4, ..Default::default() },
-        );
+        let par =
+            solve_async(&s, &b, &AsyncOptions { t_max: 40, n_threads: 4, ..Default::default() });
         assert!(par.relres < 1e-2, "hybrid JGS relres {}", par.relres);
     }
 
@@ -950,11 +1175,8 @@ mod tests {
     fn more_threads_than_grids_is_fine() {
         let s = setup_n(5);
         let b = random_rhs(s.n(), 1);
-        let par = solve_async(
-            &s,
-            &b,
-            &AsyncOptions { t_max: 10, n_threads: 8, ..Default::default() },
-        );
+        let par =
+            solve_async(&s, &b, &AsyncOptions { t_max: 10, n_threads: 8, ..Default::default() });
         assert!(par.relres < 1e-1);
     }
 
@@ -965,11 +1187,8 @@ mod tests {
         let s = MgSetup::new(h, MgOptions::default());
         assert!(s.n_levels() >= 2);
         let b = random_rhs(s.n(), 1);
-        let par = solve_async(
-            &s,
-            &b,
-            &AsyncOptions { t_max: 10, n_threads: 1, ..Default::default() },
-        );
+        let par =
+            solve_async(&s, &b, &AsyncOptions { t_max: 10, n_threads: 1, ..Default::default() });
         assert!(par.relres < 1e-1, "relres {}", par.relres);
         assert!(par.grid_corrections.iter().all(|&c| c == 10));
     }
@@ -993,10 +1212,8 @@ mod tests {
         use asyncmg_smoothers::SmootherKind;
         let a = laplacian_7pt(6, 6, 6);
         let h = build_hierarchy(a, &AmgOptions::default());
-        let s = MgSetup::new(
-            h,
-            MgOptions { smoother: SmootherKind::HybridJgs, ..Default::default() },
-        );
+        let s =
+            MgSetup::new(h, MgOptions { smoother: SmootherKind::HybridJgs, ..Default::default() });
         let b = random_rhs(s.n(), 3);
         let par = crate::parallel_mult::solve_mult_threaded(&s, &b, 4, 20);
         assert!(par.relres < 1e-7, "relres {}", par.relres);

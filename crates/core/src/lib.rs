@@ -13,32 +13,39 @@
 //! * [`asynchronous`] / [`parallel_mult`] — the shared-memory thread-team
 //!   implementations (Section IV, Algorithm 5): global-res / local-res,
 //!   lock-write / atomic-write, the residual-based `r-Multadd`, both stop
-//!   criteria, and the synchronous threaded baselines.
+//!   criteria, and the synchronous threaded baselines,
+//! * [`solver`] — the unified [`Solver`] builder that dispatches to any of
+//!   the above, with tolerance-based stopping and telemetry
+//!   (`asyncmg-telemetry`) on every backend.
 //!
 //! # Quick start
 //!
 //! ```
 //! use asyncmg_amg::{build_hierarchy, AmgOptions};
-//! use asyncmg_core::additive::AdditiveMethod;
-//! use asyncmg_core::asynchronous::{solve_async, AsyncOptions};
-//! use asyncmg_core::setup::{MgOptions, MgSetup};
+//! use asyncmg_core::{Method, MgOptions, MgSetup, Solver};
 //! use asyncmg_problems::{rhs::random_rhs, stencil::laplacian_7pt};
 //!
 //! let a = laplacian_7pt(8, 8, 8);
 //! let b = random_rhs(a.nrows(), 0);
 //! let setup = MgSetup::new(build_hierarchy(a, &AmgOptions::default()), MgOptions::default());
-//! let result = solve_async(
-//!     &setup,
-//!     &b,
-//!     &AsyncOptions { method: AdditiveMethod::Multadd, t_max: 40, n_threads: 4, ..Default::default() },
-//! );
-//! assert!(result.relres < 1e-2);
+//! // Asynchronous Multadd on 4 threads until the relative residual is
+//! // below 1e-8 (with up to 100 corrections per grid), with a full
+//! // telemetry trace.
+//! let report = Solver::new(&setup)
+//!     .method(Method::Multadd)
+//!     .threads(4)
+//!     .t_max(100)
+//!     .tolerance(1e-8)
+//!     .with_trace()
+//!     .run(&b);
+//! assert!(report.converged && report.relres < 1e-8);
+//! let trace = report.trace.as_ref().unwrap();
+//! assert_eq!(trace.grid_corrections(), report.grid_corrections);
 //! ```
 
 // Indexed loops over multiple parallel arrays are the house style for
 // numerical kernels; the iterator forms clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]
-
 
 pub mod additive;
 pub mod asynchronous;
@@ -47,11 +54,31 @@ pub mod models;
 pub mod mult;
 pub mod parallel_mult;
 pub mod setup;
+pub mod solver;
 
-pub use additive::{grid_correction, solve_additive, AdditiveMethod, CorrectionScratch, SolveResult};
-pub use krylov::{pcg, AdditivePrec, CgResult, IdentityPrec, JacobiPrec, Preconditioner, VCyclePrec};
-pub use asynchronous::{solve_async, AsyncOptions, AsyncResult, ResComp, StopCriterion, WriteMode};
+#[allow(deprecated)]
+pub use additive::solve_additive;
+pub use additive::{
+    grid_correction, solve_additive_probed, AdditiveMethod, CorrectionScratch, SolveResult,
+};
+#[allow(deprecated)]
+pub use asynchronous::solve_async;
+pub use asynchronous::{
+    solve_async_probed, AsyncOptions, AsyncResult, ResComp, StopCriterion, WriteMode,
+};
+pub use krylov::{
+    pcg, pcg_probed, AdditivePrec, CgResult, IdentityPrec, JacobiPrec, Preconditioner, VCyclePrec,
+};
 pub use models::{simulate, simulate_mean, ModelKind, ModelOptions, ModelResult};
-pub use mult::{mult_vcycle, solve_mult, MultScratch};
+#[allow(deprecated)]
+pub use mult::solve_mult;
+pub use mult::{mult_vcycle, solve_mult_probed, MultScratch};
+#[allow(deprecated)]
 pub use parallel_mult::solve_mult_threaded;
+pub use parallel_mult::solve_mult_threaded_probed;
 pub use setup::{CoarseSolve, MgOptions, MgSetup};
+pub use solver::{Method, SolveReport, Solver};
+
+// Re-exported so downstream users can name probes without depending on the
+// telemetry crate directly.
+pub use asyncmg_telemetry::{NoopProbe, Phase, Probe, SolveTrace, TelemetryProbe};

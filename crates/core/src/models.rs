@@ -26,7 +26,11 @@ pub enum ModelKind {
 }
 
 /// Simulation parameters.
+///
+/// Marked `#[non_exhaustive]`: construct with [`ModelOptions::default`] and
+/// assign the fields you need.
 #[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
 pub struct ModelOptions {
     /// The model to simulate.
     pub model: ModelKind,
@@ -239,13 +243,20 @@ mod tests {
         // additive method.
         let s = setup_n(6);
         let b = random_rhs(s.n(), 3);
-        let opts = ModelOptions { alpha: 1.0, delta: 0, updates_per_grid: 10, ..Default::default() };
+        let opts =
+            ModelOptions { alpha: 1.0, delta: 0, updates_per_grid: 10, ..Default::default() };
         let sim = simulate(&s, AdditiveMethod::Multadd, &b, &opts);
-        let sync = crate::additive::solve_additive(&s, AdditiveMethod::Multadd, &b, 10);
+        let sync = crate::additive::solve_additive_probed(
+            &s,
+            AdditiveMethod::Multadd,
+            &b,
+            10,
+            None,
+            &asyncmg_telemetry::NoopProbe,
+        );
         assert_eq!(sim.instants, 10);
         assert!(
-            (sim.final_relres - sync.final_relres()).abs()
-                < 1e-10 * sync.final_relres().max(1e-30),
+            (sim.final_relres - sync.final_relres()).abs() < 1e-10 * sync.final_relres().max(1e-30),
             "sim {} vs sync {}",
             sim.final_relres,
             sync.final_relres()
@@ -256,7 +267,8 @@ mod tests {
     fn semi_async_converges_with_small_alpha() {
         let s = setup_n(6);
         let b = random_rhs(s.n(), 5);
-        let opts = ModelOptions { alpha: 0.1, delta: 0, updates_per_grid: 20, ..Default::default() };
+        let opts =
+            ModelOptions { alpha: 0.1, delta: 0, updates_per_grid: 20, ..Default::default() };
         let sim = simulate(&s, AdditiveMethod::Multadd, &b, &opts);
         assert!(sim.final_relres < 1e-3, "relres {}", sim.final_relres);
         assert!(sim.grid_updates.iter().all(|&u| u == 20));
@@ -332,7 +344,8 @@ mod tests {
     fn deterministic_for_fixed_seed() {
         let s = setup_n(5);
         let b = random_rhs(s.n(), 1);
-        let opts = ModelOptions { alpha: 0.4, delta: 2, updates_per_grid: 10, ..Default::default() };
+        let opts =
+            ModelOptions { alpha: 0.4, delta: 2, updates_per_grid: 10, ..Default::default() };
         let a = simulate(&s, AdditiveMethod::Multadd, &b, &opts);
         let c = simulate(&s, AdditiveMethod::Multadd, &b, &opts);
         assert_eq!(a.final_relres, c.final_relres);
@@ -346,18 +359,14 @@ mod tests {
         // same trajectory.
         let s = setup_n(5);
         let b = random_rhs(s.n(), 12);
-        let mk = |model| ModelOptions {
-            model,
-            alpha: 0.6,
-            delta: 0,
-            updates_per_grid: 12,
-            seed: 31,
-        };
+        let mk =
+            |model| ModelOptions { model, alpha: 0.6, delta: 0, updates_per_grid: 12, seed: 31 };
         let semi = simulate(&s, AdditiveMethod::Multadd, &b, &mk(ModelKind::SemiAsync));
         let full = simulate(&s, AdditiveMethod::Multadd, &b, &mk(ModelKind::FullAsyncSolution));
         assert_eq!(semi.instants, full.instants);
-        assert!((semi.final_relres - full.final_relres).abs()
-            < 1e-12 * semi.final_relres.max(1e-30));
+        assert!(
+            (semi.final_relres - full.final_relres).abs() < 1e-12 * semi.final_relres.max(1e-30)
+        );
         for (a, c) in semi.x.iter().zip(&full.x) {
             assert!((a - c).abs() < 1e-14 * a.abs().max(1e-30));
         }

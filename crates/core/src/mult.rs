@@ -3,6 +3,8 @@
 use crate::additive::SolveResult;
 use crate::setup::{CoarseSolve, MgSetup};
 use asyncmg_sparse::vecops;
+use asyncmg_telemetry::{NoopProbe, Probe};
+use std::time::Instant;
 
 /// Per-level work vectors for the multiplicative cycle.
 pub struct MultScratch {
@@ -56,8 +58,7 @@ pub fn mult_vcycle(setup: &MgSetup, x: &mut [f64], scratch: &mut MultScratch) {
             };
             setup.smoothers[ell].apply_zero(setup.a(ell), &scratch.r[ell], &mut scratch.e[ell]);
             for _ in 1..sweeps {
-                let (r, e, buf) =
-                    (&scratch.r[ell], &mut scratch.e[ell], &mut scratch.buf[ell]);
+                let (r, e, buf) = (&scratch.r[ell], &mut scratch.e[ell], &mut scratch.buf[ell]);
                 setup.smoothers[ell].relax(setup.a(ell), r, e, buf);
             }
         }
@@ -80,13 +81,29 @@ pub fn mult_vcycle(setup: &MgSetup, x: &mut [f64], scratch: &mut MultScratch) {
 
 /// Runs `t_max` multiplicative V(1,1)-cycles from `x = 0`, recording the
 /// relative residual after each cycle.
+#[deprecated(note = "use Solver")]
 pub fn solve_mult(setup: &MgSetup, b: &[f64], t_max: usize) -> SolveResult {
+    solve_mult_probed(setup, b, t_max, None, &NoopProbe)
+}
+
+/// [`solve_mult`] with tolerance-based early stopping and telemetry: each
+/// cycle reports one correction event (the whole V-cycle, attributed to
+/// grid 0) and one residual sample to `probe`, and the run ends as soon as
+/// the relative residual drops below `tol` (when given).
+pub fn solve_mult_probed<P: Probe + ?Sized>(
+    setup: &MgSetup,
+    b: &[f64],
+    t_max: usize,
+    tol: Option<f64>,
+    probe: &P,
+) -> SolveResult {
     let n = setup.n();
     let nb = vecops::norm2(b);
     let mut x = vec![0.0; n];
     let mut scratch = MultScratch::new(setup);
     let mut history = Vec::with_capacity(t_max);
-    for _ in 0..t_max {
+    let epoch = Instant::now();
+    for cycle in 0..t_max {
         setup.a(0).residual(b, &x, &mut scratch.r[0]);
         mult_vcycle(setup, &mut x, &mut scratch);
         setup.a(0).residual(b, &x, &mut scratch.buf[0]);
@@ -96,16 +113,26 @@ pub fn solve_mult(setup: &MgSetup, b: &[f64], t_max: usize) -> SolveResult {
             vecops::norm2(&scratch.buf[0])
         };
         history.push(rel);
+        if probe.enabled() {
+            let t_ns = epoch.elapsed().as_nanos() as u64;
+            probe.correction(0, 0, cycle, t_ns, rel);
+            probe.residual_sample(t_ns, rel);
+        }
+        if tol.is_some_and(|t| rel < t) {
+            break;
+        }
     }
     SolveResult { x, history }
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated solve_* wrappers stay covered until removed.
+    #![allow(deprecated)]
     use super::*;
     use crate::setup::MgOptions;
     use asyncmg_amg::{build_hierarchy, AmgOptions};
-    use asyncmg_problems::{rhs::random_rhs, stencil::laplacian_7pt, stencil::laplacian_27pt};
+    use asyncmg_problems::{rhs::random_rhs, stencil::laplacian_27pt, stencil::laplacian_7pt};
     use asyncmg_smoothers::SmootherKind;
 
     fn setup_n(n: usize, opts: MgOptions) -> MgSetup {

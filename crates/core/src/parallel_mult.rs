@@ -10,16 +10,35 @@ use crate::asynchronous::AsyncResult;
 use crate::setup::{CoarseSolve, MgSetup};
 use asyncmg_smoothers::{LevelSmoother, SmootherKind};
 use asyncmg_sparse::vecops;
+use asyncmg_telemetry::{NoopProbe, Probe};
 use asyncmg_threads::{run_teams, RacyVec};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Runs `t_max` threaded multiplicative V(1,1)-cycles with `n_threads`
 /// threads.
+#[deprecated(note = "use Solver")]
 pub fn solve_mult_threaded(
     setup: &MgSetup,
     b: &[f64],
     n_threads: usize,
     t_max: usize,
+) -> AsyncResult {
+    solve_mult_threaded_probed(setup, b, n_threads, t_max, None, &NoopProbe)
+}
+
+/// [`solve_mult_threaded`] with tolerance-based early stopping and
+/// telemetry. When `tol` is set (or `probe` records), the master computes
+/// the exact relative residual at the end of every cycle — an extra fine-
+/// grid SpMV that the plain fixed-cycle run does not pay — samples it into
+/// `probe`, and stops all threads once it is below `tol`.
+pub fn solve_mult_threaded_probed<P: Probe + ?Sized>(
+    setup: &MgSetup,
+    b: &[f64],
+    n_threads: usize,
+    t_max: usize,
+    tol: Option<f64>,
+    probe: &P,
 ) -> AsyncResult {
     let n = setup.n();
     let ell = setup.n_levels() - 1;
@@ -31,10 +50,16 @@ pub fn solve_mult_threaded(
     let old: Vec<RacyVec> = sizes.iter().map(|&m| RacyVec::zeros(m)).collect();
     let x = RacyVec::zeros(n);
     let smoothers: Vec<LevelSmoother> = setup.with_nblocks(n_threads);
+    let nb = vecops::norm2(b);
+    let nb_safe = if nb > 0.0 { nb } else { 1.0 };
+    let check = tol.is_some() || probe.enabled();
+    let stop = AtomicBool::new(false);
+    let cycles_done = AtomicUsize::new(0);
 
     let start = Instant::now();
+    let epoch = Instant::now();
     run_teams(&[n_threads], |ctx| {
-        for _cycle in 0..t_max {
+        for cycle in 0..t_max {
             // r_0 = b − A x.
             {
                 let xs = unsafe { x.as_slice() };
@@ -136,6 +161,34 @@ pub fn solve_mult_threaded(
                 }
             }
             ctx.barrier();
+            if ctx.is_team_master() {
+                cycles_done.store(cycle + 1, Ordering::Release);
+            }
+            if check {
+                // Every thread takes this branch or none: `check` depends
+                // only on the call arguments.
+                if ctx.is_team_master() {
+                    let xs = unsafe { x.as_slice() };
+                    let mut sum = 0.0;
+                    for i in 0..n {
+                        let v = b[i] - setup.a(0).row_dot(i, xs);
+                        sum += v * v;
+                    }
+                    let rel = sum.sqrt() / nb_safe;
+                    if probe.enabled() {
+                        let t_ns = epoch.elapsed().as_nanos() as u64;
+                        probe.correction(ctx.global_rank, 0, cycle, t_ns, rel);
+                        probe.residual_sample(t_ns, rel);
+                    }
+                    if tol.is_some_and(|t| rel < t) {
+                        stop.store(true, Ordering::Release);
+                    }
+                }
+                ctx.barrier();
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+            }
         }
     });
     let elapsed = start.elapsed();
@@ -143,13 +196,13 @@ pub fn solve_mult_threaded(
     let xv = unsafe { x.as_slice().to_vec() };
     let mut res = vec![0.0; n];
     setup.a(0).residual(b, &xv, &mut res);
-    let nb = vecops::norm2(b);
     let relres = if nb > 0.0 { vecops::norm2(&res) / nb } else { vecops::norm2(&res) };
+    let cycles = cycles_done.load(Ordering::Acquire);
     AsyncResult {
         x: xv,
         relres,
-        grid_corrections: vec![t_max; setup.n_levels()],
-        corrects_mean: t_max as f64,
+        grid_corrections: vec![cycles; setup.n_levels()],
+        corrects_mean: cycles as f64,
         elapsed,
     }
 }

@@ -17,7 +17,11 @@ pub enum CoarseSolve {
 }
 
 /// Options shared by every solver in this crate.
+///
+/// Marked `#[non_exhaustive]`: construct with [`MgOptions::default`] and
+/// assign the fields you need.
 #[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
 pub struct MgOptions {
     /// The smoother used on every non-coarsest level.
     pub smoother: SmootherKind,

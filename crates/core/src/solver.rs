@@ -1,0 +1,372 @@
+//! The unified solver front-end.
+//!
+//! Every solver of this crate — the sequential V-cycle and additive methods,
+//! the threaded synchronous baselines, and the asynchronous thread-team
+//! solver — is reachable through one builder:
+//!
+//! ```
+//! use asyncmg_amg::{build_hierarchy, AmgOptions};
+//! use asyncmg_core::{Method, MgOptions, MgSetup, Solver};
+//! use asyncmg_problems::{rhs::random_rhs, stencil::laplacian_7pt};
+//!
+//! let a = laplacian_7pt(8, 8, 8);
+//! let b = random_rhs(a.nrows(), 0);
+//! let setup = MgSetup::new(build_hierarchy(a, &AmgOptions::default()), MgOptions::default());
+//! let report = Solver::new(&setup)
+//!     .method(Method::Multadd)
+//!     .threads(4)
+//!     .t_max(200)
+//!     .tolerance(1e-8)
+//!     .run(&b);
+//! assert!(report.converged);
+//! ```
+//!
+//! `threads(0)` selects the sequential backend, `threads(n)` with
+//! [`Solver::sync`] the synchronous-threaded one, and `threads(n)` alone the
+//! asynchronous solver of the paper. A [`Probe`] can observe any backend;
+//! [`Solver::with_trace`] records a full [`SolveTrace`] without writing a
+//! probe by hand.
+
+use crate::additive::{solve_additive_probed, AdditiveMethod};
+use crate::asynchronous::{
+    solve_async_probed, AsyncOptions, AsyncResult, ResComp, StopCriterion, WriteMode,
+};
+use crate::mult::solve_mult_probed;
+use crate::parallel_mult::solve_mult_threaded_probed;
+use crate::setup::MgSetup;
+use asyncmg_telemetry::{NoopProbe, Probe, SolveTrace, TelemetryProbe};
+use std::time::Duration;
+
+/// Which multigrid method the [`Solver`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// The classical multiplicative V(1,1)-cycle (Algorithm 1).
+    Mult,
+    /// The additive variant of Mult with smoothed interpolants (Eq. 2).
+    Multadd,
+    /// The asynchronous fast adaptive composite grid method (Algorithm 2).
+    Afacx,
+    /// Plain BPX (diverges as a solver; kept for study).
+    Bpx,
+}
+
+impl Method {
+    /// The additive method this maps to, or `None` for Mult.
+    fn additive(self) -> Option<AdditiveMethod> {
+        match self {
+            Method::Mult => None,
+            Method::Multadd => Some(AdditiveMethod::Multadd),
+            Method::Afacx => Some(AdditiveMethod::Afacx),
+            Method::Bpx => Some(AdditiveMethod::Bpx),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Mult => "Mult",
+            Method::Multadd => "Multadd",
+            Method::Afacx => "AFACx",
+            Method::Bpx => "BPX",
+        }
+    }
+}
+
+/// The outcome of a [`Solver`] run, common to all backends.
+#[derive(Clone, Debug)]
+pub struct SolveReport {
+    /// The final approximation.
+    pub x: Vec<f64>,
+    /// Final relative residual 2-norm (recomputed exactly after the run).
+    pub relres: f64,
+    /// Whether the tolerance (if one was set) was reached.
+    pub converged: bool,
+    /// Corrections (or cycles) performed by each grid.
+    pub grid_corrections: Vec<usize>,
+    /// Mean corrections per grid (the paper's "Corrects" column).
+    pub corrects_mean: f64,
+    /// Per-cycle relative residual history, when the backend computes one
+    /// (sequential backends always; threaded backends only when a tolerance
+    /// or probe makes them check).
+    pub history: Vec<f64>,
+    /// Wall-clock solve time.
+    pub elapsed: Duration,
+    /// The recorded telemetry, when [`Solver::with_trace`] was used.
+    pub trace: Option<SolveTrace>,
+}
+
+/// Builder-style front-end over all solvers in this crate.
+///
+/// Defaults: [`Method::Multadd`], 4 threads, 20 corrections per grid, no
+/// tolerance (fixed correction count), local-res, lock-write, asynchronous
+/// execution, no telemetry.
+#[derive(Clone, Copy)]
+pub struct Solver<'a> {
+    setup: &'a MgSetup,
+    method: Method,
+    threads: usize,
+    t_max: usize,
+    tolerance: Option<f64>,
+    check_every: Duration,
+    res_comp: ResComp,
+    write: WriteMode,
+    criterion: StopCriterion,
+    sync: bool,
+    probe: Option<&'a dyn Probe>,
+    collect_trace: bool,
+}
+
+impl<'a> Solver<'a> {
+    /// A solver over `setup` with the default configuration.
+    pub fn new(setup: &'a MgSetup) -> Self {
+        let defaults = AsyncOptions::default();
+        Solver {
+            setup,
+            method: Method::Multadd,
+            threads: defaults.n_threads,
+            t_max: defaults.t_max,
+            tolerance: None,
+            check_every: Duration::from_micros(100),
+            res_comp: defaults.res_comp,
+            write: defaults.write,
+            criterion: defaults.criterion,
+            sync: defaults.sync,
+            probe: None,
+            collect_trace: false,
+        }
+    }
+
+    /// Selects the multigrid method.
+    pub fn method(mut self, method: Method) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Number of threads; `0` selects the sequential backend.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Maximum corrections per grid (cycles). Always enforced, also under a
+    /// tolerance.
+    pub fn t_max(mut self, t_max: usize) -> Self {
+        self.t_max = t_max;
+        self
+    }
+
+    /// Stop when the relative residual drops below `relres` (capped by
+    /// [`Solver::t_max`]). Asynchronous runs detect this with a monitor
+    /// thread sampling every [`Solver::check_every`].
+    pub fn tolerance(mut self, relres: f64) -> Self {
+        self.tolerance = Some(relres);
+        self
+    }
+
+    /// Sampling period of the asynchronous tolerance monitor.
+    pub fn check_every(mut self, period: Duration) -> Self {
+        self.check_every = period;
+        self
+    }
+
+    /// Residual computation flavour for the asynchronous backend.
+    pub fn res_comp(mut self, res_comp: ResComp) -> Self {
+        self.res_comp = res_comp;
+        self
+    }
+
+    /// Shared-write flavour for the asynchronous backend.
+    pub fn write_mode(mut self, write: WriteMode) -> Self {
+        self.write = write;
+        self
+    }
+
+    /// Stop criterion for the asynchronous backend when *no* tolerance is
+    /// set (a tolerance always selects [`StopCriterion::Tolerance`]).
+    pub fn criterion(mut self, criterion: StopCriterion) -> Self {
+        self.criterion = criterion;
+        self
+    }
+
+    /// Execute the additive methods synchronously (global barrier and
+    /// residual recomputation every cycle).
+    pub fn sync(mut self, sync: bool) -> Self {
+        self.sync = sync;
+        self
+    }
+
+    /// Observes the run with a caller-owned [`Probe`].
+    pub fn probe(mut self, probe: &'a dyn Probe) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+
+    /// Records telemetry internally and attaches the [`SolveTrace`] to the
+    /// report. Overrides [`Solver::probe`].
+    pub fn with_trace(mut self) -> Self {
+        self.collect_trace = true;
+        self
+    }
+
+    /// Runs the configured solver on `b`.
+    pub fn run(&self, b: &[f64]) -> SolveReport {
+        if self.collect_trace {
+            // One ring per worker thread; the monitor's residual samples go
+            // through the probe's mutex, not a ring.
+            let mut probe = TelemetryProbe::with_threads(self.threads.max(1));
+            let mut report = self.run_with(b, &probe);
+            report.trace = Some(probe.take_trace());
+            report
+        } else if let Some(probe) = self.probe {
+            self.run_with(b, &probe)
+        } else {
+            self.run_with(b, &NoopProbe)
+        }
+    }
+
+    /// Runs with an explicit probe (monomorphised per probe type).
+    fn run_with<P: Probe + ?Sized>(&self, b: &[f64], probe: &P) -> SolveReport {
+        let report = match (self.threads, self.method.additive()) {
+            (0, None) => {
+                let start = std::time::Instant::now();
+                let res = solve_mult_probed(self.setup, b, self.t_max, self.tolerance, probe);
+                sequential_report(res, start.elapsed(), 1)
+            }
+            (0, Some(method)) => {
+                let start = std::time::Instant::now();
+                let res =
+                    solve_additive_probed(self.setup, method, b, self.t_max, self.tolerance, probe);
+                sequential_report(res, start.elapsed(), self.setup.n_levels())
+            }
+            (threads, None) => {
+                let res = solve_mult_threaded_probed(
+                    self.setup,
+                    b,
+                    threads,
+                    self.t_max,
+                    self.tolerance,
+                    probe,
+                );
+                threaded_report(res)
+            }
+            (threads, Some(method)) => {
+                let criterion = match self.tolerance {
+                    Some(relres) => {
+                        StopCriterion::Tolerance { relres, check_every: self.check_every }
+                    }
+                    None => self.criterion,
+                };
+                let opts = AsyncOptions {
+                    method,
+                    res_comp: self.res_comp,
+                    write: self.write,
+                    t_max: self.t_max,
+                    n_threads: threads,
+                    sync: self.sync,
+                    criterion,
+                };
+                let res = solve_async_probed(self.setup, b, &opts, probe);
+                threaded_report(res)
+            }
+        };
+        SolveReport { converged: self.tolerance.is_none_or(|t| report.relres < t), ..report }
+    }
+}
+
+/// Report for the sequential backends: the cycle count is the history
+/// length, identical on every grid.
+fn sequential_report(
+    res: crate::additive::SolveResult,
+    elapsed: Duration,
+    n_grids: usize,
+) -> SolveReport {
+    let cycles = res.history.len();
+    let relres = res.final_relres();
+    SolveReport {
+        x: res.x,
+        relres,
+        converged: true,
+        grid_corrections: vec![cycles; n_grids],
+        corrects_mean: cycles as f64,
+        history: res.history,
+        elapsed,
+        trace: None,
+    }
+}
+
+/// Report for the threaded backends.
+fn threaded_report(res: AsyncResult) -> SolveReport {
+    SolveReport {
+        x: res.x,
+        relres: res.relres,
+        converged: true,
+        grid_corrections: res.grid_corrections,
+        corrects_mean: res.corrects_mean,
+        history: Vec::new(),
+        elapsed: res.elapsed,
+        trace: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::MgOptions;
+    use asyncmg_amg::{build_hierarchy, AmgOptions};
+    use asyncmg_problems::{rhs::random_rhs, stencil::laplacian_7pt};
+
+    fn setup_n(n: usize) -> MgSetup {
+        let a = laplacian_7pt(n, n, n);
+        let h = build_hierarchy(a, &AmgOptions::default());
+        MgSetup::new(h, MgOptions::default())
+    }
+
+    #[test]
+    fn sequential_mult_through_builder() {
+        let s = setup_n(6);
+        let b = random_rhs(s.n(), 1);
+        let report = Solver::new(&s).method(Method::Mult).threads(0).t_max(20).run(&b);
+        assert!(report.relres < 1e-5, "relres {}", report.relres);
+        assert_eq!(report.history.len(), 20);
+        assert_eq!(report.grid_corrections, vec![20]);
+    }
+
+    #[test]
+    fn sequential_tolerance_stops_early() {
+        let s = setup_n(6);
+        let b = random_rhs(s.n(), 2);
+        let report =
+            Solver::new(&s).method(Method::Mult).threads(0).t_max(100).tolerance(1e-6).run(&b);
+        assert!(report.converged);
+        assert!(report.relres < 1e-6);
+        assert!(report.history.len() < 100, "stopped after {} cycles", report.history.len());
+    }
+
+    #[test]
+    fn async_multadd_through_builder() {
+        let s = setup_n(6);
+        let b = random_rhs(s.n(), 3);
+        let report = Solver::new(&s).method(Method::Multadd).threads(4).t_max(40).run(&b);
+        assert!(report.relres < 1e-2, "relres {}", report.relres);
+        assert!(report.grid_corrections.iter().all(|&c| c == 40));
+    }
+
+    #[test]
+    fn trace_collection_matches_counters() {
+        let s = setup_n(6);
+        let b = random_rhs(s.n(), 4);
+        let report =
+            Solver::new(&s).method(Method::Multadd).threads(4).t_max(10).with_trace().run(&b);
+        let trace = report.trace.expect("with_trace attaches a trace");
+        assert_eq!(trace.grid_corrections(), report.grid_corrections);
+        assert!(!trace.residual_history.is_empty());
+    }
+
+    #[test]
+    fn threaded_mult_through_builder() {
+        let s = setup_n(6);
+        let b = random_rhs(s.n(), 5);
+        let report = Solver::new(&s).method(Method::Mult).threads(4).t_max(20).run(&b);
+        assert!(report.relres < 1e-5, "relres {}", report.relres);
+    }
+}

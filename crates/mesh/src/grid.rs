@@ -53,12 +53,7 @@ impl StructuredGrid {
     /// Whether vertex `id` lies on the boundary of the box.
     pub fn is_boundary(&self, id: usize) -> bool {
         let (i, j, k) = self.coords(id);
-        i == 0
-            || j == 0
-            || k == 0
-            || i == self.nx - 1
-            || j == self.ny - 1
-            || k == self.nz - 1
+        i == 0 || j == 0 || k == 0 || i == self.nx - 1 || j == self.ny - 1 || k == self.nz - 1
     }
 
     /// The unit-cube position of vertex `id`, in `[0, 1]³`

@@ -16,7 +16,6 @@
 // numerical kernels; the iterator forms clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod ball;
 pub mod grid;
 pub mod hex;

@@ -7,14 +7,8 @@ use crate::grid::StructuredGrid;
 /// six Kuhn tetrahedra of a hexahedral cell. Each tetrahedron follows a
 /// monotone lattice path from corner 0 to corner 7, so neighbouring cells'
 /// faces match up into a conforming mesh.
-pub const KUHN_TETS: [[usize; 4]; 6] = [
-    [0, 1, 3, 7],
-    [0, 1, 5, 7],
-    [0, 2, 3, 7],
-    [0, 2, 6, 7],
-    [0, 4, 5, 7],
-    [0, 4, 6, 7],
-];
+pub const KUHN_TETS: [[usize; 4]; 6] =
+    [[0, 1, 3, 7], [0, 1, 5, 7], [0, 2, 3, 7], [0, 2, 6, 7], [0, 4, 5, 7], [0, 4, 6, 7]];
 
 /// A conforming tetrahedral mesh.
 #[derive(Clone, Debug)]

@@ -39,10 +39,7 @@ pub struct BeamMaterials {
 
 impl Default for BeamMaterials {
     fn default() -> Self {
-        BeamMaterials {
-            stiff: Material { e: 10.0, nu: 0.25 },
-            soft: Material { e: 1.0, nu: 0.25 },
-        }
+        BeamMaterials { stiff: Material { e: 10.0, nu: 0.25 }, soft: Material { e: 1.0, nu: 0.25 } }
     }
 }
 

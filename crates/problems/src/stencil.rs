@@ -101,7 +101,7 @@ mod tests {
         let (cols, vals) = a.row(center);
         assert_eq!(cols.len(), 27);
         assert_eq!(vals.iter().sum::<f64>(), 0.0); // zero row sum interior
-        // Corner has 7 neighbours.
+                                                   // Corner has 7 neighbours.
         assert_eq!(a.row(0).0.len(), 8);
     }
 

@@ -14,8 +14,7 @@ use asyncmg_threads::chunk_range;
 /// eigenvector is non-negative).
 pub fn rho_abs_jacobi(a: &Csr, omega: f64, iters: usize) -> f64 {
     let n = a.nrows();
-    let w: Vec<f64> =
-        a.diag().iter().map(|&d| if d != 0.0 { omega / d } else { 0.0 }).collect();
+    let w: Vec<f64> = a.diag().iter().map(|&d| if d != 0.0 { omega / d } else { 0.0 }).collect();
     let mut x = vec![1.0f64; n];
     let mut y = vec![0.0f64; n];
     let mut rho = 0.0;
@@ -64,8 +63,7 @@ pub struct ChaoticResult {
 /// Equation 3), for baseline comparisons.
 pub fn jacobi_solve(a: &Csr, b: &[f64], omega: f64, sweeps: usize) -> ChaoticResult {
     let n = a.nrows();
-    let w: Vec<f64> =
-        a.diag().iter().map(|&d| if d != 0.0 { omega / d } else { 0.0 }).collect();
+    let w: Vec<f64> = a.diag().iter().map(|&d| if d != 0.0 { omega / d } else { 0.0 }).collect();
     let mut x = vec![0.0; n];
     let mut r = b.to_vec();
     for _ in 0..sweeps {
@@ -90,8 +88,7 @@ pub fn async_jacobi_solve(
     n_threads: usize,
 ) -> ChaoticResult {
     let n = a.nrows();
-    let w: Vec<f64> =
-        a.diag().iter().map(|&d| if d != 0.0 { omega / d } else { 0.0 }).collect();
+    let w: Vec<f64> = a.diag().iter().map(|&d| if d != 0.0 { omega / d } else { 0.0 }).collect();
     let x = AtomicF64Vec::zeros(n);
     std::thread::scope(|scope| {
         for t in 0..n_threads {

@@ -21,7 +21,6 @@
 // numerical kernels; the iterator forms clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod chaotic;
 
 use asyncmg_sparse::{AtomicF64Vec, Csr};
@@ -84,11 +83,9 @@ impl LevelSmoother {
             SmootherKind::WJacobi { omega } => {
                 diag.iter().map(|&d| if d != 0.0 { omega / d } else { 0.0 }).collect()
             }
-            SmootherKind::L1Jacobi => a
-                .l1_row_norms()
-                .iter()
-                .map(|&d| if d != 0.0 { 1.0 / d } else { 0.0 })
-                .collect(),
+            SmootherKind::L1Jacobi => {
+                a.l1_row_norms().iter().map(|&d| if d != 0.0 { 1.0 / d } else { 0.0 }).collect()
+            }
             SmootherKind::HybridJgs | SmootherKind::AsyncGs => {
                 diag.iter().map(|&d| if d != 0.0 { 1.0 / d } else { 0.0 }).collect()
             }

@@ -135,9 +135,7 @@ impl Csr {
     /// Row-wise ℓ1 norms `Σ_j |a_ij|`, the diagonal of the ℓ1-Jacobi
     /// smoothing matrix of the paper's Section V.
     pub fn l1_row_norms(&self) -> Vec<f64> {
-        (0..self.nrows)
-            .map(|i| self.row(i).1.iter().map(|v| v.abs()).sum())
-            .collect()
+        (0..self.nrows).map(|i| self.row(i).1.iter().map(|v| v.abs()).sum()).collect()
     }
 
     /// `y = A x`.
@@ -253,10 +251,7 @@ impl Csr {
             }
             return true;
         }
-        self.vals
-            .iter()
-            .zip(&t.vals)
-            .all(|(a, b)| (a - b).abs() <= tol)
+        self.vals.iter().zip(&t.vals).all(|(a, b)| (a - b).abs() <= tol)
     }
 
     /// Infinity norm `max_i Σ_j |a_ij|`.

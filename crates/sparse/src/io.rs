@@ -45,9 +45,7 @@ fn parse_err(msg: impl Into<String>) -> MtxError {
 /// Symmetric files are expanded (the strictly-lower triangle is mirrored).
 pub fn read_matrix_market<R: Read>(reader: R) -> Result<Csr, MtxError> {
     let mut lines = BufReader::new(reader).lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| parse_err("empty file"))??;
+    let header = lines.next().ok_or_else(|| parse_err("empty file"))??;
     let mut fields = header.split_whitespace();
     if fields.next() != Some("%%MatrixMarket") {
         return Err(parse_err("missing %%MatrixMarket banner"));
@@ -66,9 +64,7 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Csr, MtxError> {
 
     // Skip comments; read the size line.
     let size_line = loop {
-        let line = lines
-            .next()
-            .ok_or_else(|| parse_err("missing size line"))??;
+        let line = lines.next().ok_or_else(|| parse_err("missing size line"))??;
         let t = line.trim();
         if !t.is_empty() && !t.starts_with('%') {
             break line;
@@ -91,10 +87,8 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Csr, MtxError> {
             continue;
         }
         let mut parts = t.split_whitespace();
-        let i: usize = parts
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| parse_err("bad row index"))?;
+        let i: usize =
+            parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| parse_err("bad row index"))?;
         let j: usize = parts
             .next()
             .and_then(|s| s.parse().ok())
@@ -245,8 +239,7 @@ mod file_tests {
 
     #[test]
     fn missing_file_is_io_error() {
-        let err = read_matrix_market_file(std::path::Path::new("/nonexistent/x.mtx"))
-            .unwrap_err();
+        let err = read_matrix_market_file(std::path::Path::new("/nonexistent/x.mtx")).unwrap_err();
         assert!(matches!(err, MtxError::Io(_)));
         assert!(err.to_string().contains("I/O"));
     }

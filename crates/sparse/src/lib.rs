@@ -23,7 +23,6 @@
 // numerical kernels; the iterator forms clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod atomic;
 pub mod coo;
 pub mod csr;

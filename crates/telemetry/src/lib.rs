@@ -1,0 +1,167 @@
+//! Solver telemetry for the asyncmg workspace.
+//!
+//! The asynchronous solvers of the paper run "blind": stop criteria count
+//! corrections and the relative residual is only recomputed after the run.
+//! This crate adds the observability layer needed to see *inside* a solve —
+//! convergence trajectories, per-grid progress skew, and where wall-clock
+//! time goes (the data behind the paper's Figures 4–6):
+//!
+//! * [`Probe`] — the hook trait solvers call on the hot path. The default
+//!   implementation of every method is an empty `#[inline]` body, so the
+//!   [`NoopProbe`] compiles to nothing measurable; solvers are generic over
+//!   `P: Probe` and monomorphise the no-op away.
+//! * [`EventRing`] — a fixed-capacity, single-writer ring buffer. Each
+//!   solver thread records into its own ring: no allocation and no locking
+//!   on the hot path, merged once after the run.
+//! * [`TelemetryProbe`] — the recording probe: one ring per thread, exact
+//!   per-grid correction counters, and a low-rate global residual trace fed
+//!   by the solver's monitor thread.
+//! * [`SolveTrace`] — the merged result (residual history, per-grid
+//!   correction timelines, phase-time breakdown) with JSON export
+//!   (`docs/telemetry.md` describes the schema).
+
+pub mod recorder;
+pub mod ring;
+pub mod trace;
+
+pub use recorder::TelemetryProbe;
+pub use ring::EventRing;
+pub use trace::{CorrectionRecord, GridTimeline, PhaseTotal, ResidualSample, SolveTrace};
+
+/// The instrumented phases of one grid correction (Algorithm 5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Restriction of the residual down to the grid's level.
+    Restrict,
+    /// The level-`k` smoothing / Λ application (or coarse solve).
+    Smooth,
+    /// Prolongation of the correction back to the fine grid.
+    Prolong,
+    /// The racy `x += e` write (lock-write or atomic-write).
+    SharedWrite,
+    /// Local/global/residual-based refresh of the fine-grid residual.
+    ResidualUpdate,
+}
+
+impl Phase {
+    /// All phases, in pipeline order.
+    pub const ALL: [Phase; 5] =
+        [Phase::Restrict, Phase::Smooth, Phase::Prolong, Phase::SharedWrite, Phase::ResidualUpdate];
+
+    /// Stable lowercase name (used in the JSON schema).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Restrict => "restrict",
+            Phase::Smooth => "smooth",
+            Phase::Prolong => "prolong",
+            Phase::SharedWrite => "shared_write",
+            Phase::ResidualUpdate => "residual_update",
+        }
+    }
+
+    /// Dense index into [`Phase::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Restrict => 0,
+            Phase::Smooth => 1,
+            Phase::Prolong => 2,
+            Phase::SharedWrite => 3,
+            Phase::ResidualUpdate => 4,
+        }
+    }
+}
+
+/// One recorded solver event.
+///
+/// Timestamps are nanoseconds since the solve's epoch (the caller owns the
+/// clock; probes only record).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Event {
+    /// Grid `grid` finished its `index`-th correction at `t_ns`.
+    /// `local_res` is the team-local residual norm when cheaply available,
+    /// `NaN` otherwise.
+    Correction { grid: u32, index: u32, t_ns: u64, local_res: f64 },
+    /// One timed phase of a correction.
+    Phase { grid: u32, phase: Phase, start_ns: u64, dur_ns: u64 },
+}
+
+/// Solver-side telemetry hooks.
+///
+/// Implementations must be cheap and thread-safe: solvers call these from
+/// every worker thread. The `thread` argument is the caller's global rank,
+/// which recording probes use to pick a single-writer ring — callers must
+/// pass their own rank and nothing else.
+pub trait Probe: Sync {
+    /// Whether events will be recorded. Solvers use this to skip timestamp
+    /// acquisition entirely; with [`NoopProbe`] the branch constant-folds
+    /// to `false` and disappears.
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// A grid finished a correction.
+    #[inline(always)]
+    fn correction(&self, _thread: usize, _grid: usize, _index: usize, _t_ns: u64, _local_res: f64) {
+    }
+
+    /// A timed phase of a correction completed.
+    #[inline(always)]
+    fn phase(&self, _thread: usize, _grid: usize, _phase: Phase, _start_ns: u64, _dur_ns: u64) {}
+
+    /// The monitor (or a synchronous cycle) observed the global relative
+    /// residual.
+    #[inline(always)]
+    fn residual_sample(&self, _t_ns: u64, _relres: f64) {}
+}
+
+/// The default probe: records nothing, costs nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopProbe;
+
+impl Probe for NoopProbe {}
+
+impl<P: Probe + ?Sized> Probe for &P {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline(always)]
+    fn correction(&self, thread: usize, grid: usize, index: usize, t_ns: u64, local_res: f64) {
+        (**self).correction(thread, grid, index, t_ns, local_res);
+    }
+
+    #[inline(always)]
+    fn phase(&self, thread: usize, grid: usize, phase: Phase, start_ns: u64, dur_ns: u64) {
+        (**self).phase(thread, grid, phase, start_ns, dur_ns);
+    }
+
+    #[inline(always)]
+    fn residual_sample(&self, t_ns: u64, relres: f64) {
+        (**self).residual_sample(t_ns, relres);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_probe_is_disabled() {
+        assert!(!NoopProbe.enabled());
+        // And usable through the blanket reference impl / dyn dispatch.
+        let p: &dyn Probe = &NoopProbe;
+        assert!(!Probe::enabled(&p));
+        p.correction(0, 0, 0, 0, f64::NAN);
+        p.phase(0, 0, Phase::Smooth, 0, 1);
+        p.residual_sample(0, 1.0);
+    }
+
+    #[test]
+    fn phase_indices_match_all() {
+        for (i, ph) in Phase::ALL.iter().enumerate() {
+            assert_eq!(ph.index(), i);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! A fixed-capacity, single-writer event ring.
+//!
+//! Each solver thread owns one ring: recording is an index computation and
+//! two plain stores — no allocation, no locking, no atomic RMW — so the hot
+//! path of an asynchronous solve is not perturbed. When the ring is full
+//! the oldest events are overwritten (the total push count is kept, so the
+//! merge step can report how many were dropped). Rings are merged after the
+//! run, when the writer threads have been joined.
+
+use crate::Event;
+use std::cell::UnsafeCell;
+
+/// A fixed-capacity overwrite-oldest ring of [`Event`]s.
+///
+/// # Safety contract
+///
+/// [`EventRing::push`] is `unsafe`: the ring must have exactly one writer
+/// thread at a time, and reads ([`EventRing::drain`], which takes `&mut
+/// self`) must be separated from the last write by a happens-before edge
+/// (joining the writer thread, as `std::thread::scope` provides).
+pub struct EventRing {
+    slots: UnsafeCell<Box<[Option<Event>]>>,
+    pushed: UnsafeCell<u64>,
+}
+
+// SAFETY: the unsafe `push` contract (single writer, joined before reads)
+// provides the synchronisation that the type itself does not.
+unsafe impl Sync for EventRing {}
+unsafe impl Send for EventRing {}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (`capacity ≥ 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        EventRing {
+            slots: UnsafeCell::new(vec![None; capacity].into_boxed_slice()),
+            pushed: UnsafeCell::new(0),
+        }
+    }
+
+    /// Capacity in events.
+    pub fn capacity(&self) -> usize {
+        // SAFETY: the length is immutable after construction.
+        unsafe { (&*self.slots.get()).len() }
+    }
+
+    /// Records an event, overwriting the oldest if full.
+    ///
+    /// # Safety
+    /// Only the ring's designated writer thread may call this, and no other
+    /// thread may be reading concurrently (see the type-level contract).
+    #[inline]
+    pub unsafe fn push(&self, event: Event) {
+        let pushed = &mut *self.pushed.get();
+        let slots = &mut *self.slots.get();
+        let idx = (*pushed % slots.len() as u64) as usize;
+        slots[idx] = Some(event);
+        *pushed += 1;
+    }
+
+    /// Total number of events ever pushed (including overwritten ones).
+    pub fn pushed(&mut self) -> u64 {
+        unsafe { *self.pushed.get() }
+    }
+
+    /// Number of events lost to overwriting.
+    pub fn dropped(&mut self) -> u64 {
+        let cap = self.capacity() as u64;
+        self.pushed().saturating_sub(cap)
+    }
+
+    /// The retained events in push order (oldest first), clearing the ring.
+    pub fn drain(&mut self) -> Vec<Event> {
+        let pushed = unsafe { *self.pushed.get() };
+        let slots = unsafe { &mut *self.slots.get() };
+        let cap = slots.len() as u64;
+        let retained = pushed.min(cap) as usize;
+        // Oldest retained event sits at `pushed % cap` once wrapped.
+        let start = if pushed > cap { (pushed % cap) as usize } else { 0 };
+        let mut out = Vec::with_capacity(retained);
+        for off in 0..retained {
+            let idx = (start + off) % slots.len();
+            if let Some(e) = slots[idx].take() {
+                out.push(e);
+            }
+        }
+        unsafe { *self.pushed.get() = 0 };
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn correction(i: u32) -> Event {
+        Event::Correction { grid: 0, index: i, t_ns: i as u64, local_res: f64::NAN }
+    }
+
+    fn indices(events: &[Event]) -> Vec<u32> {
+        events
+            .iter()
+            .map(|e| match e {
+                Event::Correction { index, .. } => *index,
+                Event::Phase { .. } => unreachable!(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything_in_order() {
+        let mut ring = EventRing::new(8);
+        for i in 0..5 {
+            unsafe { ring.push(correction(i)) };
+        }
+        assert_eq!(ring.pushed(), 5);
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(indices(&ring.drain()), vec![0, 1, 2, 3, 4]);
+        // Drain clears.
+        assert_eq!(ring.pushed(), 0);
+        assert!(ring.drain().is_empty());
+    }
+
+    #[test]
+    fn wraparound_keeps_newest_and_counts_dropped() {
+        let mut ring = EventRing::new(4);
+        for i in 0..11 {
+            unsafe { ring.push(correction(i)) };
+        }
+        assert_eq!(ring.pushed(), 11);
+        assert_eq!(ring.dropped(), 7);
+        // The four newest, oldest first.
+        assert_eq!(indices(&ring.drain()), vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn exact_capacity_boundary() {
+        let mut ring = EventRing::new(3);
+        for i in 0..3 {
+            unsafe { ring.push(correction(i)) };
+        }
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(indices(&ring.drain()), vec![0, 1, 2]);
+        // One past capacity drops exactly one.
+        for i in 0..4 {
+            unsafe { ring.push(correction(i)) };
+        }
+        assert_eq!(ring.dropped(), 1);
+        assert_eq!(indices(&ring.drain()), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn capacity_one_always_holds_newest() {
+        let mut ring = EventRing::new(1);
+        for i in 0..100 {
+            unsafe { ring.push(correction(i)) };
+        }
+        assert_eq!(indices(&ring.drain()), vec![99]);
+    }
+}

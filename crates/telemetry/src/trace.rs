@@ -1,0 +1,236 @@
+//! The merged outcome of an instrumented solve, and its JSON export.
+
+use crate::{Event, Phase};
+
+/// One observation of the global relative residual.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ResidualSample {
+    /// Nanoseconds since the solve epoch.
+    pub t_ns: u64,
+    /// Relative residual 2-norm at that instant.
+    pub relres: f64,
+}
+
+/// One correction in a grid's timeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CorrectionRecord {
+    /// The grid's own correction counter at this event.
+    pub index: u32,
+    /// Nanoseconds since the solve epoch.
+    pub t_ns: u64,
+    /// Team-local residual norm if cheaply available, else `NaN`.
+    pub local_res: f64,
+}
+
+/// The correction timeline of one grid.
+#[derive(Clone, Debug, Default)]
+pub struct GridTimeline {
+    /// Exact number of corrections performed (counter-backed: correct even
+    /// when ring overwrite dropped some events).
+    pub corrections: u64,
+    /// The retained correction events, in time order.
+    pub events: Vec<CorrectionRecord>,
+}
+
+/// Accumulated time of one phase across all threads.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseTotal {
+    /// Number of timed occurrences.
+    pub count: u64,
+    /// Total duration in nanoseconds.
+    pub total_ns: u64,
+}
+
+/// Everything observed during one instrumented solve.
+#[derive(Clone, Debug, Default)]
+pub struct SolveTrace {
+    /// Low-rate global residual trace (monitor thread / sync cycle ends),
+    /// in time order.
+    pub residual_history: Vec<ResidualSample>,
+    /// Per-grid correction timelines, indexed by grid (level) id.
+    pub grids: Vec<GridTimeline>,
+    /// Phase-time breakdown, indexed like [`Phase::ALL`].
+    pub phase_totals: [PhaseTotal; Phase::ALL.len()],
+    /// Events lost to ring-buffer overwriting (0 unless a run outgrew its
+    /// rings).
+    pub dropped_events: u64,
+}
+
+impl SolveTrace {
+    /// Builds a trace from merged ring events, exact per-grid counters, and
+    /// the residual history.
+    pub fn from_events(
+        mut events: Vec<Event>,
+        corrections: &[u64],
+        residual_history: Vec<ResidualSample>,
+        dropped_events: u64,
+    ) -> Self {
+        let n_grids = corrections.len().max(
+            events
+                .iter()
+                .map(|e| match e {
+                    Event::Correction { grid, .. } | Event::Phase { grid, .. } => {
+                        *grid as usize + 1
+                    }
+                })
+                .max()
+                .unwrap_or(0),
+        );
+        events.sort_by_key(|e| match e {
+            Event::Correction { t_ns, .. } => *t_ns,
+            Event::Phase { start_ns, .. } => *start_ns,
+        });
+        let mut grids: Vec<GridTimeline> = vec![GridTimeline::default(); n_grids];
+        for (g, &c) in corrections.iter().enumerate() {
+            grids[g].corrections = c;
+        }
+        let mut phase_totals = [PhaseTotal::default(); Phase::ALL.len()];
+        for e in events {
+            match e {
+                Event::Correction { grid, index, t_ns, local_res } => {
+                    grids[grid as usize].events.push(CorrectionRecord { index, t_ns, local_res });
+                }
+                Event::Phase { phase, dur_ns, .. } => {
+                    let t = &mut phase_totals[phase.index()];
+                    t.count += 1;
+                    t.total_ns += dur_ns;
+                }
+            }
+        }
+        SolveTrace { residual_history, grids, phase_totals, dropped_events }
+    }
+
+    /// Per-grid correction counts (the shape of `AsyncResult::grid_corrections`).
+    pub fn grid_corrections(&self) -> Vec<usize> {
+        self.grids.iter().map(|g| g.corrections as usize).collect()
+    }
+
+    /// The final observed relative residual, if any was sampled.
+    pub fn final_relres(&self) -> Option<f64> {
+        self.residual_history.last().map(|s| s.relres)
+    }
+
+    /// Serialises the trace to JSON (schema `asyncmg-trace-v1`; see
+    /// `docs/telemetry.md`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"schema\": \"asyncmg-trace-v1\",\n");
+        out.push_str(&format!("  \"dropped_events\": {},\n", self.dropped_events));
+
+        out.push_str("  \"residual_history\": [");
+        for (i, s) in self.residual_history.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"t_ns\": {}, \"relres\": {}}}",
+                s.t_ns,
+                json_f64(s.relres)
+            ));
+        }
+        out.push_str("\n  ],\n");
+
+        out.push_str("  \"phase_totals\": [");
+        for (i, (ph, t)) in Phase::ALL.iter().zip(&self.phase_totals).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"phase\": \"{}\", \"count\": {}, \"total_ns\": {}}}",
+                ph.name(),
+                t.count,
+                t.total_ns
+            ));
+        }
+        out.push_str("\n  ],\n");
+
+        out.push_str("  \"grids\": [");
+        for (g, timeline) in self.grids.iter().enumerate() {
+            if g > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"grid\": {g}, \"corrections\": {}, \"events\": [",
+                timeline.corrections
+            ));
+            for (i, e) in timeline.events.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n      {{\"index\": {}, \"t_ns\": {}, \"local_res\": {}}}",
+                    e.index,
+                    e.t_ns,
+                    json_f64(e.local_res)
+                ));
+            }
+            out.push_str("\n    ]}");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// JSON-safe float rendering: finite values in scientific notation, NaN and
+/// infinities as `null` (JSON has no representation for them).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:e}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> SolveTrace {
+        let events = vec![
+            Event::Phase { grid: 0, phase: Phase::Smooth, start_ns: 5, dur_ns: 10 },
+            Event::Correction { grid: 1, index: 0, t_ns: 20, local_res: f64::NAN },
+            Event::Correction { grid: 0, index: 0, t_ns: 10, local_res: 0.5 },
+            Event::Phase { grid: 0, phase: Phase::Smooth, start_ns: 30, dur_ns: 7 },
+        ];
+        SolveTrace::from_events(
+            events,
+            &[1, 1],
+            vec![
+                ResidualSample { t_ns: 0, relres: 1.0 },
+                ResidualSample { t_ns: 50, relres: 1e-3 },
+            ],
+            0,
+        )
+    }
+
+    #[test]
+    fn events_are_grouped_and_sorted() {
+        let t = sample_trace();
+        assert_eq!(t.grids.len(), 2);
+        assert_eq!(t.grid_corrections(), vec![1, 1]);
+        assert_eq!(t.grids[0].events[0].t_ns, 10);
+        assert_eq!(t.phase_totals[Phase::Smooth.index()], PhaseTotal { count: 2, total_ns: 17 });
+        assert_eq!(t.final_relres(), Some(1e-3));
+    }
+
+    #[test]
+    fn counters_win_over_retained_events() {
+        // Ring overwrite lost events: counters still report the truth.
+        let t = SolveTrace::from_events(vec![], &[40, 38], vec![], 12);
+        assert_eq!(t.grid_corrections(), vec![40, 38]);
+        assert_eq!(t.dropped_events, 12);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_nan_is_null() {
+        let json = sample_trace().to_json();
+        assert!(json.contains("\"schema\": \"asyncmg-trace-v1\""));
+        assert!(json.contains("\"local_res\": null"));
+        assert!(json.contains("\"phase\": \"smooth\""));
+        // Balanced braces/brackets.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -16,19 +16,21 @@
 //! * [`TeamCtx`] / [`run_teams`] — a fork-join entry point that launches one
 //!   OS thread per team member and hands each a context describing its team,
 //! * [`RacyVec`] — a shared `f64` buffer written in disjoint ranges between
-//!   barriers (team-local vectors of Algorithm 5).
+//!   barriers (team-local vectors of Algorithm 5),
+//! * [`SpinLock`] — the raw lock behind the paper's lock-write option.
 
 // Indexed loops over multiple parallel arrays are the house style for
 // numerical kernels; the iterator forms clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod barrier;
+pub mod lock;
 pub mod partition;
 pub mod racy;
 pub mod team;
 
 pub use barrier::SpinBarrier;
+pub use lock::SpinLock;
 pub use partition::{chunk_range, GridTeamLayout};
 pub use racy::RacyVec;
 pub use team::{run_teams, TeamCtx};

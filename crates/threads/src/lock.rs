@@ -1,0 +1,96 @@
+//! A raw spin lock for the paper's lock-write protocol.
+//!
+//! Algorithm 5's lock-write option has the *team master* acquire a lock,
+//! the whole team write its disjoint rows between team barriers, and the
+//! master release it. A guard-based mutex fits that asymmetric pattern
+//! badly (the guard would have to be forgotten and force-unlocked), so the
+//! runtime exposes a raw lock whose acquire and release are explicit calls.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A raw test-and-test-and-set spin lock.
+///
+/// Unlike a `Mutex`, the lock is not tied to a guard: [`SpinLock::lock`]
+/// and [`SpinLock::unlock`] may be called from the same thread around a
+/// multi-thread critical section (the team-write pattern above). The caller
+/// is responsible for pairing them.
+pub struct SpinLock {
+    locked: AtomicBool,
+}
+
+impl SpinLock {
+    /// A new, unlocked lock.
+    pub const fn new() -> Self {
+        SpinLock { locked: AtomicBool::new(false) }
+    }
+
+    /// Acquires the lock, spinning (and eventually yielding) until free.
+    pub fn lock(&self) {
+        loop {
+            if !self.locked.swap(true, Ordering::Acquire) {
+                return;
+            }
+            let mut spins = 0u32;
+            while self.locked.load(Ordering::Relaxed) {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    // Oversubscription-friendly, like SpinBarrier.
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Releases the lock. Must follow a matching [`SpinLock::lock`].
+    pub fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+}
+
+impl Default for SpinLock {
+    fn default() -> Self {
+        SpinLock::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        let lock = SpinLock::new();
+        let counter = AtomicUsize::new(0);
+        let inside = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        lock.lock();
+                        assert_eq!(inside.fetch_add(1, Ordering::SeqCst), 0);
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        inside.fetch_sub(1, Ordering::SeqCst);
+                        lock.unlock();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 4000);
+    }
+
+    #[test]
+    fn lock_and_unlock_may_cross_threads() {
+        // The team-write pattern: one thread locks, another unlocks after a
+        // synchronisation point.
+        let lock = SpinLock::new();
+        lock.lock();
+        std::thread::scope(|s| {
+            s.spawn(|| lock.unlock());
+        });
+        lock.lock();
+        lock.unlock();
+    }
+}

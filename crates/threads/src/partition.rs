@@ -85,10 +85,7 @@ impl GridTeamLayout {
 
     /// The team that owns grid `k`.
     pub fn team_of_grid(&self, k: usize) -> usize {
-        self.teams
-            .iter()
-            .position(|g| g.contains(&k))
-            .expect("grid not owned by any team")
+        self.teams.iter().position(|g| g.contains(&k)).expect("grid not owned by any team")
     }
 }
 

@@ -76,8 +76,7 @@ where
     assert!(!team_sizes.is_empty());
     assert!(team_sizes.iter().all(|&s| s > 0), "empty team");
     let n_threads: usize = team_sizes.iter().sum();
-    let team_barriers: Vec<SpinBarrier> =
-        team_sizes.iter().map(|&s| SpinBarrier::new(s)).collect();
+    let team_barriers: Vec<SpinBarrier> = team_sizes.iter().map(|&s| SpinBarrier::new(s)).collect();
     let global_barrier = SpinBarrier::new(n_threads);
 
     std::thread::scope(|scope| {

@@ -9,8 +9,9 @@
 use asyncmg_amg::{build_hierarchy, AmgOptions};
 use asyncmg_core::additive::AdditiveMethod;
 use asyncmg_core::models::{simulate_mean, ModelKind, ModelOptions};
-use asyncmg_core::mult::solve_mult;
+use asyncmg_core::mult::solve_mult_probed;
 use asyncmg_core::setup::{MgOptions, MgSetup};
+use asyncmg_core::NoopProbe;
 use asyncmg_problems::{rhs::random_rhs, stencil::laplacian_27pt};
 
 fn main() {
@@ -22,20 +23,19 @@ fn main() {
     let h = build_hierarchy(a, &AmgOptions { aggressive_levels: 1, ..Default::default() });
     let setup = MgSetup::new(h, MgOptions::default());
 
-    let sync = solve_mult(&setup, &b, 20);
+    let sync = solve_mult_probed(&setup, &b, 20, None, &NoopProbe);
     println!("synchronous Mult after 20 V(1,1)-cycles: {:9.2e}\n", sync.final_relres());
 
     println!("semi-async (δ = 0), relres vs minimum update probability α:");
     for method in [AdditiveMethod::Afacx, AdditiveMethod::Multadd] {
         print!("  {:<8}", method.name());
         for alpha in [0.1, 0.3, 0.5, 0.7, 0.9] {
-            let opts = ModelOptions {
-                model: ModelKind::SemiAsync,
-                alpha,
-                delta: 0,
-                updates_per_grid: 20,
-                seed: 1,
-            };
+            let mut opts = ModelOptions::default();
+            opts.model = ModelKind::SemiAsync;
+            opts.alpha = alpha;
+            opts.delta = 0;
+            opts.updates_per_grid = 20;
+            opts.seed = 1;
             let r = simulate_mean(&setup, method, &b, &opts, runs);
             print!("  α={alpha:.1}:{r:9.2e}");
         }
@@ -52,13 +52,12 @@ fn main() {
         for method in [AdditiveMethod::Afacx, AdditiveMethod::Multadd] {
             print!("  {:<8} {name:<15}", method.name());
             for delta in [1usize, 2, 4, 8, 16] {
-                let opts = ModelOptions {
-                    model,
-                    alpha: 0.1,
-                    delta,
-                    updates_per_grid: 20,
-                    seed: 1,
-                };
+                let mut opts = ModelOptions::default();
+                opts.model = model;
+                opts.alpha = 0.1;
+                opts.delta = delta;
+                opts.updates_per_grid = 20;
+                opts.seed = 1;
                 let r = simulate_mean(&setup, method, &b, &opts, runs);
                 print!("  δ={delta:>2}:{r:9.2e}");
             }

@@ -6,9 +6,10 @@
 //! ```
 
 use asyncmg_amg::{build_hierarchy, AmgOptions};
-use asyncmg_core::asynchronous::{solve_async, AsyncOptions};
-use asyncmg_core::mult::solve_mult;
+use asyncmg_core::asynchronous::{solve_async_probed, AsyncOptions};
+use asyncmg_core::mult::solve_mult_probed;
 use asyncmg_core::setup::{MgOptions, MgSetup};
+use asyncmg_core::NoopProbe;
 use asyncmg_problems::elasticity::{elasticity_beam, BeamMaterials};
 use asyncmg_problems::rhs::random_rhs;
 use asyncmg_smoothers::SmootherKind;
@@ -17,11 +18,7 @@ fn main() {
     let ex: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(12);
     let c = (ex / 4).max(1);
     let a = elasticity_beam(ex, c, c, [4.0, 1.0, 1.0], BeamMaterials::default());
-    println!(
-        "elasticity beam {ex}x{c}x{c} elements: {} dofs, {} nnz",
-        a.nrows(),
-        a.nnz()
-    );
+    println!("elasticity beam {ex}x{c}x{c} elements: {} dofs, {} nnz", a.nrows(), a.nnz());
     let b = random_rhs(a.nrows(), 11);
     // The unknown approach (num_functions = 3) keeps the three displacement
     // components separate in coarsening/interpolation — without it scalar
@@ -34,31 +31,22 @@ fn main() {
         h.operator_complexity()
     );
 
-    println!(
-        "{:<12} {:>14} {:>16}",
-        "smoother", "Mult relres", "async Multadd"
-    );
+    println!("{:<12} {:>14} {:>16}", "smoother", "Mult relres", "async Multadd");
     for kind in [
         SmootherKind::WJacobi { omega: 0.5 },
         SmootherKind::L1Jacobi,
         SmootherKind::HybridJgs,
         SmootherKind::AsyncGs,
     ] {
-        let setup = MgSetup::new(
-            h.clone(),
-            MgOptions { smoother: kind, interp_omega: 0.5, ..Default::default() },
-        );
-        let mult = solve_mult(&setup, &b, 40);
-        let asy = solve_async(
-            &setup,
-            &b,
-            &AsyncOptions { t_max: 40, n_threads: 4, ..Default::default() },
-        );
-        println!(
-            "{:<12} {:>14.2e} {:>16.2e}",
-            kind.name(),
-            mult.final_relres(),
-            asy.relres
-        );
+        let mut mg = MgOptions::default();
+        mg.smoother = kind;
+        mg.interp_omega = 0.5;
+        let setup = MgSetup::new(h.clone(), mg);
+        let mult = solve_mult_probed(&setup, &b, 40, None, &NoopProbe);
+        let mut opts = AsyncOptions::default();
+        opts.t_max = 40;
+        opts.n_threads = 4;
+        let asy = solve_async_probed(&setup, &b, &opts, &NoopProbe);
+        println!("{:<12} {:>14.2e} {:>16.2e}", kind.name(), mult.final_relres(), asy.relres);
     }
 }

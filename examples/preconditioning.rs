@@ -11,9 +11,10 @@
 //! ```
 
 use asyncmg_amg::{build_hierarchy, AmgOptions};
-use asyncmg_core::additive::{solve_additive, AdditiveMethod};
+use asyncmg_core::additive::{solve_additive_probed, AdditiveMethod};
 use asyncmg_core::krylov::{pcg, AdditivePrec, IdentityPrec, JacobiPrec, VCyclePrec};
 use asyncmg_core::setup::{MgOptions, MgSetup};
+use asyncmg_core::NoopProbe;
 use asyncmg_problems::{rhs::random_rhs, stencil::laplacian_7pt};
 use asyncmg_sparse::io::{read_matrix_market, write_matrix_market};
 
@@ -35,7 +36,7 @@ fn main() {
     let tol = 1e-8;
 
     // BPX as a standalone solver over-corrects:
-    let bpx_solver = solve_additive(&setup, AdditiveMethod::Bpx, &b, 20);
+    let bpx_solver = solve_additive_probed(&setup, AdditiveMethod::Bpx, &b, 20, None, &NoopProbe);
     println!(
         "BPX as a *solver*      : relres {:9.2e} after 20 cycles (diverges — Section II.B)",
         bpx_solver.final_relres()

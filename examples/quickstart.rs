@@ -5,10 +5,8 @@
 //! ```
 
 use asyncmg_amg::{build_hierarchy, AmgOptions};
-use asyncmg_core::additive::AdditiveMethod;
-use asyncmg_core::asynchronous::{solve_async, AsyncOptions};
-use asyncmg_core::mult::solve_mult;
 use asyncmg_core::setup::{MgOptions, MgSetup};
+use asyncmg_core::{Method, Solver};
 use asyncmg_problems::{rhs::random_rhs, stencil::laplacian_7pt};
 
 fn main() {
@@ -29,24 +27,31 @@ fn main() {
     );
     let setup = MgSetup::new(hierarchy, MgOptions::default());
 
-    // 3. Classical multiplicative multigrid (the baseline, Algorithm 1).
-    let mult = solve_mult(&setup, &b, 20);
-    println!("sync Mult      : relres {:9.2e} after 20 V(1,1)-cycles", mult.final_relres());
+    // 3. Classical multiplicative multigrid (the baseline, Algorithm 1),
+    //    through the unified Solver builder.
+    let mult = Solver::new(&setup).method(Method::Mult).t_max(20).run(&b);
+    println!("sync Mult      : relres {:9.2e} after 20 V(1,1)-cycles", mult.relres);
 
     // 4. Asynchronous Multadd (Algorithm 5, local-res, lock-write): every
     //    grid corrects the shared solution with no global synchronisation.
-    let async_res = solve_async(
-        &setup,
-        &b,
-        &AsyncOptions {
-            method: AdditiveMethod::Multadd,
-            t_max: 20,
-            n_threads: 4,
-            ..Default::default()
-        },
-    );
+    //    A monitor thread stops the run once the residual is below 1e-8.
+    let report = Solver::new(&setup)
+        .method(Method::Multadd)
+        .threads(4)
+        .t_max(100)
+        .tolerance(1e-8)
+        .with_trace()
+        .run(&b);
     println!(
-        "async Multadd  : relres {:9.2e} after 20 corrections per grid ({:?} corrections, {:.1?})",
-        async_res.relres, async_res.grid_corrections, async_res.elapsed
+        "async Multadd  : relres {:9.2e} (converged: {}, {:?} corrections, {:.1?})",
+        report.relres, report.converged, report.grid_corrections, report.elapsed
     );
+    if let Some(trace) = &report.trace {
+        let n_events: usize = trace.grids.iter().map(|g| g.events.len()).sum();
+        println!(
+            "trace          : {} residual samples, {} correction events",
+            trace.residual_history.len(),
+            n_events
+        );
+    }
 }

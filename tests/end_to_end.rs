@@ -1,10 +1,13 @@
 //! End-to-end integration: every test set × every solver family converges.
 
 use asyncmg_apps::paper_setup;
-use asyncmg_core::additive::{solve_additive, AdditiveMethod};
-use asyncmg_core::asynchronous::{solve_async, AsyncOptions, ResComp, StopCriterion, WriteMode};
-use asyncmg_core::mult::solve_mult;
-use asyncmg_core::parallel_mult::solve_mult_threaded;
+use asyncmg_core::additive::{solve_additive_probed, AdditiveMethod};
+use asyncmg_core::asynchronous::{
+    solve_async_probed, AsyncOptions, ResComp, StopCriterion, WriteMode,
+};
+use asyncmg_core::mult::solve_mult_probed;
+use asyncmg_core::parallel_mult::solve_mult_threaded_probed;
+use asyncmg_core::NoopProbe;
 use asyncmg_problems::{rhs::random_rhs, TestSet};
 
 /// Cycle budget and tolerance per test set. Elasticity is the paper's
@@ -17,13 +20,20 @@ fn budget(set: TestSet) -> (usize, f64) {
     }
 }
 
+/// `AsyncOptions` is `#[non_exhaustive]`: build each variant off the default.
+fn async_opts(f: impl FnOnce(&mut AsyncOptions)) -> AsyncOptions {
+    let mut o = AsyncOptions::default();
+    f(&mut o);
+    o
+}
+
 #[test]
 fn mult_converges_on_all_test_sets() {
     for set in TestSet::all() {
         let (cycles, tol) = budget(set);
         let s = paper_setup(set, 8);
         let b = random_rhs(s.n(), 1);
-        let res = solve_mult(&s, &b, cycles);
+        let res = solve_mult_probed(&s, &b, cycles, None, &NoopProbe);
         assert!(res.final_relres() < tol, "{}: {}", set.name(), res.final_relres());
     }
 }
@@ -34,7 +44,8 @@ fn sync_multadd_converges_on_all_test_sets() {
         let (cycles, tol) = budget(set);
         let s = paper_setup(set, 8);
         let b = random_rhs(s.n(), 2);
-        let res = solve_additive(&s, AdditiveMethod::Multadd, &b, cycles + 20);
+        let res =
+            solve_additive_probed(&s, AdditiveMethod::Multadd, &b, cycles + 20, None, &NoopProbe);
         assert!(res.final_relres() < tol * 10.0, "{}: {}", set.name(), res.final_relres());
     }
 }
@@ -45,11 +56,11 @@ fn async_multadd_converges_on_all_test_sets() {
         let (cycles, tol) = budget(set);
         let s = paper_setup(set, 8);
         let b = random_rhs(s.n(), 3);
-        let res = solve_async(
-            &s,
-            &b,
-            &AsyncOptions { t_max: cycles + 20, n_threads: 4, ..Default::default() },
-        );
+        let opts = async_opts(|o| {
+            o.t_max = cycles + 20;
+            o.n_threads = 4;
+        });
+        let res = solve_async_probed(&s, &b, &opts, &NoopProbe);
         assert!(res.relres < tol * 100.0, "{}: {}", set.name(), res.relres);
     }
 }
@@ -59,7 +70,7 @@ fn afacx_converges_on_laplacians() {
     for set in [TestSet::SevenPt, TestSet::TwentySevenPt] {
         let s = paper_setup(set, 8);
         let b = random_rhs(s.n(), 4);
-        let res = solve_additive(&s, AdditiveMethod::Afacx, &b, 80);
+        let res = solve_additive_probed(&s, AdditiveMethod::Afacx, &b, 80, None, &NoopProbe);
         assert!(res.final_relres() < 1e-5, "{}: {}", set.name(), res.final_relres());
     }
 }
@@ -68,50 +79,55 @@ fn afacx_converges_on_laplacians() {
 fn all_async_variants_converge_on_7pt() {
     let s = paper_setup(TestSet::SevenPt, 10);
     let b = random_rhs(s.n(), 5);
+    let base = |o: &mut AsyncOptions| {
+        o.t_max = 30;
+        o.n_threads = 4;
+    };
     let variants: Vec<(&str, AsyncOptions)> = vec![
-        ("lock local", AsyncOptions { t_max: 30, n_threads: 4, ..Default::default() }),
+        ("lock local", async_opts(base)),
         (
             "atomic local",
-            AsyncOptions { write: WriteMode::Atomic, t_max: 30, n_threads: 4, ..Default::default() },
+            async_opts(|o| {
+                base(o);
+                o.write = WriteMode::Atomic;
+            }),
         ),
         (
             // Global-res is scheduler-sensitive (Section IV documents that
             // delayed residual components can make it diverge); the
             // single-thread run pins the code path deterministically.
             "lock global",
-            AsyncOptions {
-                res_comp: ResComp::Global,
-                t_max: 30,
-                n_threads: 1,
-                ..Default::default()
-            },
+            async_opts(|o| {
+                base(o);
+                o.res_comp = ResComp::Global;
+                o.n_threads = 1;
+            }),
         ),
         (
             "r-multadd",
-            AsyncOptions {
-                write: WriteMode::Atomic,
-                residual_based: true,
-                t_max: 30,
-                n_threads: 4,
-                ..Default::default()
-            },
+            async_opts(|o| {
+                base(o);
+                o.write = WriteMode::Atomic;
+                o.res_comp = ResComp::ResidualBased;
+            }),
         ),
         (
             "criterion 2",
-            AsyncOptions {
-                criterion: StopCriterion::Two,
-                t_max: 30,
-                n_threads: 4,
-                ..Default::default()
-            },
+            async_opts(|o| {
+                base(o);
+                o.criterion = StopCriterion::Two;
+            }),
         ),
         (
             "sync",
-            AsyncOptions { sync: true, t_max: 30, n_threads: 4, ..Default::default() },
+            async_opts(|o| {
+                base(o);
+                o.sync = true;
+            }),
         ),
     ];
     for (name, opts) in variants {
-        let res = solve_async(&s, &b, &opts);
+        let res = solve_async_probed(&s, &b, &opts, &NoopProbe);
         assert!(res.relres < 1e-3, "{name}: {}", res.relres);
     }
 }
@@ -120,8 +136,8 @@ fn all_async_variants_converge_on_7pt() {
 fn threaded_and_sequential_mult_agree_end_to_end() {
     let s = paper_setup(TestSet::TwentySevenPt, 8);
     let b = random_rhs(s.n(), 6);
-    let seq = solve_mult(&s, &b, 10);
-    let par = solve_mult_threaded(&s, &b, 3, 10);
+    let seq = solve_mult_probed(&s, &b, 10, None, &NoopProbe);
+    let par = solve_mult_threaded_probed(&s, &b, 3, 10, None, &NoopProbe);
     let denom = seq.final_relres().max(1e-300);
     assert!(
         ((par.relres - seq.final_relres()) / denom).abs() < 1e-8,
@@ -139,18 +155,12 @@ fn solution_vector_actually_solves_the_system() {
     let xs = random_rhs(s.n(), 7);
     let mut b = vec![0.0; s.n()];
     s.a(0).spmv(&xs, &mut b);
-    let res = solve_async(
-        &s,
-        &b,
-        &AsyncOptions { t_max: 120, n_threads: 4, ..Default::default() },
-    );
-    let err: f64 = res
-        .x
-        .iter()
-        .zip(&xs)
-        .map(|(a, b)| (a - b) * (a - b))
-        .sum::<f64>()
-        .sqrt();
+    let opts = async_opts(|o| {
+        o.t_max = 120;
+        o.n_threads = 4;
+    });
+    let res = solve_async_probed(&s, &b, &opts, &NoopProbe);
+    let err: f64 = res.x.iter().zip(&xs).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
     let norm: f64 = xs.iter().map(|v| v * v).sum::<f64>().sqrt();
     assert!(err / norm < 1e-4, "relative error {}", err / norm);
 }

@@ -4,8 +4,9 @@
 use asyncmg_amg::{build_hierarchy, AmgOptions};
 use asyncmg_core::additive::AdditiveMethod;
 use asyncmg_core::krylov::{pcg, AdditivePrec, IdentityPrec, VCyclePrec};
-use asyncmg_core::mult::solve_mult;
+use asyncmg_core::mult::solve_mult_probed;
 use asyncmg_core::setup::{MgOptions, MgSetup};
+use asyncmg_core::NoopProbe;
 use asyncmg_problems::{rhs::random_rhs, stencil::laplacian_7pt, TestSet};
 use asyncmg_smoothers::chaotic::{async_jacobi_solve, jacobi_solve, rho_abs_jacobi};
 use asyncmg_sparse::io::{read_matrix_market, write_matrix_market};
@@ -19,7 +20,7 @@ fn matrix_survives_io_roundtrip_and_still_solves() {
     assert_eq!(a, a2);
     let b = random_rhs(a2.nrows(), 3);
     let s = MgSetup::new(build_hierarchy(a2, &AmgOptions::default()), MgOptions::default());
-    let res = solve_mult(&s, &b, 30);
+    let res = solve_mult_probed(&s, &b, 30, None, &NoopProbe);
     assert!(res.final_relres() < 1e-8, "{}", res.final_relres());
 }
 
@@ -68,10 +69,7 @@ fn bpx_precondition_iteration_count_roughly_level_independent() {
     // Far from the O(n^(1/3)) growth of plain CG: allow at most ~2x growth
     // from 8³ to 16³ (plain CG would grow ~2x per doubling with a much
     // larger constant).
-    assert!(
-        counts[2] <= counts[0] * 2,
-        "BPX-PCG iterations grew too fast: {counts:?}"
-    );
+    assert!(counts[2] <= counts[0] * 2, "BPX-PCG iterations grew too fast: {counts:?}");
 }
 
 #[test]
@@ -83,7 +81,7 @@ fn multigrid_crushes_chaotic_relaxation() {
     assert!(rho_abs_jacobi(&a, 0.9, 100) < 1.0);
     let jac = jacobi_solve(&a, &b, 0.9, 100);
     let s = MgSetup::new(build_hierarchy(a.clone(), &AmgOptions::default()), MgOptions::default());
-    let mg = solve_mult(&s, &b, 30);
+    let mg = solve_mult_probed(&s, &b, 30, None, &NoopProbe);
     assert!(
         mg.final_relres() < jac.relres * 1e-2,
         "mult {} vs jacobi {}",

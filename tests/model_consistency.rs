@@ -2,10 +2,18 @@
 //! additive solvers, and the Section IV threaded implementations.
 
 use asyncmg_apps::paper_setup;
-use asyncmg_core::additive::{solve_additive, AdditiveMethod};
-use asyncmg_core::asynchronous::{solve_async, AsyncOptions};
+use asyncmg_core::additive::{solve_additive_probed, AdditiveMethod};
+use asyncmg_core::asynchronous::{solve_async_probed, AsyncOptions};
 use asyncmg_core::models::{simulate, simulate_mean, ModelKind, ModelOptions};
+use asyncmg_core::NoopProbe;
 use asyncmg_problems::{rhs::random_rhs, TestSet};
+
+/// `ModelOptions` is `#[non_exhaustive]`: build each variant off the default.
+fn model_opts(f: impl FnOnce(&mut ModelOptions)) -> ModelOptions {
+    let mut o = ModelOptions::default();
+    f(&mut o);
+    o
+}
 
 #[test]
 fn all_three_models_coincide_when_synchronous() {
@@ -13,13 +21,17 @@ fn all_three_models_coincide_when_synchronous() {
     // to the synchronous additive method.
     let s = paper_setup(TestSet::TwentySevenPt, 7);
     let b = random_rhs(s.n(), 1);
-    let sync = solve_additive(&s, AdditiveMethod::Multadd, &b, 10).final_relres();
-    for model in [
-        ModelKind::SemiAsync,
-        ModelKind::FullAsyncSolution,
-        ModelKind::FullAsyncResidual,
-    ] {
-        let opts = ModelOptions { model, alpha: 1.0, delta: 0, updates_per_grid: 10, seed: 9 };
+    let sync =
+        solve_additive_probed(&s, AdditiveMethod::Multadd, &b, 10, None, &NoopProbe).final_relres();
+    for model in [ModelKind::SemiAsync, ModelKind::FullAsyncSolution, ModelKind::FullAsyncResidual]
+    {
+        let opts = model_opts(|o| {
+            o.model = model;
+            o.alpha = 1.0;
+            o.delta = 0;
+            o.updates_per_grid = 10;
+            o.seed = 9;
+        });
         let sim = simulate(&s, AdditiveMethod::Multadd, &b, &opts);
         // The models and the solver accumulate corrections in different
         // orders, so agreement is up to floating-point roundoff.
@@ -39,13 +51,13 @@ fn convergence_degrades_gracefully_with_delay() {
     let s = paper_setup(TestSet::TwentySevenPt, 7);
     let b = random_rhs(s.n(), 2);
     for delta in [0usize, 4, 16] {
-        let opts = ModelOptions {
-            model: ModelKind::FullAsyncSolution,
-            alpha: 0.5,
-            delta,
-            updates_per_grid: 20,
-            seed: 3,
-        };
+        let opts = model_opts(|o| {
+            o.model = ModelKind::FullAsyncSolution;
+            o.alpha = 0.5;
+            o.delta = delta;
+            o.updates_per_grid = 20;
+            o.seed = 3;
+        });
         let r = simulate_mean(&s, AdditiveMethod::Multadd, &b, &opts, 5);
         // Every delay still converges well below the initial residual;
         // strict monotonicity in δ only emerges with many more runs than a
@@ -60,25 +72,18 @@ fn residual_based_no_worse_than_solution_based_at_large_delay() {
     // the solution-based one for large δ.
     let s = paper_setup(TestSet::TwentySevenPt, 7);
     let b = random_rhs(s.n(), 4);
-    let mk = |model| ModelOptions { model, alpha: 0.1, delta: 16, updates_per_grid: 20, seed: 5 };
-    let sol = simulate_mean(
-        &s,
-        AdditiveMethod::Multadd,
-        &b,
-        &mk(ModelKind::FullAsyncSolution),
-        5,
-    );
-    let res = simulate_mean(
-        &s,
-        AdditiveMethod::Multadd,
-        &b,
-        &mk(ModelKind::FullAsyncResidual),
-        5,
-    );
-    assert!(
-        res <= sol * 3.0,
-        "residual-based ({res}) much worse than solution-based ({sol})"
-    );
+    let mk = |model| {
+        model_opts(|o| {
+            o.model = model;
+            o.alpha = 0.1;
+            o.delta = 16;
+            o.updates_per_grid = 20;
+            o.seed = 5;
+        })
+    };
+    let sol = simulate_mean(&s, AdditiveMethod::Multadd, &b, &mk(ModelKind::FullAsyncSolution), 5);
+    let res = simulate_mean(&s, AdditiveMethod::Multadd, &b, &mk(ModelKind::FullAsyncResidual), 5);
+    assert!(res <= sol * 3.0, "residual-based ({res}) much worse than solution-based ({sol})");
 }
 
 #[test]
@@ -88,30 +93,20 @@ fn simulation_and_threaded_solver_reach_similar_accuracy() {
     // of each other after the same number of corrections.
     let s = paper_setup(TestSet::SevenPt, 8);
     let b = random_rhs(s.n(), 6);
-    let sim = simulate(
-        &s,
-        AdditiveMethod::Multadd,
-        &b,
-        &ModelOptions {
-            model: ModelKind::SemiAsync,
-            alpha: 0.8,
-            delta: 0,
-            updates_per_grid: 20,
-            seed: 11,
-        },
-    );
-    let thr = solve_async(
-        &s,
-        &b,
-        &AsyncOptions { t_max: 20, n_threads: 4, ..Default::default() },
-    );
+    let sim_opts = model_opts(|o| {
+        o.model = ModelKind::SemiAsync;
+        o.alpha = 0.8;
+        o.delta = 0;
+        o.updates_per_grid = 20;
+        o.seed = 11;
+    });
+    let sim = simulate(&s, AdditiveMethod::Multadd, &b, &sim_opts);
+    let mut opts = AsyncOptions::default();
+    opts.t_max = 20;
+    opts.n_threads = 4;
+    let thr = solve_async_probed(&s, &b, &opts, &NoopProbe);
     let ratio = (sim.final_relres / thr.relres).max(thr.relres / sim.final_relres);
-    assert!(
-        ratio < 1e3,
-        "simulation {} vs threaded {}",
-        sim.final_relres,
-        thr.relres
-    );
+    assert!(ratio < 1e3, "simulation {} vs threaded {}", sim.final_relres, thr.relres);
 }
 
 #[test]
@@ -122,13 +117,13 @@ fn grid_size_independence_of_the_semi_async_model() {
     for n in [6usize, 8, 10] {
         let s = paper_setup(TestSet::TwentySevenPt, n);
         let b = random_rhs(s.n(), 8);
-        let opts = ModelOptions {
-            model: ModelKind::SemiAsync,
-            alpha: 0.5,
-            delta: 0,
-            updates_per_grid: 20,
-            seed: 13,
-        };
+        let opts = model_opts(|o| {
+            o.model = ModelKind::SemiAsync;
+            o.alpha = 0.5;
+            o.delta = 0;
+            o.updates_per_grid = 20;
+            o.seed = 13;
+        });
         finals.push(simulate_mean(&s, AdditiveMethod::Multadd, &b, &opts, 3));
     }
     for w in finals.windows(2) {

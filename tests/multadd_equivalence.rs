@@ -6,22 +6,32 @@
 //! cycle, so one cycle of each must produce the same iterate.
 
 use asyncmg_amg::{build_hierarchy, AmgOptions};
-use asyncmg_core::additive::{solve_additive, AdditiveMethod};
-use asyncmg_core::mult::solve_mult;
+use asyncmg_core::additive::{solve_additive_probed, AdditiveMethod};
+use asyncmg_core::mult::solve_mult_probed;
 use asyncmg_core::setup::{MgOptions, MgSetup};
-use asyncmg_problems::{rhs::random_rhs, stencil::laplacian_7pt, stencil::laplacian_27pt};
+use asyncmg_core::NoopProbe;
+use asyncmg_problems::{rhs::random_rhs, stencil::laplacian_27pt, stencil::laplacian_7pt};
 use asyncmg_smoothers::SmootherKind;
 
 fn setup(a: asyncmg_sparse::Csr, omega: f64) -> MgSetup {
     let h = build_hierarchy(a, &AmgOptions::default());
-    MgSetup::new(
-        h,
-        MgOptions {
-            smoother: SmootherKind::WJacobi { omega },
-            interp_omega: omega,
-            ..Default::default()
-        },
-    )
+    let mut opts = MgOptions::default();
+    opts.smoother = SmootherKind::WJacobi { omega };
+    opts.interp_omega = omega;
+    MgSetup::new(h, opts)
+}
+
+fn solve_mult(s: &MgSetup, b: &[f64], t: usize) -> asyncmg_core::additive::SolveResult {
+    solve_mult_probed(s, b, t, None, &NoopProbe)
+}
+
+fn solve_additive(
+    s: &MgSetup,
+    m: AdditiveMethod,
+    b: &[f64],
+    t: usize,
+) -> asyncmg_core::additive::SolveResult {
+    solve_additive_probed(s, m, b, t, None, &NoopProbe)
 }
 
 fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
@@ -36,10 +46,7 @@ fn one_cycle_of_multadd_equals_one_symmetric_v_cycle_7pt() {
     let multadd = solve_additive(&s, AdditiveMethod::Multadd, &b, 1);
     let scale = mult.x.iter().map(|v| v.abs()).fold(0.0, f64::max);
     let diff = max_abs_diff(&mult.x, &multadd.x);
-    assert!(
-        diff < 1e-10 * scale.max(1e-30),
-        "iterates differ by {diff} (scale {scale})"
-    );
+    assert!(diff < 1e-10 * scale.max(1e-30), "iterates differ by {diff} (scale {scale})");
 }
 
 #[test]
@@ -59,10 +66,9 @@ fn equivalence_holds_over_multiple_cycles() {
 #[test]
 fn equivalence_holds_on_27pt_with_l1_jacobi() {
     let h = build_hierarchy(laplacian_27pt(6, 6, 6), &AmgOptions::default());
-    let s = MgSetup::new(
-        h,
-        MgOptions { smoother: SmootherKind::L1Jacobi, ..Default::default() },
-    );
+    let mut opts = MgOptions::default();
+    opts.smoother = SmootherKind::L1Jacobi;
+    let s = MgSetup::new(h, opts);
     let b = random_rhs(s.n(), 29);
     let mult = solve_mult(&s, &b, 3);
     let multadd = solve_additive(&s, AdditiveMethod::Multadd, &b, 3);

@@ -114,7 +114,8 @@ proptest! {
         let a = dd_matrix(30, &entries);
         let h = build_hierarchy(a, &AmgOptions { max_coarse: 8, ..Default::default() });
         let s = MgSetup::new(h, MgOptions::default());
-        let res = asyncmg_core::mult::solve_mult(&s, &bvec, 15);
+        let res =
+            asyncmg_core::mult::solve_mult_probed(&s, &bvec, 15, None, &asyncmg_core::NoopProbe);
         // Diagonally dominant + damped Jacobi ⇒ convergent cycle.
         prop_assert!(res.final_relres() < 0.9, "relres {}", res.final_relres());
     }
