@@ -3,7 +3,13 @@
 use crate::coarsen::{aggressive_coarsen, coarsen, n_coarse, Coarsening};
 use crate::interp::{build_interpolation, Interpolation};
 use crate::strength::classical_strength_funcs;
-use asyncmg_sparse::{rap, Csr, DenseLu};
+use asyncmg_sparse::{auto_setup_threads, rap_parallel, transpose_parallel, Csr, DenseLu};
+use asyncmg_telemetry::{NoopProbe, Phase, Probe};
+use asyncmg_threads::chunk_range;
+use std::borrow::Cow;
+use std::ops::Range;
+use std::sync::OnceLock;
+use std::time::Instant;
 
 /// One level of the hierarchy.
 #[derive(Clone, Debug)]
@@ -14,6 +20,17 @@ pub struct Level {
     pub p: Option<Csr>,
     /// Restriction `R = Pᵀ`, stored explicitly for fast SpMV.
     pub r: Option<Csr>,
+    /// Cached main diagonal of `a`: smoothers reuse it instead of searching
+    /// the matrix again on every solve.
+    pub diag: Vec<f64>,
+}
+
+impl Level {
+    /// A level with its diagonal cache built from `a`.
+    pub fn new(a: Csr, p: Option<Csr>, r: Option<Csr>) -> Self {
+        let diag = a.diag();
+        Level { a, p, r, diag }
+    }
 }
 
 /// A complete multigrid hierarchy.
@@ -23,6 +40,8 @@ pub struct Hierarchy {
     pub levels: Vec<Level>,
     /// Dense LU of the coarsest operator; `None` if it was singular.
     pub coarse_lu: Option<DenseLu>,
+    /// Lazily cached per-level row partitions (see [`Hierarchy::partitions`]).
+    partition_cache: OnceLock<(usize, Vec<Vec<Range<usize>>>)>,
 }
 
 /// Setup options mirroring the paper's BoomerAMG configuration.
@@ -50,6 +69,11 @@ pub struct AmgOptions {
     /// Number of interleaved unknowns per node (BoomerAMG's "unknown
     /// approach" for PDE systems; 3 for the elasticity test set).
     pub num_functions: usize,
+    /// Threads for the setup-phase sparse kernels (Galerkin products and
+    /// transposes). `0` picks automatically from the matrix size and the
+    /// hardware; `1` forces serial. Any value produces bit-identical
+    /// operators — the parallel kernels reproduce the serial results exactly.
+    pub setup_threads: usize,
 }
 
 impl Default for AmgOptions {
@@ -64,14 +88,43 @@ impl Default for AmgOptions {
             trunc: 0.0,
             seed: 0xA5A5,
             num_functions: 1,
+            setup_threads: 0,
         }
     }
 }
 
 impl Hierarchy {
+    /// A hierarchy from levels and the coarse factorisation.
+    pub fn new(levels: Vec<Level>, coarse_lu: Option<DenseLu>) -> Self {
+        Hierarchy { levels, coarse_lu, partition_cache: OnceLock::new() }
+    }
+
     /// Number of levels (the paper's `ℓ + 1`).
     pub fn n_levels(&self) -> usize {
         self.levels.len()
+    }
+
+    /// Per-level contiguous row partitions for `nparts` workers:
+    /// `partitions(n)[k][p]` is worker `p`'s row range on level `k`.
+    ///
+    /// The first requested part count is computed once and cached — solvers
+    /// use one thread count for a whole run, so repeated solves stop
+    /// re-deriving the same partitions. A different part count is computed on
+    /// the fly without disturbing the cache.
+    pub fn partitions(&self, nparts: usize) -> Cow<'_, [Vec<Range<usize>>]> {
+        assert!(nparts > 0);
+        let compute = || {
+            self.levels
+                .iter()
+                .map(|l| (0..nparts).map(|p| chunk_range(l.a.nrows(), nparts, p)).collect())
+                .collect::<Vec<Vec<Range<usize>>>>()
+        };
+        let (cached_n, cached) = self.partition_cache.get_or_init(|| (nparts, compute()));
+        if *cached_n == nparts {
+            Cow::Borrowed(cached.as_slice())
+        } else {
+            Cow::Owned(compute())
+        }
     }
 
     /// Rows per level.
@@ -94,7 +147,26 @@ impl Hierarchy {
 
 /// Builds a hierarchy from the fine-grid operator.
 pub fn build_hierarchy(a: Csr, opts: &AmgOptions) -> Hierarchy {
+    build_hierarchy_probed(a, opts, &NoopProbe)
+}
+
+/// Builds a hierarchy, reporting per-level setup timings to `probe`.
+///
+/// Three phases are timed for every level built: [`Phase::SetupStrength`]
+/// (strength graph + coarsening), [`Phase::SetupInterp`] (interpolation
+/// construction) and [`Phase::SetupRap`] (the Galerkin product and the
+/// restriction transpose). Events carry the index of the level being
+/// coarsened as their grid id, so a `SolveTrace` shows where each level's
+/// build time went.
+pub fn build_hierarchy_probed<P: Probe + ?Sized>(
+    a: Csr,
+    opts: &AmgOptions,
+    probe: &P,
+) -> Hierarchy {
     assert_eq!(a.nrows(), a.ncols());
+    let epoch = Instant::now();
+    let enabled = probe.enabled();
+    let now_ns = |epoch: &Instant| epoch.elapsed().as_nanos() as u64;
     let mut levels: Vec<Level> = Vec::new();
     let mut current = a;
     let mut level_idx = 0usize;
@@ -103,6 +175,7 @@ pub fn build_hierarchy(a: Csr, opts: &AmgOptions) -> Hierarchy {
     let mut funcs: Option<Vec<u8>> = (opts.num_functions > 1)
         .then(|| (0..current.nrows()).map(|i| (i % opts.num_functions) as u8).collect());
     while current.nrows() > opts.max_coarse && levels.len() + 1 < opts.max_levels {
+        let t0 = if enabled { now_ns(&epoch) } else { 0 };
         let s = classical_strength_funcs(&current, opts.theta, funcs.as_deref());
         let aggressive = level_idx < opts.aggressive_levels;
         let seed = opts.seed.wrapping_add(level_idx as u64);
@@ -111,17 +184,36 @@ pub fn build_hierarchy(a: Csr, opts: &AmgOptions) -> Hierarchy {
         } else {
             coarsen(&s, opts.coarsening, seed)
         };
+        if enabled {
+            let t1 = now_ns(&epoch);
+            probe.phase(0, level_idx, Phase::SetupStrength, t0, t1 - t0);
+        }
         let nc = n_coarse(&cf);
         if nc == 0 || nc >= current.nrows() {
             break; // coarsening stalled
         }
         let interp_kind = if aggressive { Interpolation::Multipass } else { opts.interp };
+        let t0 = if enabled { now_ns(&epoch) } else { 0 };
         let p = build_interpolation(&current, &s, &cf, interp_kind, opts.trunc);
+        if enabled {
+            let t1 = now_ns(&epoch);
+            probe.phase(0, level_idx, Phase::SetupInterp, t0, t1 - t0);
+        }
         if p.ncols() == 0 {
             break;
         }
-        let coarse = rap(&current, &p);
-        let r = p.transpose();
+        let threads = if opts.setup_threads == 0 {
+            auto_setup_threads(current.nnz())
+        } else {
+            opts.setup_threads
+        };
+        let t0 = if enabled { now_ns(&epoch) } else { 0 };
+        let coarse = rap_parallel(&current, &p, threads);
+        let r = transpose_parallel(&p, threads);
+        if enabled {
+            let t1 = now_ns(&epoch);
+            probe.phase(0, level_idx, Phase::SetupRap, t0, t1 - t0);
+        }
         if let Some(f) = &funcs {
             funcs = Some(
                 cf.iter()
@@ -131,13 +223,13 @@ pub fn build_hierarchy(a: Csr, opts: &AmgOptions) -> Hierarchy {
                     .collect(),
             );
         }
-        levels.push(Level { a: current, p: Some(p), r: Some(r) });
+        levels.push(Level::new(current, Some(p), Some(r)));
         current = coarse;
         level_idx += 1;
     }
     let coarse_lu = DenseLu::factor(&current);
-    levels.push(Level { a: current, p: None, r: None });
-    Hierarchy { levels, coarse_lu }
+    levels.push(Level::new(current, None, None));
+    Hierarchy::new(levels, coarse_lu)
 }
 
 #[cfg(test)]
@@ -225,6 +317,73 @@ mod tests {
         assert!(h.operator_complexity() >= 1.0);
         assert!(h.grid_complexity() >= 1.0);
         assert!(h.operator_complexity() < 3.0, "complexity blow-up");
+    }
+
+    #[test]
+    fn level_diag_is_cached() {
+        let a = laplacian_7pt(6, 6, 6);
+        let h = build_hierarchy(a, &AmgOptions::default());
+        for level in &h.levels {
+            assert_eq!(level.diag, level.a.diag());
+        }
+    }
+
+    #[test]
+    fn partitions_tile_levels_and_cache() {
+        let a = laplacian_7pt(7, 7, 7);
+        let h = build_hierarchy(a, &AmgOptions::default());
+        let parts = h.partitions(4);
+        assert_eq!(parts.len(), h.n_levels());
+        for (k, level_parts) in parts.iter().enumerate() {
+            assert_eq!(level_parts.len(), 4);
+            let n = h.levels[k].a.nrows();
+            let mut covered = 0usize;
+            for (p, r) in level_parts.iter().enumerate() {
+                assert_eq!(r.start, covered, "level {k} part {p} not contiguous");
+                covered = r.end;
+            }
+            assert_eq!(covered, n);
+        }
+        // Same count hits the cache (borrowed); a different one is computed
+        // fresh (owned) with the right shape.
+        assert!(matches!(h.partitions(4), std::borrow::Cow::Borrowed(_)));
+        let other = h.partitions(3);
+        assert!(matches!(other, std::borrow::Cow::Owned(_)));
+        assert_eq!(other[0].len(), 3);
+    }
+
+    #[test]
+    fn parallel_setup_matches_serial_setup() {
+        // setup_threads is numerically transparent: any thread count yields
+        // the exact same hierarchy.
+        let a = laplacian_27pt(8, 8, 8);
+        let serial =
+            build_hierarchy(a.clone(), &AmgOptions { setup_threads: 1, ..Default::default() });
+        for nt in [2usize, 5] {
+            let par =
+                build_hierarchy(a.clone(), &AmgOptions { setup_threads: nt, ..Default::default() });
+            assert_eq!(par.n_levels(), serial.n_levels());
+            for (ls, lp) in serial.levels.iter().zip(&par.levels) {
+                assert_eq!(ls.a, lp.a, "operators differ at {nt} threads");
+                assert_eq!(ls.p, lp.p);
+                assert_eq!(ls.r, lp.r);
+            }
+        }
+    }
+
+    #[test]
+    fn probed_build_reports_setup_phases() {
+        use asyncmg_telemetry::TelemetryProbe;
+        let a = laplacian_7pt(8, 8, 8);
+        let mut probe = TelemetryProbe::new(1, 1024);
+        let h = build_hierarchy_probed(a, &AmgOptions::default(), &probe);
+        assert!(h.n_levels() >= 2);
+        let trace = probe.take_trace();
+        let built = h.n_levels() as u64 - 1; // one event set per level built
+        for ph in [Phase::SetupStrength, Phase::SetupInterp, Phase::SetupRap] {
+            let t = trace.phase_totals[ph.index()];
+            assert!(t.count >= built, "{}: {} events for {built} levels", ph.name(), t.count);
+        }
     }
 }
 

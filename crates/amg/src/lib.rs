@@ -25,7 +25,9 @@ pub mod smoothed;
 pub mod strength;
 
 pub use coarsen::{Cf, Coarsening};
-pub use hierarchy::{build_hierarchy, AmgOptions, Hierarchy, Level};
+pub use hierarchy::{build_hierarchy, build_hierarchy_probed, AmgOptions, Hierarchy, Level};
 pub use interp::Interpolation;
-pub use smoothed::{smoothed_interpolant, smoothed_interpolants, InterpSmoothing};
+pub use smoothed::{
+    smoothed_interpolant, smoothed_interpolant_with_diag, smoothed_interpolants, InterpSmoothing,
+};
 pub use strength::{classical_strength, Strength};

@@ -7,7 +7,7 @@
 //! smoother is used — "to keep the smoothed interpolants sparse".
 
 use crate::hierarchy::Hierarchy;
-use asyncmg_sparse::{add_scaled, spgemm, Csr};
+use asyncmg_sparse::{add_scaled, auto_setup_threads, spgemm_parallel, transpose_parallel, Csr};
 
 /// Which diagonal iteration matrix to build `P̄` with.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -24,19 +24,40 @@ pub enum InterpSmoothing {
 /// The smoothed two-level interpolant `P̄ = (I − W A) P` and its transpose,
 /// with `W` the diagonal weight matrix of `kind`.
 pub fn smoothed_interpolant(a: &Csr, p: &Csr, kind: InterpSmoothing) -> (Csr, Csr) {
+    smoothed_interpolant_with_diag(a, None, p, kind)
+}
+
+/// As [`smoothed_interpolant`], reusing a precomputed main diagonal of `a`
+/// when one is available (the hierarchy caches one per level).
+pub fn smoothed_interpolant_with_diag(
+    a: &Csr,
+    diag: Option<&[f64]>,
+    p: &Csr,
+    kind: InterpSmoothing,
+) -> (Csr, Csr) {
     let weights: Vec<f64> = match kind {
         InterpSmoothing::WJacobi { omega } => {
-            a.diag().iter().map(|&d| if d != 0.0 { omega / d } else { 0.0 }).collect()
+            let owned;
+            let d = match diag {
+                Some(d) => d,
+                None => {
+                    owned = a.diag();
+                    &owned
+                }
+            };
+            d.iter().map(|&d| if d != 0.0 { omega / d } else { 0.0 }).collect()
         }
         InterpSmoothing::L1Jacobi => {
             a.l1_row_norms().iter().map(|&d| if d != 0.0 { 1.0 / d } else { 0.0 }).collect()
         }
     };
-    // P̄ = P − W (A P).
-    let mut ap = spgemm(a, p);
+    // P̄ = P − W (A P), with the product and transpose parallelised on large
+    // levels (bit-identical to the serial kernels at any thread count).
+    let threads = auto_setup_threads(a.nnz());
+    let mut ap = spgemm_parallel(a, p, threads);
     ap.scale_rows(&weights);
     let p_bar = add_scaled(p, &ap, 1.0, -1.0);
-    let r_bar = p_bar.transpose();
+    let r_bar = transpose_parallel(&p_bar, threads);
     (p_bar, r_bar)
 }
 
@@ -44,7 +65,9 @@ pub fn smoothed_interpolant(a: &Csr, p: &Csr, kind: InterpSmoothing) -> (Csr, Cs
 pub fn smoothed_interpolants(h: &Hierarchy, kind: InterpSmoothing) -> Vec<(Csr, Csr)> {
     h.levels
         .iter()
-        .filter_map(|l| l.p.as_ref().map(|p| smoothed_interpolant(&l.a, p, kind)))
+        .filter_map(|l| {
+            l.p.as_ref().map(|p| smoothed_interpolant_with_diag(&l.a, Some(&l.diag), p, kind))
+        })
         .collect()
 }
 

@@ -1,0 +1,88 @@
+//! Setup-phase kernel benchmark: serial vs parallel Galerkin products.
+//!
+//! Times the serial `rap`/`transpose` kernels against `rap_parallel`/
+//! `transpose_parallel` across thread counts and grid sizes. The parallel
+//! kernels are bit-identical to the serial ones, so this is a pure
+//! wall-clock comparison of the hierarchy build's dominant cost.
+//!
+//! Run with `cargo bench -p asyncmg-bench --bench setup_phase`; it prints a
+//! JSON report to stdout (the committed baseline is `BENCH_setup.json` at
+//! the repo root) and a human-readable summary to stderr. `-- --smoke`
+//! selects a seconds-long CI-sized run.
+
+use asyncmg_amg::{classical_strength, coarsen, interp, Coarsening, Interpolation};
+use asyncmg_problems::TestSet;
+use asyncmg_sparse::{rap, rap_parallel, transpose_parallel, Csr};
+use std::hint::black_box;
+use std::time::Instant;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Minimum wall-clock seconds over `reps` calls of `f`.
+fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The classical-modified interpolant of the finest level (the `P` the
+/// Galerkin product consumes).
+fn interpolant(a: &Csr) -> Csr {
+    let s = classical_strength(a, 0.25);
+    let cf = coarsen::coarsen(&s, Coarsening::Hmis, 1);
+    interp::build_interpolation(a, &s, &cf, Interpolation::ClassicalModified, 0.0)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
+    let (sizes, reps): (&[usize], usize) = if smoke { (&[10], 2) } else { (&[16, 24, 32], 5) };
+
+    let mut cases = Vec::new();
+    for &n in sizes {
+        let a = TestSet::TwentySevenPt.matrix(n);
+        let p = interpolant(&a);
+        let rap_serial = time_min(reps, || rap(&a, &p));
+        let tr_serial = time_min(reps, || p.transpose());
+        let mut rap_par = Vec::new();
+        let mut tr_par = Vec::new();
+        for &nt in &THREADS {
+            rap_par.push(format!("\"{nt}\": {:.9}", time_min(reps, || rap_parallel(&a, &p, nt))));
+            tr_par.push(format!("\"{nt}\": {:.9}", time_min(reps, || transpose_parallel(&p, nt))));
+        }
+        let rap4 = time_min(reps, || rap_parallel(&a, &p, 4));
+        eprintln!(
+            "27pt n={n} ({} rows, {} nnz): rap serial {:.1} ms, 4 threads {:.1} ms ({:.2}x)",
+            a.nrows(),
+            a.nnz(),
+            rap_serial * 1e3,
+            rap4 * 1e3,
+            rap_serial / rap4
+        );
+        cases.push(format!(
+            "    {{ \"grid\": \"27pt\", \"n\": {n}, \"rows\": {}, \"nnz\": {}, \
+             \"rap_serial_s\": {rap_serial:.9}, \"rap_parallel_s\": {{ {} }}, \
+             \"transpose_serial_s\": {tr_serial:.9}, \"transpose_parallel_s\": {{ {} }} }}",
+            a.nrows(),
+            a.nnz(),
+            rap_par.join(", "),
+            tr_par.join(", ")
+        ));
+    }
+
+    // Thread counts above the host's parallelism oversubscribe: the kernels
+    // stay correct (and bit-identical) but cannot show wall-clock speedup.
+    let host = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!("{{");
+    println!("  \"bench\": \"setup_phase\",");
+    println!("  \"smoke\": {smoke},");
+    println!("  \"host_threads\": {host},");
+    println!("  \"threads\": [1, 2, 4, 8],");
+    println!("  \"cases\": [");
+    println!("{}", cases.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}

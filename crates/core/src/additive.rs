@@ -15,9 +15,13 @@
 //! the simulation models, and the thread-team implementation.
 
 use crate::setup::{CoarseSolve, MgSetup};
+use crate::workspace::Workspace;
 use asyncmg_sparse::vecops;
 use asyncmg_telemetry::{NoopProbe, Probe};
 use std::time::Instant;
+
+#[allow(deprecated)]
+pub use crate::workspace::CorrectionScratch;
 
 /// The additive methods of the paper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,48 +52,24 @@ impl AdditiveMethod {
     }
 }
 
-/// Reusable per-level work vectors for computing corrections.
-pub struct CorrectionScratch {
-    /// Restricted residual per level.
-    c: Vec<Vec<f64>>,
-    /// Correction per level (prolongated upward in place).
-    e: Vec<Vec<f64>>,
-    /// General-purpose buffer per level (smoother workspace, AFACx rhs).
-    buf: Vec<Vec<f64>>,
-    /// Second buffer per level (AFACx `P e_{k+1}` and `A_k P e_{k+1}`).
-    buf2: Vec<Vec<f64>>,
-}
-
-impl CorrectionScratch {
-    /// Allocates scratch space for `setup`.
-    pub fn new(setup: &MgSetup) -> Self {
-        let sizes: Vec<usize> = setup.hierarchy.level_sizes();
-        CorrectionScratch {
-            c: sizes.iter().map(|&n| vec![0.0; n]).collect(),
-            e: sizes.iter().map(|&n| vec![0.0; n]).collect(),
-            buf: sizes.iter().map(|&n| vec![0.0; n]).collect(),
-            buf2: sizes.iter().map(|&n| vec![0.0; n]).collect(),
-        }
-    }
-}
-
 /// Computes grid `k`'s additive correction from the fine-grid residual `r`,
 /// writing it into `out` (fine-grid length). `scratch` is reused across
-/// calls.
+/// calls; the restricted residual lives in `scratch.r`, the correction in
+/// `scratch.e`.
 pub fn grid_correction(
     setup: &MgSetup,
     method: AdditiveMethod,
     k: usize,
     r: &[f64],
     out: &mut [f64],
-    scratch: &mut CorrectionScratch,
+    scratch: &mut Workspace,
 ) {
     let ell = setup.n_levels() - 1;
     debug_assert!(k <= ell);
     // Restrict the fine-grid residual down to level k.
-    scratch.c[0].copy_from_slice(r);
+    scratch.r[0].copy_from_slice(r);
     for j in 0..k {
-        let (head, tail) = scratch.c.split_at_mut(j + 1);
+        let (head, tail) = scratch.r.split_at_mut(j + 1);
         let restrict =
             if method.uses_smoothed_interpolants() { setup.r_bar(j) } else { setup.r(j) };
         restrict.spmv(&head[j], &mut tail[0]);
@@ -101,17 +81,17 @@ pub fn grid_correction(
                 coarse_apply(
                     setup,
                     setup.opts.coarse,
-                    &scratch.c[k],
+                    &scratch.r[k],
                     &mut scratch.e[k],
                     &mut scratch.buf[k],
                 );
             } else if method == AdditiveMethod::Multadd {
                 // Λ_k = symmetrized smoother (paper Section II.B.1).
-                let (ck, ek, bk) = (&scratch.c[k], &mut scratch.e[k], &mut scratch.buf[k]);
+                let (ck, ek, bk) = (&scratch.r[k], &mut scratch.e[k], &mut scratch.buf[k]);
                 setup.smoothers[k].multadd_lambda(setup.a(k), ck, ek, bk);
             } else {
                 // BPX: one plain smoother application.
-                setup.smoothers[k].apply_zero(setup.a(k), &scratch.c[k], &mut scratch.e[k]);
+                setup.smoothers[k].apply_zero(setup.a(k), &scratch.r[k], &mut scratch.e[k]);
             }
         }
         AdditiveMethod::Afacx => {
@@ -119,7 +99,7 @@ pub fn grid_correction(
                 coarse_apply(
                     setup,
                     setup.opts.afacx_coarse,
-                    &scratch.c[k],
+                    &scratch.r[k],
                     &mut scratch.e[k],
                     &mut scratch.buf[k],
                 );
@@ -128,14 +108,14 @@ pub fn grid_correction(
                 // where r_{k+1} is the residual restricted one level further
                 // (with the *plain* interpolant).
                 {
-                    let (head, tail) = scratch.c.split_at_mut(k + 1);
+                    let (head, tail) = scratch.r.split_at_mut(k + 1);
                     setup.r(k).spmv(&head[k], &mut tail[0]);
                 }
                 smooth_zero_sweeps(
                     setup,
                     k + 1,
                     setup.opts.afacx_s2,
-                    &scratch.c[k + 1],
+                    &scratch.r[k + 1],
                     &mut scratch.e[k + 1],
                     &mut scratch.buf[k + 1],
                 );
@@ -145,7 +125,7 @@ pub fn grid_correction(
                 setup.p(k).spmv(&e_tail[0], &mut scratch.buf2[k]);
                 setup.a(k).spmv(&scratch.buf2[k], &mut scratch.buf[k]);
                 for i in 0..scratch.buf[k].len() {
-                    scratch.buf[k][i] = scratch.c[k][i] - scratch.buf[k][i];
+                    scratch.buf[k][i] = scratch.r[k][i] - scratch.buf[k][i];
                 }
                 let g = std::mem::take(&mut scratch.buf[k]);
                 smooth_zero_sweeps(
@@ -257,9 +237,12 @@ pub fn solve_additive_probed<P: Probe + ?Sized>(
     let n = setup.n();
     let nb = vecops::norm2(b);
     let mut x = vec![0.0; n];
-    let mut r = vec![0.0; n];
-    let mut corr = vec![0.0; n];
-    let mut scratch = CorrectionScratch::new(setup);
+    // All per-cycle temporaries are pre-sized here; the loop below performs
+    // no heap allocation. The fine-grid residual and correction are taken
+    // out of the workspace so they can be borrowed alongside it.
+    let mut scratch = Workspace::new(setup);
+    let mut r = std::mem::take(&mut scratch.res);
+    let mut corr = std::mem::take(&mut scratch.corr);
     let mut history = Vec::with_capacity(t_max);
     let epoch = Instant::now();
     for cycle in 0..t_max {
@@ -353,7 +336,7 @@ mod tests {
         // Grid 0 correction for Multadd is Λ₀ r (no interpolation at all).
         let s = setup(6, MgOptions::default());
         let b = random_rhs(s.n(), 1);
-        let mut scratch = CorrectionScratch::new(&s);
+        let mut scratch = Workspace::new(&s);
         let mut out = vec![0.0; s.n()];
         grid_correction(&s, AdditiveMethod::Multadd, 0, &b, &mut out, &mut scratch);
         let mut expect = vec![0.0; s.n()];
@@ -369,7 +352,7 @@ mod tests {
         let s = setup(6, MgOptions::default());
         let ell = s.n_levels() - 1;
         let b = random_rhs(s.n(), 2);
-        let mut scratch = CorrectionScratch::new(&s);
+        let mut scratch = Workspace::new(&s);
         let mut out = vec![0.0; s.n()];
         grid_correction(&s, AdditiveMethod::Multadd, ell, &b, &mut out, &mut scratch);
         // The correction must be nonzero and fine-grid sized.

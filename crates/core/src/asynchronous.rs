@@ -177,9 +177,20 @@ impl GridData {
             snap1: (k < ell).then(|| RacyVec::zeros(nk1)),
             gs_k: AtomicF64Vec::zeros(if is_async_gs { nk } else { 0 }),
             gs_k1: (k < ell && is_async_gs).then(|| AtomicF64Vec::zeros(nk1)),
-            sm_k: LevelSmoother::new(setup.a(k), setup.opts.smoother, team_size),
-            sm_k1: (k < ell)
-                .then(|| LevelSmoother::new(setup.a(k + 1), setup.opts.smoother, team_size)),
+            sm_k: LevelSmoother::with_diag(
+                setup.a(k),
+                &setup.hierarchy.levels[k].diag,
+                setup.opts.smoother,
+                team_size,
+            ),
+            sm_k1: (k < ell).then(|| {
+                LevelSmoother::with_diag(
+                    setup.a(k + 1),
+                    &setup.hierarchy.levels[k + 1].diag,
+                    setup.opts.smoother,
+                    team_size,
+                )
+            }),
         }
     }
 }

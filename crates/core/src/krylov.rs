@@ -7,9 +7,10 @@
 //! application, one Multadd application) can serve as the SPD
 //! preconditioner `B ≈ A⁻¹`.
 
-use crate::additive::{grid_correction, AdditiveMethod, CorrectionScratch};
-use crate::mult::{mult_vcycle, MultScratch};
+use crate::additive::{grid_correction, AdditiveMethod};
+use crate::mult::mult_vcycle;
 use crate::setup::MgSetup;
+use crate::workspace::Workspace;
 use asyncmg_sparse::{vecops, Csr};
 use asyncmg_telemetry::{NoopProbe, Probe};
 use std::time::Instant;
@@ -57,13 +58,13 @@ impl Preconditioner for JacobiPrec {
 /// SPD, as required by CG.
 pub struct VCyclePrec<'a> {
     setup: &'a MgSetup,
-    scratch: MultScratch,
+    scratch: Workspace,
 }
 
 impl<'a> VCyclePrec<'a> {
     /// Builds the preconditioner.
     pub fn new(setup: &'a MgSetup) -> Self {
-        VCyclePrec { setup, scratch: MultScratch::new(setup) }
+        VCyclePrec { setup, scratch: Workspace::new(setup) }
     }
 }
 
@@ -80,19 +81,14 @@ impl Preconditioner for VCyclePrec<'_> {
 pub struct AdditivePrec<'a> {
     setup: &'a MgSetup,
     method: AdditiveMethod,
-    scratch: CorrectionScratch,
+    scratch: Workspace,
     corr: Vec<f64>,
 }
 
 impl<'a> AdditivePrec<'a> {
     /// Builds the preconditioner for `method`.
     pub fn new(setup: &'a MgSetup, method: AdditiveMethod) -> Self {
-        AdditivePrec {
-            setup,
-            method,
-            scratch: CorrectionScratch::new(setup),
-            corr: vec![0.0; setup.n()],
-        }
+        AdditivePrec { setup, method, scratch: Workspace::new(setup), corr: vec![0.0; setup.n()] }
     }
 }
 

@@ -7,7 +7,8 @@
 //!   `asyncmg-amg`) with smoothed interpolants and per-level smoothers,
 //! * sequential solvers — [`mult::solve_mult`] (the classical V(1,1)-cycle,
 //!   Algorithm 1) and [`additive::solve_additive`] (BPX, Multadd, AFACx,
-//!   Section II),
+//!   Section II), both cycling allocation-free out of a pre-sized
+//!   [`workspace::Workspace`],
 //! * [`models`] — sequential simulations of the semi-async and full-async
 //!   models (Section III, Equations 6, 7 and 10),
 //! * [`asynchronous`] / [`parallel_mult`] — the shared-memory thread-team
@@ -29,12 +30,12 @@
 //! let b = random_rhs(a.nrows(), 0);
 //! let setup = MgSetup::new(build_hierarchy(a, &AmgOptions::default()), MgOptions::default());
 //! // Asynchronous Multadd on 4 threads until the relative residual is
-//! // below 1e-8 (with up to 100 corrections per grid), with a full
-//! // telemetry trace.
+//! // below 1e-8 (with up to 400 corrections per grid — a generous cap, so
+//! // the run always ends on the tolerance), with a full telemetry trace.
 //! let report = Solver::new(&setup)
 //!     .method(Method::Multadd)
 //!     .threads(4)
-//!     .t_max(100)
+//!     .t_max(400)
 //!     .tolerance(1e-8)
 //!     .with_trace()
 //!     .run(&b);
@@ -55,12 +56,11 @@ pub mod mult;
 pub mod parallel_mult;
 pub mod setup;
 pub mod solver;
+pub mod workspace;
 
+pub use additive::{grid_correction, solve_additive_probed, AdditiveMethod, SolveResult};
 #[allow(deprecated)]
-pub use additive::solve_additive;
-pub use additive::{
-    grid_correction, solve_additive_probed, AdditiveMethod, CorrectionScratch, SolveResult,
-};
+pub use additive::{solve_additive, CorrectionScratch};
 #[allow(deprecated)]
 pub use asynchronous::solve_async;
 pub use asynchronous::{
@@ -70,14 +70,15 @@ pub use krylov::{
     pcg, pcg_probed, AdditivePrec, CgResult, IdentityPrec, JacobiPrec, Preconditioner, VCyclePrec,
 };
 pub use models::{simulate, simulate_mean, ModelKind, ModelOptions, ModelResult};
+pub use mult::{mult_vcycle, solve_mult_probed};
 #[allow(deprecated)]
-pub use mult::solve_mult;
-pub use mult::{mult_vcycle, solve_mult_probed, MultScratch};
+pub use mult::{solve_mult, MultScratch};
 #[allow(deprecated)]
 pub use parallel_mult::solve_mult_threaded;
 pub use parallel_mult::solve_mult_threaded_probed;
 pub use setup::{CoarseSolve, MgOptions, MgSetup};
 pub use solver::{Method, SolveReport, Solver};
+pub use workspace::Workspace;
 
 // Re-exported so downstream users can name probes without depending on the
 // telemetry crate directly.

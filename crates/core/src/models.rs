@@ -8,8 +8,9 @@
 //! discussed in DESIGN.md: `z ∈ (max(z_k(τ_k), t − δ), t]`, so reads never
 //! go backwards and never exceed the maximum delay δ.
 
-use crate::additive::{grid_correction, AdditiveMethod, CorrectionScratch};
+use crate::additive::{grid_correction, AdditiveMethod};
 use crate::setup::MgSetup;
+use crate::workspace::Workspace;
 use asyncmg_sparse::vecops;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -125,7 +126,7 @@ pub fn simulate(
         _ => vec![vec![0u32; n]; ngrids],
     };
 
-    let mut scratch = CorrectionScratch::new(setup);
+    let mut scratch = Workspace::new(setup);
     let mut corr = vec![0.0; n];
     let mut sum = vec![0.0; n];
     let mut read = vec![0.0; n];

@@ -2,32 +2,18 @@
 
 use crate::additive::SolveResult;
 use crate::setup::{CoarseSolve, MgSetup};
+use crate::workspace::Workspace;
 use asyncmg_sparse::vecops;
 use asyncmg_telemetry::{NoopProbe, Probe};
 use std::time::Instant;
 
-/// Per-level work vectors for the multiplicative cycle.
-pub struct MultScratch {
-    pub(crate) r: Vec<Vec<f64>>,
-    pub(crate) e: Vec<Vec<f64>>,
-    pub(crate) buf: Vec<Vec<f64>>,
-}
-
-impl MultScratch {
-    /// Allocates scratch for `setup`.
-    pub fn new(setup: &MgSetup) -> Self {
-        let sizes = setup.hierarchy.level_sizes();
-        MultScratch {
-            r: sizes.iter().map(|&n| vec![0.0; n]).collect(),
-            e: sizes.iter().map(|&n| vec![0.0; n]).collect(),
-            buf: sizes.iter().map(|&n| vec![0.0; n]).collect(),
-        }
-    }
-}
+#[allow(deprecated)]
+pub use crate::workspace::MultScratch;
 
 /// One multiplicative V(1,1)-cycle: updates `x` in place given the current
-/// fine-grid residual in `scratch.r[0]`.
-pub fn mult_vcycle(setup: &MgSetup, x: &mut [f64], scratch: &mut MultScratch) {
+/// fine-grid residual in `scratch.r[0]`. Allocation-free: every vector it
+/// touches lives in the pre-sized [`Workspace`].
+pub fn mult_vcycle(setup: &MgSetup, x: &mut [f64], scratch: &mut Workspace) {
     let ell = setup.n_levels() - 1;
     // Downward sweep: pre-smooth and restrict.
     for k in 0..ell {
@@ -100,18 +86,17 @@ pub fn solve_mult_probed<P: Probe + ?Sized>(
     let n = setup.n();
     let nb = vecops::norm2(b);
     let mut x = vec![0.0; n];
-    let mut scratch = MultScratch::new(setup);
+    // All per-cycle temporaries are pre-sized here; the loop below performs
+    // no heap allocation.
+    let mut scratch = Workspace::new(setup);
     let mut history = Vec::with_capacity(t_max);
     let epoch = Instant::now();
     for cycle in 0..t_max {
         setup.a(0).residual(b, &x, &mut scratch.r[0]);
         mult_vcycle(setup, &mut x, &mut scratch);
-        setup.a(0).residual(b, &x, &mut scratch.buf[0]);
-        let rel = if nb > 0.0 {
-            vecops::norm2(&scratch.buf[0]) / nb
-        } else {
-            vecops::norm2(&scratch.buf[0])
-        };
+        setup.a(0).residual(b, &x, &mut scratch.res);
+        let rel =
+            if nb > 0.0 { vecops::norm2(&scratch.res) / nb } else { vecops::norm2(&scratch.res) };
         history.push(rel);
         if probe.enabled() {
             let t_ns = epoch.elapsed().as_nanos() as u64;

@@ -27,6 +27,33 @@ pub fn solve_mult_threaded(
     solve_mult_threaded_probed(setup, b, n_threads, t_max, None, &NoopProbe)
 }
 
+/// Per-level thread-shared work vectors of the threaded multiplicative
+/// cycle, allocated once per solve before the team starts.
+struct SharedWorkspace {
+    /// Residual per level.
+    r: Vec<RacyVec>,
+    /// Correction per level.
+    e: Vec<RacyVec>,
+    /// General-purpose buffer per level.
+    buf: Vec<RacyVec>,
+    /// Sweep-start snapshot per level (post-smoothing reads it).
+    old: Vec<RacyVec>,
+    /// The fine-grid iterate.
+    x: RacyVec,
+}
+
+impl SharedWorkspace {
+    fn new(sizes: &[usize]) -> Self {
+        SharedWorkspace {
+            r: sizes.iter().map(|&m| RacyVec::zeros(m)).collect(),
+            e: sizes.iter().map(|&m| RacyVec::zeros(m)).collect(),
+            buf: sizes.iter().map(|&m| RacyVec::zeros(m)).collect(),
+            old: sizes.iter().map(|&m| RacyVec::zeros(m)).collect(),
+            x: RacyVec::zeros(sizes[0]),
+        }
+    }
+}
+
 /// [`solve_mult_threaded`] with tolerance-based early stopping and
 /// telemetry. When `tol` is set (or `probe` records), the master computes
 /// the exact relative residual at the end of every cycle — an extra fine-
@@ -43,12 +70,12 @@ pub fn solve_mult_threaded_probed<P: Probe + ?Sized>(
     let n = setup.n();
     let ell = setup.n_levels() - 1;
     let sizes = setup.hierarchy.level_sizes();
-    // Per-level shared work vectors.
-    let r: Vec<RacyVec> = sizes.iter().map(|&m| RacyVec::zeros(m)).collect();
-    let e: Vec<RacyVec> = sizes.iter().map(|&m| RacyVec::zeros(m)).collect();
-    let buf: Vec<RacyVec> = sizes.iter().map(|&m| RacyVec::zeros(m)).collect();
-    let old: Vec<RacyVec> = sizes.iter().map(|&m| RacyVec::zeros(m)).collect();
-    let x = RacyVec::zeros(n);
+    let ws = SharedWorkspace::new(&sizes);
+    let SharedWorkspace { r, e, buf, old, x } = &ws;
+    // Cached per-level row partitions: `parts[k][rank]` is the rank's
+    // contiguous chunk of level `k`, derived once on the hierarchy instead
+    // of being re-split on every operation of every cycle.
+    let parts = setup.hierarchy.partitions(n_threads);
     let smoothers: Vec<LevelSmoother> = setup.with_nblocks(n_threads);
     let nb = vecops::norm2(b);
     let nb_safe = if nb > 0.0 { nb } else { 1.0 };
@@ -63,7 +90,7 @@ pub fn solve_mult_threaded_probed<P: Probe + ?Sized>(
             // r_0 = b − A x.
             {
                 let xs = unsafe { x.as_slice() };
-                let chunk = ctx.chunk(n);
+                let chunk = parts[0][ctx.rank].clone();
                 let dst = unsafe { r[0].slice_mut(chunk.clone()) };
                 for (off, i) in chunk.enumerate() {
                     dst[off] = b[i] - setup.a(0).row_dot(i, xs);
@@ -73,7 +100,6 @@ pub fn solve_mult_threaded_probed<P: Probe + ?Sized>(
             // Downward sweep.
             for k in 0..ell {
                 let a_k = setup.a(k);
-                let nk = sizes[k];
                 // Pre-smooth from zero: e_k = Λ r_k (rank's block).
                 {
                     let rk = unsafe { r[k].as_slice() };
@@ -86,7 +112,7 @@ pub fn solve_mult_threaded_probed<P: Probe + ?Sized>(
                 {
                     let rk = unsafe { r[k].as_slice() };
                     let ek = unsafe { e[k].as_slice() };
-                    let chunk = ctx.chunk(nk);
+                    let chunk = parts[k][ctx.rank].clone();
                     let dst = unsafe { buf[k].slice_mut(chunk.clone()) };
                     for (off, i) in chunk.enumerate() {
                         dst[off] = rk[i] - a_k.row_dot(i, ek);
@@ -97,7 +123,7 @@ pub fn solve_mult_threaded_probed<P: Probe + ?Sized>(
                 {
                     let src = unsafe { buf[k].as_slice() };
                     let rest = setup.r(k);
-                    let chunk = ctx.chunk(sizes[k + 1]);
+                    let chunk = parts[k + 1][ctx.rank].clone();
                     let dst = unsafe { r[k + 1].slice_mut(chunk.clone()) };
                     for (off, i) in chunk.enumerate() {
                         dst[off] = rest.row_dot(i, src);
@@ -126,12 +152,11 @@ pub fn solve_mult_threaded_probed<P: Probe + ?Sized>(
             // Upward sweep.
             for k in (0..ell).rev() {
                 let a_k = setup.a(k);
-                let nk = sizes[k];
                 // e_k += P e_{k+1} and snapshot into old.
                 {
                     let src = unsafe { e[k + 1].as_slice() };
                     let p = setup.p(k);
-                    let chunk = ctx.chunk(nk);
+                    let chunk = parts[k][ctx.rank].clone();
                     let dst = unsafe { e[k].slice_mut(chunk.clone()) };
                     let snap = unsafe { old[k].slice_mut(chunk.clone()) };
                     for (off, i) in chunk.enumerate() {
@@ -154,7 +179,7 @@ pub fn solve_mult_threaded_probed<P: Probe + ?Sized>(
             // x += e_0.
             {
                 let e0 = unsafe { e[0].as_slice() };
-                let chunk = ctx.chunk(n);
+                let chunk = parts[0][ctx.rank].clone();
                 let dst = unsafe { x.slice_mut(chunk.clone()) };
                 for (off, i) in chunk.enumerate() {
                     dst[off] += e0[i];

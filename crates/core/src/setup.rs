@@ -86,10 +86,12 @@ impl MgSetup {
             _ => InterpSmoothing::WJacobi { omega: opts.interp_omega },
         };
         let p_bar = smoothed_interpolants(&hierarchy, interp_kind);
+        // The hierarchy caches each level's diagonal; building smoothers
+        // from it avoids re-searching every matrix row.
         let smoothers = hierarchy
             .levels
             .iter()
-            .map(|l| LevelSmoother::new(&l.a, opts.smoother, opts.nblocks))
+            .map(|l| LevelSmoother::with_diag(&l.a, &l.diag, opts.smoother, opts.nblocks))
             .collect();
         MgSetup { hierarchy, p_bar, smoothers, opts }
     }
@@ -100,7 +102,7 @@ impl MgSetup {
         self.hierarchy
             .levels
             .iter()
-            .map(|l| LevelSmoother::new(&l.a, self.opts.smoother, nblocks))
+            .map(|l| LevelSmoother::with_diag(&l.a, &l.diag, self.opts.smoother, nblocks))
             .collect()
     }
 

@@ -77,8 +77,15 @@ impl LevelSmoother {
     /// Builds a smoother for matrix `a` with `nblocks` thread blocks
     /// (relevant for the GS variants; ignored by the Jacobi variants).
     pub fn new(a: &Csr, kind: SmootherKind, nblocks: usize) -> Self {
+        Self::with_diag(a, &a.diag(), kind, nblocks)
+    }
+
+    /// As [`LevelSmoother::new`], but reusing a precomputed main diagonal of
+    /// `a` — hierarchies cache one per level, so per-solve smoother
+    /// construction stops re-searching the matrix.
+    pub fn with_diag(a: &Csr, diag: &[f64], kind: SmootherKind, nblocks: usize) -> Self {
         let n = a.nrows();
-        let diag = a.diag();
+        assert_eq!(diag.len(), n);
         let weight: Vec<f64> = match kind {
             SmootherKind::WJacobi { omega } => {
                 diag.iter().map(|&d| if d != 0.0 { omega / d } else { 0.0 }).collect()
@@ -92,7 +99,7 @@ impl LevelSmoother {
         };
         let nb = nblocks.max(1).min(n.max(1));
         let blocks = (0..nb).map(|b| chunk_range(n, nb, b)).collect();
-        LevelSmoother { kind, weight, diag, blocks }
+        LevelSmoother { kind, weight, diag: diag.to_vec(), blocks }
     }
 
     /// The smoother kind.

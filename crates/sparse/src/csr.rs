@@ -6,6 +6,46 @@
 
 use crate::atomic::AtomicF64Vec;
 
+/// Shared sparse dot kernel `Σ_k vals[k] · x[col[k]]` with four independent
+/// accumulators (hides the FMA latency chain) and `get_unchecked` indexing.
+///
+/// Every row-dot kernel of [`Csr`] — serial, ranged and atomic — funnels
+/// through this accumulation order, so sequential and thread-team solves stay
+/// comparable at round-off level regardless of how rows are partitioned.
+#[inline(always)]
+fn dot4(vals: &[f64], cols: &[u32], x: &[f64]) -> f64 {
+    let n = vals.len();
+    debug_assert_eq!(cols.len(), n);
+    debug_assert!(cols.iter().all(|&c| (c as usize) < x.len()));
+    let n4 = n & !3;
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut k = 0;
+    while k < n4 {
+        // SAFETY: `k + 3 < n4 <= n` bounds vals/cols; every stored column
+        // index is `< ncols <= x.len()` (validated by `from_raw`, checked by
+        // the `debug_assert` above).
+        unsafe {
+            a0 += *vals.get_unchecked(k) * *x.get_unchecked(*cols.get_unchecked(k) as usize);
+            a1 +=
+                *vals.get_unchecked(k + 1) * *x.get_unchecked(*cols.get_unchecked(k + 1) as usize);
+            a2 +=
+                *vals.get_unchecked(k + 2) * *x.get_unchecked(*cols.get_unchecked(k + 2) as usize);
+            a3 +=
+                *vals.get_unchecked(k + 3) * *x.get_unchecked(*cols.get_unchecked(k + 3) as usize);
+        }
+        k += 4;
+    }
+    let mut tail = 0.0f64;
+    while k < n {
+        // SAFETY: as above, `k < n`.
+        unsafe {
+            tail += *vals.get_unchecked(k) * *x.get_unchecked(*cols.get_unchecked(k) as usize);
+        }
+        k += 1;
+    }
+    (a0 + a1) + (a2 + a3) + tail
+}
+
 /// A sparse matrix in compressed sparse row format.
 ///
 /// Column indices are `u32` (half the memory of `usize` indices, the usual
@@ -129,7 +169,22 @@ impl Csr {
 
     /// The main diagonal as a dense vector (`0.0` where absent).
     pub fn diag(&self) -> Vec<f64> {
-        (0..self.nrows).map(|i| self.get(i, i)).collect()
+        let mut d = vec![0.0; self.nrows];
+        self.diag_into(&mut d);
+        d
+    }
+
+    /// Writes the main diagonal into `out` (`0.0` where absent), locating
+    /// each entry with a binary search over the row's sorted columns.
+    pub fn diag_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.nrows);
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            out[i] = match cols.binary_search(&(i as u32)) {
+                Ok(k) => vals[k],
+                Err(_) => 0.0,
+            };
+        }
     }
 
     /// Row-wise ℓ1 norms `Σ_j |a_ij|`, the diagonal of the ℓ1-Jacobi
@@ -148,13 +203,7 @@ impl Csr {
         debug_assert_eq!(x.len(), self.ncols);
         debug_assert_eq!(y.len(), self.nrows);
         for i in rows {
-            let lo = self.row_ptr[i] as usize;
-            let hi = self.row_ptr[i + 1] as usize;
-            let mut acc = 0.0;
-            for k in lo..hi {
-                acc += self.vals[k] * x[self.col_idx[k] as usize];
-            }
-            y[i] = acc;
+            y[i] = self.row_dot(i, x);
         }
     }
 
@@ -163,26 +212,37 @@ impl Csr {
     pub fn row_dot(&self, i: usize, x: &[f64]) -> f64 {
         let lo = self.row_ptr[i] as usize;
         let hi = self.row_ptr[i + 1] as usize;
-        let mut acc = 0.0;
-        for k in lo..hi {
-            acc += self.vals[k] * x[self.col_idx[k] as usize];
-        }
-        acc
+        dot4(&self.vals[lo..hi], &self.col_idx[lo..hi], x)
     }
 
     /// Single-row dot product reading `x` from a shared atomic vector.
     ///
     /// This is the kernel inside asynchronous Gauss-Seidel and the global-res
     /// residual update, where `x` is concurrently mutated by other grids.
+    /// The accumulation order matches [`Csr::row_dot`] (same 4-way unrolled
+    /// scheme) so synchronous thread-team solves reproduce sequential ones.
     #[inline]
     pub fn row_dot_atomic(&self, i: usize, x: &AtomicF64Vec) -> f64 {
         let lo = self.row_ptr[i] as usize;
         let hi = self.row_ptr[i + 1] as usize;
-        let mut acc = 0.0;
-        for k in lo..hi {
-            acc += self.vals[k] * x.load(self.col_idx[k] as usize);
+        let (vals, cols) = (&self.vals[lo..hi], &self.col_idx[lo..hi]);
+        let n = vals.len();
+        let n4 = n & !3;
+        let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        let mut k = 0;
+        while k < n4 {
+            a0 += vals[k] * x.load(cols[k] as usize);
+            a1 += vals[k + 1] * x.load(cols[k + 1] as usize);
+            a2 += vals[k + 2] * x.load(cols[k + 2] as usize);
+            a3 += vals[k + 3] * x.load(cols[k + 3] as usize);
+            k += 4;
         }
-        acc
+        let mut tail = 0.0f64;
+        while k < n {
+            tail += vals[k] * x.load(cols[k] as usize);
+            k += 1;
+        }
+        (a0 + a1) + (a2 + a3) + tail
     }
 
     /// `r[rows] = (b − A x)[rows]` — residual kernel.
@@ -206,15 +266,17 @@ impl Csr {
 
     /// The transpose as a new CSR matrix (used for restriction `R = Pᵀ`).
     pub fn transpose(&self) -> Csr {
-        let mut counts = vec![0u32; self.ncols + 1];
+        // One array serves as both prefix sum and insertion cursor: during
+        // the fill, `row_ptr[j]` walks from the start of output row `j` to
+        // its end (= the start of row `j + 1`), so a single right-shift
+        // afterwards restores the row pointers without a second allocation.
+        let mut row_ptr = vec![0u32; self.ncols + 1];
         for &c in &self.col_idx {
-            counts[c as usize + 1] += 1;
+            row_ptr[c as usize + 1] += 1;
         }
         for j in 0..self.ncols {
-            counts[j + 1] += counts[j];
+            row_ptr[j + 1] += row_ptr[j];
         }
-        let row_ptr = counts.clone();
-        let mut next = counts;
         let mut col_idx = vec![0u32; self.nnz()];
         let mut vals = vec![0.0; self.nnz()];
         for i in 0..self.nrows {
@@ -222,12 +284,16 @@ impl Csr {
             let hi = self.row_ptr[i + 1] as usize;
             for k in lo..hi {
                 let j = self.col_idx[k] as usize;
-                let dst = next[j] as usize;
+                let dst = row_ptr[j] as usize;
                 col_idx[dst] = i as u32;
                 vals[dst] = self.vals[k];
-                next[j] += 1;
+                row_ptr[j] += 1;
             }
         }
+        for j in (1..=self.ncols).rev() {
+            row_ptr[j] = row_ptr[j - 1];
+        }
+        row_ptr[0] = 0;
         // Rows of the transpose are produced in increasing original-row
         // order, so columns are already sorted.
         Csr { nrows: self.ncols, ncols: self.nrows, row_ptr, col_idx, vals }

@@ -11,6 +11,9 @@
 //! * [`spgemm`]/[`rap`] — sparse matrix-matrix products used for the Galerkin
 //!   coarse-grid operators `A_{k+1} = Pᵀ A_k P` and the smoothed interpolants
 //!   `P̄ = (I − ωD⁻¹A) P`,
+//! * [`spgemm_parallel`]/[`rap_parallel`]/[`transpose_parallel`] — two-pass
+//!   thread-parallel variants of the setup kernels, bit-identical to the
+//!   serial ones ([`parallel`] module),
 //! * [`DenseLu`] — a partial-pivoting LU factorisation for the coarsest-grid
 //!   exact solve,
 //! * [`AtomicF64Vec`] — a shared vector of `f64` values accessed with relaxed
@@ -28,6 +31,7 @@ pub mod coo;
 pub mod csr;
 pub mod dense;
 pub mod io;
+pub mod parallel;
 pub mod spgemm;
 pub mod vecops;
 
@@ -35,4 +39,5 @@ pub use atomic::AtomicF64Vec;
 pub use coo::Coo;
 pub use csr::Csr;
 pub use dense::{DenseLu, DenseMatrix};
+pub use parallel::{auto_setup_threads, rap_parallel, spgemm_parallel, transpose_parallel};
 pub use spgemm::{add_scaled, rap, spgemm};

@@ -28,7 +28,11 @@ pub use recorder::TelemetryProbe;
 pub use ring::EventRing;
 pub use trace::{CorrectionRecord, GridTimeline, PhaseTotal, ResidualSample, SolveTrace};
 
-/// The instrumented phases of one grid correction (Algorithm 5).
+/// The instrumented phases of one grid correction (Algorithm 5), plus the
+/// timed stages of the hierarchy setup.
+///
+/// Setup events use the hierarchy *level being built* as their `grid`
+/// argument, so a trace shows where each level's build time went.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Phase {
     /// Restriction of the residual down to the grid's level.
@@ -41,12 +45,27 @@ pub enum Phase {
     SharedWrite,
     /// Local/global/residual-based refresh of the fine-grid residual.
     ResidualUpdate,
+    /// Setup: strength-of-connection graph and C/F coarsening of one level.
+    SetupStrength,
+    /// Setup: interpolation operator construction (including smoothing of
+    /// the interpolant when enabled).
+    SetupInterp,
+    /// Setup: the Galerkin product `Pᵀ A P` and restriction transpose.
+    SetupRap,
 }
 
 impl Phase {
-    /// All phases, in pipeline order.
-    pub const ALL: [Phase; 5] =
-        [Phase::Restrict, Phase::Smooth, Phase::Prolong, Phase::SharedWrite, Phase::ResidualUpdate];
+    /// All phases: the solve pipeline in order, then the setup stages.
+    pub const ALL: [Phase; 8] = [
+        Phase::Restrict,
+        Phase::Smooth,
+        Phase::Prolong,
+        Phase::SharedWrite,
+        Phase::ResidualUpdate,
+        Phase::SetupStrength,
+        Phase::SetupInterp,
+        Phase::SetupRap,
+    ];
 
     /// Stable lowercase name (used in the JSON schema).
     pub fn name(self) -> &'static str {
@@ -56,6 +75,9 @@ impl Phase {
             Phase::Prolong => "prolong",
             Phase::SharedWrite => "shared_write",
             Phase::ResidualUpdate => "residual_update",
+            Phase::SetupStrength => "setup_strength",
+            Phase::SetupInterp => "setup_interp",
+            Phase::SetupRap => "setup_rap",
         }
     }
 
@@ -67,6 +89,9 @@ impl Phase {
             Phase::Prolong => 2,
             Phase::SharedWrite => 3,
             Phase::ResidualUpdate => 4,
+            Phase::SetupStrength => 5,
+            Phase::SetupInterp => 6,
+            Phase::SetupRap => 7,
         }
     }
 }

@@ -17,6 +17,8 @@
 //!   OS thread per team member and hands each a context describing its team,
 //! * [`RacyVec`] — a shared `f64` buffer written in disjoint ranges between
 //!   barriers (team-local vectors of Algorithm 5),
+//! * [`RacyBuf`] — its generic sibling for index/value arrays filled at
+//!   disjoint positions by the parallel setup-phase kernels,
 //! * [`SpinLock`] — the raw lock behind the paper's lock-write option.
 
 // Indexed loops over multiple parallel arrays are the house style for
@@ -32,5 +34,5 @@ pub mod team;
 pub use barrier::SpinBarrier;
 pub use lock::SpinLock;
 pub use partition::{chunk_range, GridTeamLayout};
-pub use racy::RacyVec;
+pub use racy::{RacyBuf, RacyVec};
 pub use team::{run_teams, TeamCtx};

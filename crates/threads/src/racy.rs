@@ -74,6 +74,89 @@ impl RacyVec {
     }
 }
 
+/// A fixed-length shared buffer of any `Copy` element with caller-enforced
+/// aliasing rules.
+///
+/// The generic sibling of [`RacyVec`], used by the parallel setup-phase
+/// kernels in `asyncmg-sparse` to fill `u32` index arrays and `f64` value
+/// arrays from multiple threads at provably disjoint positions (each thread
+/// owns a contiguous output region fixed by a prior symbolic pass, or a
+/// scatter pattern whose destinations are disjoint by construction).
+pub struct RacyBuf<T: Copy> {
+    data: UnsafeCell<Box<[T]>>,
+    len: usize,
+}
+
+// SAFETY: all access goes through the unsafe methods below whose contracts
+// require externally-synchronised disjoint access.
+unsafe impl<T: Copy + Send> Sync for RacyBuf<T> {}
+unsafe impl<T: Copy + Send> Send for RacyBuf<T> {}
+
+impl<T: Copy> RacyBuf<T> {
+    /// A buffer of length `n` with every element set to `fill`.
+    pub fn filled(n: usize, fill: T) -> Self {
+        RacyBuf { data: UnsafeCell::new(vec![fill; n].into_boxed_slice()), len: n }
+    }
+
+    /// A buffer taking ownership of an existing vector.
+    pub fn from_vec(v: Vec<T>) -> Self {
+        let len = v.len();
+        RacyBuf { data: UnsafeCell::new(v.into_boxed_slice()), len }
+    }
+
+    /// Length of the buffer.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A mutable view of `range`.
+    ///
+    /// # Safety
+    /// Between two barrier synchronisations (or thread join points), no other
+    /// thread may read or write any element of `range`.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    pub unsafe fn slice_mut(&self, range: std::ops::Range<usize>) -> &mut [T] {
+        let data = &mut *self.data.get();
+        &mut data[range]
+    }
+
+    /// Writes element `i`.
+    ///
+    /// # Safety
+    /// Between two barrier synchronisations (or thread join points), no other
+    /// thread may read or write element `i`.
+    #[inline]
+    pub unsafe fn set(&self, i: usize, v: T) {
+        let data = &mut *self.data.get();
+        data[i] = v;
+    }
+
+    /// A shared view of the whole buffer.
+    ///
+    /// # Safety
+    /// Every element read must either have been written by this thread, or
+    /// the write must be separated from this read by a barrier or thread
+    /// join; no concurrent writer may overlap the elements actually read.
+    #[inline]
+    pub unsafe fn as_slice(&self) -> &[T] {
+        &*self.data.get()
+    }
+
+    /// Consumes the buffer, returning the underlying vector (after all
+    /// threads are joined, reading is race-free by construction).
+    pub fn into_vec(self) -> Vec<T> {
+        self.data.into_inner().into_vec()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,5 +210,38 @@ mod tests {
         }
         assert_eq!(v.len(), 2);
         assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn racy_buf_round_trip() {
+        let b = RacyBuf::<u32>::filled(3, 7);
+        unsafe {
+            b.set(1, 42);
+            assert_eq!(b.as_slice(), &[7, 42, 7]);
+        }
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert_eq!(b.into_vec(), vec![7, 42, 7]);
+    }
+
+    #[test]
+    fn racy_buf_disjoint_parallel_writes() {
+        let n = 257;
+        let nthreads = 4;
+        let b = RacyBuf::<u32>::from_vec(vec![0; n]);
+        std::thread::scope(|s| {
+            for t in 0..nthreads {
+                let b = &b;
+                s.spawn(move || {
+                    let range = crate::partition::chunk_range(n, nthreads, t);
+                    let chunk = unsafe { b.slice_mut(range.clone()) };
+                    for (off, x) in chunk.iter_mut().enumerate() {
+                        *x = (range.start + off) as u32;
+                    }
+                });
+            }
+        });
+        let v = b.into_vec();
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32));
     }
 }
