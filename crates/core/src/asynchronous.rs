@@ -22,7 +22,9 @@ use crate::setup::{CoarseSolve, MgSetup};
 use asyncmg_smoothers::{async_gs_sweep, LevelSmoother, SmootherKind};
 use asyncmg_sparse::{vecops, AtomicF64Vec, Csr};
 use asyncmg_telemetry::{NoopProbe, Phase, Probe};
-use asyncmg_threads::{run_teams, GridTeamLayout, RacyVec, SpinLock, TeamCtx};
+use asyncmg_threads::{
+    run_teams_sched, GridTeamLayout, OsSched, RacyVec, Sched, SchedPoint, SpinLock, TeamCtx,
+};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -250,11 +252,53 @@ pub fn solve_async_probed<P: Probe + ?Sized>(
     opts: &AsyncOptions,
     probe: &P,
 ) -> AsyncResult {
+    solve_async_impl(setup, b, opts, probe, None)
+}
+
+/// [`solve_async_probed`] under an explicit [`Sched`].
+///
+/// With [`OsSched`] this is exactly the production solver. With a
+/// [`VirtualSched`](asyncmg_threads::VirtualSched) the whole solve — every
+/// barrier, racy read/write, lock acquisition and end-of-correction yield —
+/// is serialized through the scheduler's seeded PRNG, making the
+/// interleaving (and hence the floating-point result and the telemetry
+/// event content) a deterministic function of the seed.
+///
+/// Determinism caveat: the asynchronous `StopCriterion::Tolerance` monitor
+/// runs on a free thread outside the scheduler and samples wall-clock time;
+/// use `StopCriterion::One`/`Two` for reproducible runs.
+pub fn solve_async_sched<P: Probe + ?Sized>(
+    setup: &MgSetup,
+    b: &[f64],
+    opts: &AsyncOptions,
+    probe: &P,
+    sched: &dyn Sched,
+) -> AsyncResult {
+    solve_async_impl(setup, b, opts, probe, Some(sched))
+}
+
+fn solve_async_impl<P: Probe + ?Sized>(
+    setup: &MgSetup,
+    b: &[f64],
+    opts: &AsyncOptions,
+    probe: &P,
+    sched: Option<&dyn Sched>,
+) -> AsyncResult {
     let n = setup.n();
     assert_eq!(b.len(), n);
     assert!(opts.n_threads > 0 && opts.t_max > 0);
     let work = setup.work_estimates(opts.method.uses_smoothed_interpolants());
     let layout = GridTeamLayout::build(&work, opts.n_threads);
+    // The production scheduler is built here (team sizes are only known
+    // once the layout is) unless the caller supplied one.
+    let os_sched;
+    let sched: &dyn Sched = match sched {
+        Some(s) => s,
+        None => {
+            os_sched = OsSched::for_teams(&layout.sizes);
+            &os_sched
+        }
+    };
 
     let teams: Vec<TeamData> = layout
         .teams
@@ -294,14 +338,14 @@ pub fn solve_async_probed<P: Probe + ?Sized>(
             let done = AtomicBool::new(false);
             std::thread::scope(|s| {
                 s.spawn(|| monitor_loop(&shared, relres, check_every, &done));
-                run_teams(&layout.sizes, |ctx| {
+                run_teams_sched(&layout.sizes, sched, |ctx| {
                     team_worker(&shared, &teams[ctx.team_id], &ctx);
                 });
                 done.store(true, Ordering::Release);
             });
         }
         _ => {
-            run_teams(&layout.sizes, |ctx| {
+            run_teams_sched(&layout.sizes, sched, |ctx| {
                 team_worker(&shared, &teams[ctx.team_id], &ctx);
             });
         }
@@ -425,8 +469,9 @@ fn team_worker<P: Probe + ?Sized>(shared: &Shared<'_, P>, team: &TeamData, ctx: 
                 // roughly balanced, which Section VII identifies as
                 // necessary for grid-size-independent convergence (the
                 // paper's 272 threads on 68 KNL cores interleave the same
-                // way).
-                std::thread::yield_now();
+                // way). Under a virtual scheduler this is a preemption
+                // point.
+                ctx.sched_point(SchedPoint::Yield);
             }
         }
 
@@ -834,17 +879,20 @@ fn write_x_phase<P: Probe + ?Sized>(
             if ctx.is_team_master() {
                 // Acquired by the master, released by the master after the
                 // team's write barrier — the explicit lock/unlock pair of
-                // SpinLock fits this asymmetric protocol.
-                shared.x_lock.lock();
+                // SpinLock fits this asymmetric protocol. Routed through
+                // the scheduler so a virtual schedule can suspend the
+                // holder without livelocking waiters.
+                ctx.lock(&shared.x_lock);
             }
             ctx.barrier();
             shared.x.add_rows_exclusive(ctx.chunk(n), e0);
             ctx.barrier();
             if ctx.is_team_master() {
-                shared.x_lock.unlock();
+                ctx.unlock(&shared.x_lock);
             }
         }
         WriteMode::Atomic => {
+            ctx.sched_point(SchedPoint::RacyWrite);
             shared.x.add_rows_atomic(ctx.chunk(n), e0);
             ctx.barrier();
         }
@@ -906,7 +954,7 @@ fn residual_phase_inner<P: Probe + ?Sized>(
         match opts.write {
             WriteMode::Lock => {
                 if ctx.is_team_master() {
-                    shared.r_lock.lock();
+                    ctx.lock(&shared.r_lock);
                 }
                 ctx.barrier();
                 let chunk = ctx.chunk(n);
@@ -915,10 +963,11 @@ fn residual_phase_inner<P: Probe + ?Sized>(
                 }
                 ctx.barrier();
                 if ctx.is_team_master() {
-                    shared.r_lock.unlock();
+                    ctx.unlock(&shared.r_lock);
                 }
             }
             WriteMode::Atomic => {
+                ctx.sched_point(SchedPoint::RacyWrite);
                 let chunk = ctx.chunk(n);
                 for i in chunk {
                     shared.r_glob.fetch_add(i, -delta[i]);
@@ -926,6 +975,7 @@ fn residual_phase_inner<P: Probe + ?Sized>(
                 ctx.barrier();
             }
         }
+        ctx.sched_point(SchedPoint::RacyRead);
         let chunk = ctx.chunk(n);
         let dst = unsafe { team.r_local.slice_mut(chunk.clone()) };
         for (off, i) in chunk.enumerate() {
@@ -936,7 +986,11 @@ fn residual_phase_inner<P: Probe + ?Sized>(
     }
     match opts.res_comp {
         ResComp::Local => {
-            // Snapshot x, then recompute the residual locally.
+            // Snapshot x, then recompute the residual locally. The snapshot
+            // reads the racy shared iterate: a delay-injecting scheduler
+            // deschedules the reader here so the snapshot it then takes is
+            // up to δ decisions stale (the paper's delayed-read model).
+            ctx.sched_point(SchedPoint::RacyRead);
             let chunk = ctx.chunk(n);
             {
                 let dst = unsafe { team.x_local.slice_mut(chunk.clone()) };
@@ -957,11 +1011,13 @@ fn residual_phase_inner<P: Probe + ?Sized>(
             // Non-blocking global update of the rows this thread owns
             // globally (the "No Wait GlobalParfor" of Algorithm 5), reading
             // the racy shared x.
+            ctx.sched_point(SchedPoint::RacyRead);
             for i in ctx.global_chunk(n) {
                 let v = shared.b[i] - a0.row_dot_atomic(i, &shared.x);
                 shared.r_glob.store(i, v);
             }
             // Read the shared residual into local memory.
+            ctx.sched_point(SchedPoint::RacyRead);
             let chunk = ctx.chunk(n);
             let dst = unsafe { team.r_local.slice_mut(chunk.clone()) };
             for (off, i) in chunk.enumerate() {

@@ -98,6 +98,17 @@ impl History {
 
 /// Simulates the chosen asynchronous model of the additive method `method`
 /// on `A x = b` (from `x = 0`).
+///
+/// # Reproducibility
+///
+/// The simulation is fully deterministic: all randomness (per-grid update
+/// probabilities and delay draws) comes from a [`StdRng`] seeded with
+/// `opts.seed`, and the update sweep is sequential. Calling `simulate`
+/// twice with the same `setup`, `method`, `b`, and `ModelOptions` returns a
+/// bit-identical [`ModelResult`] — every element of `x`, `final_relres`,
+/// `instants`, and `grid_updates` — on any machine with IEEE-754 `f64`
+/// arithmetic. Tests may therefore assert exact equality on replays;
+/// [`simulate_mean`] inherits the guarantee run by run.
 pub fn simulate(
     setup: &MgSetup,
     method: AdditiveMethod,

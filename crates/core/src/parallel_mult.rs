@@ -11,7 +11,7 @@ use crate::setup::{CoarseSolve, MgSetup};
 use asyncmg_smoothers::{LevelSmoother, SmootherKind};
 use asyncmg_sparse::vecops;
 use asyncmg_telemetry::{NoopProbe, Probe};
-use asyncmg_threads::{run_teams, RacyVec};
+use asyncmg_threads::{run_teams_sched, OsSched, RacyVec, Sched};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -67,6 +67,23 @@ pub fn solve_mult_threaded_probed<P: Probe + ?Sized>(
     tol: Option<f64>,
     probe: &P,
 ) -> AsyncResult {
+    let sched = OsSched::for_teams(&[n_threads]);
+    solve_mult_threaded_sched(setup, b, n_threads, t_max, tol, probe, &sched)
+}
+
+/// [`solve_mult_threaded_probed`] under an explicit [`Sched`]. The cycle is
+/// fully barriered, so any schedule produces the same result; a
+/// [`VirtualSched`](asyncmg_threads::VirtualSched) makes the run
+/// deterministic end to end.
+pub fn solve_mult_threaded_sched<P: Probe + ?Sized>(
+    setup: &MgSetup,
+    b: &[f64],
+    n_threads: usize,
+    t_max: usize,
+    tol: Option<f64>,
+    probe: &P,
+    sched: &dyn Sched,
+) -> AsyncResult {
     let n = setup.n();
     let ell = setup.n_levels() - 1;
     let sizes = setup.hierarchy.level_sizes();
@@ -85,7 +102,7 @@ pub fn solve_mult_threaded_probed<P: Probe + ?Sized>(
 
     let start = Instant::now();
     let epoch = Instant::now();
-    run_teams(&[n_threads], |ctx| {
+    run_teams_sched(&[n_threads], sched, |ctx| {
         for cycle in 0..t_max {
             // r_0 = b − A x.
             {

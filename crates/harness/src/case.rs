@@ -1,0 +1,165 @@
+//! One fuzzable solver configuration and its schedule-controlled runner.
+
+use crate::fingerprint::fingerprint_run;
+use asyncmg_amg::{build_hierarchy, AmgOptions};
+use asyncmg_core::{
+    solve_async_sched, AdditiveMethod, AsyncOptions, AsyncResult, MgOptions, MgSetup, ResComp,
+    StopCriterion, WriteMode,
+};
+use asyncmg_problems::rhs::random_rhs;
+use asyncmg_problems::stencil::{laplacian_27pt, laplacian_7pt};
+use asyncmg_smoothers::SmootherKind;
+use asyncmg_telemetry::TelemetryProbe;
+use asyncmg_threads::{ReadDelay, VirtualSched};
+
+/// The test-problem families the fuzz matrix draws from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatrixFamily {
+    /// 7-point Laplacian on an `n³` grid.
+    SevenPt(usize),
+    /// 27-point Laplacian on an `n³` grid.
+    TwentySevenPt(usize),
+}
+
+impl MatrixFamily {
+    fn build(&self) -> asyncmg_sparse::Csr {
+        match *self {
+            MatrixFamily::SevenPt(n) => laplacian_7pt(n, n, n),
+            MatrixFamily::TwentySevenPt(n) => laplacian_27pt(n, n, n),
+        }
+    }
+
+    fn label(&self) -> String {
+        match *self {
+            MatrixFamily::SevenPt(n) => format!("7pt{n}"),
+            MatrixFamily::TwentySevenPt(n) => format!("27pt{n}"),
+        }
+    }
+}
+
+/// One solver configuration of the fuzz matrix. Every field that affects
+/// the execution is explicit, so a case plus a scheduler seed identifies a
+/// run completely.
+#[derive(Clone, Copy, Debug)]
+pub struct FuzzCase {
+    /// Test problem.
+    pub family: MatrixFamily,
+    /// Additive method under test.
+    pub method: AdditiveMethod,
+    /// Smoother on every level.
+    pub smoother: SmootherKind,
+    /// Shared-write flavour.
+    pub write: WriteMode,
+    /// Residual computation flavour.
+    pub res_comp: ResComp,
+    /// Stop criterion (`Tolerance` is excluded: its monitor thread is not
+    /// schedule-controlled).
+    pub criterion: StopCriterion,
+    /// Corrections per grid.
+    pub t_max: usize,
+    /// Worker count.
+    pub n_threads: usize,
+    /// Seed of the right-hand side.
+    pub rhs_seed: u64,
+    /// Optional bounded read-delay injection (the paper's `δ`).
+    pub delay: Option<ReadDelay>,
+}
+
+impl FuzzCase {
+    /// A baseline case; the fuzz matrix mutates individual fields.
+    pub fn base() -> Self {
+        let mut opts = AsyncOptions::default();
+        opts.t_max = 16;
+        opts.n_threads = 3;
+        FuzzCase {
+            family: MatrixFamily::SevenPt(6),
+            method: opts.method,
+            smoother: MgOptions::default().smoother,
+            write: opts.write,
+            res_comp: opts.res_comp,
+            criterion: opts.criterion,
+            t_max: opts.t_max,
+            n_threads: opts.n_threads,
+            rhs_seed: 3,
+            delay: None,
+        }
+    }
+
+    /// A compact, filterable name: `7pt6/multadd/wjacobi/lock/local`.
+    pub fn label(&self) -> String {
+        let method = match self.method {
+            AdditiveMethod::Multadd => "multadd",
+            AdditiveMethod::Afacx => "afacx",
+            AdditiveMethod::Bpx => "bpx",
+        };
+        let smoother = match self.smoother {
+            SmootherKind::WJacobi { .. } => "wjacobi",
+            SmootherKind::L1Jacobi => "l1jacobi",
+            SmootherKind::HybridJgs => "hybridjgs",
+            SmootherKind::AsyncGs => "asyncgs",
+        };
+        let write = match self.write {
+            WriteMode::Lock => "lock",
+            WriteMode::Atomic => "atomic",
+        };
+        let res = match self.res_comp {
+            ResComp::Local => "local",
+            ResComp::Global => "global",
+            ResComp::ResidualBased => "rbased",
+        };
+        let delay = if self.delay.is_some() { "/delay" } else { "" };
+        format!("{}/{method}/{smoother}/{write}/{res}{delay}", self.family.label())
+    }
+
+    fn setup(&self) -> MgSetup {
+        let a = self.family.build();
+        let h = build_hierarchy(a, &AmgOptions::default());
+        let mut opts = MgOptions::default();
+        opts.smoother = self.smoother;
+        MgSetup::new(h, opts)
+    }
+
+    fn async_opts(&self) -> AsyncOptions {
+        let mut opts = AsyncOptions::default();
+        opts.method = self.method;
+        opts.res_comp = self.res_comp;
+        opts.write = self.write;
+        opts.criterion = self.criterion;
+        opts.t_max = self.t_max;
+        opts.n_threads = self.n_threads;
+        opts.sync = false;
+        opts
+    }
+
+    /// Runs the case once under the virtual scheduler seeded with
+    /// `sched_seed`, recording telemetry. The returned [`CaseRun`] is a
+    /// deterministic function of `(self, sched_seed)` up to wall-clock
+    /// timestamps, which the fingerprint excludes.
+    pub fn run(&self, sched_seed: u64) -> CaseRun {
+        let setup = self.setup();
+        let b = random_rhs(setup.n(), self.rhs_seed);
+        let opts = self.async_opts();
+        let sched = match self.delay {
+            Some(d) => VirtualSched::with_delay(sched_seed, d),
+            None => VirtualSched::new(sched_seed),
+        };
+        let mut probe = TelemetryProbe::with_threads(self.n_threads);
+        let result = solve_async_sched(&setup, &b, &opts, &probe, &sched);
+        let trace = probe.take_trace();
+        let decisions = sched.decisions();
+        let fingerprint = fingerprint_run(&result, &trace);
+        CaseRun { result, trace, decisions, fingerprint }
+    }
+}
+
+/// The outcome of one schedule-controlled run.
+pub struct CaseRun {
+    /// The solver result (solution, residual, correction counts).
+    pub result: AsyncResult,
+    /// The recorded telemetry trace.
+    pub trace: asyncmg_telemetry::SolveTrace,
+    /// The scheduler's decision sequence (worker ranks in decision order).
+    pub decisions: Vec<u32>,
+    /// Canonical hash of the run (see [`fingerprint_run`]).
+    pub fingerprint: u64,
+}

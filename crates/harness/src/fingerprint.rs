@@ -1,0 +1,97 @@
+//! Canonical run fingerprints: hash what a schedule determines, skip what
+//! it doesn't.
+//!
+//! Wall-clock timestamps (`t_ns`, phase durations, `elapsed`) differ
+//! between two replays of the *same* interleaving, so they are excluded.
+//! Everything else — solution bits, residual bits, per-grid correction
+//! event streams, phase occurrence counts — is a pure function of the
+//! schedule and is folded into a 64-bit FNV-1a digest.
+
+use asyncmg_core::AsyncResult;
+use asyncmg_telemetry::SolveTrace;
+
+/// FNV-1a, 64-bit. Small, dependency-free, and stable across platforms —
+/// exactly what a golden fingerprint needs (this is a digest for test
+/// comparisons, not a collision-resistant hash).
+pub struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh digest.
+    pub fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    /// Folds raw bytes into the digest.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Folds a `u64` (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds an `f64` by bit pattern, canonicalising NaN so that the many
+    /// NaN payloads compare equal (the solvers report `NaN` for "not
+    /// computed" local residuals).
+    pub fn write_f64(&mut self, v: f64) {
+        let bits = if v.is_nan() { f64::NAN.to_bits() } else { v.to_bits() };
+        self.write_u64(bits);
+    }
+
+    /// The digest value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+/// The canonical fingerprint of one solve: bit-exact over the solution
+/// vector, the final relative residual, the residual history values,
+/// per-grid correction counts and event streams (index and local residual,
+/// not timestamps), and phase occurrence counts (not durations).
+///
+/// Two runs under the same [`VirtualSched`](asyncmg_threads::VirtualSched)
+/// seed produce equal fingerprints; a different interleaving that changes
+/// any floating-point accumulation order changes the fingerprint.
+pub fn fingerprint_run(result: &AsyncResult, trace: &SolveTrace) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(result.x.len() as u64);
+    for &v in &result.x {
+        h.write_f64(v);
+    }
+    h.write_f64(result.relres);
+    h.write_u64(result.grid_corrections.len() as u64);
+    for &c in &result.grid_corrections {
+        h.write_u64(c as u64);
+    }
+    h.write_u64(trace.residual_history.len() as u64);
+    for s in &trace.residual_history {
+        h.write_f64(s.relres);
+    }
+    h.write_u64(trace.grids.len() as u64);
+    for g in &trace.grids {
+        h.write_u64(g.corrections);
+        h.write_u64(g.events.len() as u64);
+        for e in &g.events {
+            h.write_u64(e.index as u64);
+            h.write_f64(e.local_res);
+        }
+    }
+    for t in &trace.phase_totals {
+        h.write_u64(t.count);
+    }
+    h.write_u64(trace.dropped_events);
+    h.finish()
+}

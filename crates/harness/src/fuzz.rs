@@ -1,0 +1,91 @@
+//! The seeded schedule-fuzz loop: run, check, shrink, reproduce.
+
+use crate::case::FuzzCase;
+use crate::oracle::Oracle;
+
+/// Summary of a green fuzz sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct FuzzOutcome {
+    /// Distinct configurations exercised.
+    pub cases: usize,
+    /// Total seed×case runs.
+    pub runs: usize,
+}
+
+/// The seeds to fuzz with. `HARNESS_SEED=<n>` pins the sweep to a single
+/// seed (the replay path printed by failures); otherwise seeds `0..n`
+/// are used, with `HARNESS_FUZZ_SEEDS=<n>` overriding the default count.
+pub fn seeds_from_env(default_n: u64) -> Vec<u64> {
+    if let Ok(s) = std::env::var("HARNESS_SEED") {
+        let seed: u64 = s.parse().unwrap_or_else(|_| panic!("HARNESS_SEED={s:?} is not a u64"));
+        return vec![seed];
+    }
+    let n = match std::env::var("HARNESS_FUZZ_SEEDS") {
+        Ok(s) => s.parse().unwrap_or_else(|_| panic!("HARNESS_FUZZ_SEEDS={s:?} is not a u64")),
+        Err(_) => default_n,
+    };
+    (0..n).collect()
+}
+
+/// Optional case filter: `HARNESS_CASE=<substring>` restricts the sweep to
+/// cases whose label contains the substring.
+pub fn case_filter() -> Option<String> {
+    std::env::var("HARNESS_CASE").ok()
+}
+
+/// Runs every case under every seed, checking `oracle_for(case)` on each
+/// run.
+///
+/// On the first violation, the loop *shrinks*: it rescans seeds from 0
+/// upward on the failing case and reports the smallest seed that still
+/// fails, together with a one-line environment-variable command that
+/// replays exactly that interleaving.
+pub fn run_fuzz(
+    cases: &[FuzzCase],
+    seeds: &[u64],
+    oracle_for: impl Fn(&FuzzCase) -> Oracle,
+) -> Result<FuzzOutcome, String> {
+    let filter = case_filter();
+    let mut ran_cases = 0usize;
+    let mut runs = 0usize;
+    for case in cases {
+        let label = case.label();
+        if let Some(f) = &filter {
+            if !label.contains(f.as_str()) {
+                continue;
+            }
+        }
+        ran_cases += 1;
+        let oracle = oracle_for(case);
+        for &seed in seeds {
+            runs += 1;
+            let run = case.run(seed);
+            if let Err(v) = oracle.check(case, &run) {
+                let smallest = shrink(case, &oracle, seed);
+                return Err(failure_report(case, &v.to_string(), seed, smallest));
+            }
+        }
+    }
+    Ok(FuzzOutcome { cases: ran_cases, runs })
+}
+
+/// Scans seeds `0..failing` in order and returns the smallest one that
+/// still violates the oracle (or the original seed when no smaller one
+/// does). Every candidate is a full deterministic replay, so the result is
+/// stable.
+fn shrink(case: &FuzzCase, oracle: &Oracle, failing: u64) -> u64 {
+    for seed in 0..failing {
+        let run = case.run(seed);
+        if oracle.check(case, &run).is_err() {
+            return seed;
+        }
+    }
+    failing
+}
+
+fn failure_report(case: &FuzzCase, violation: &str, seed: u64, smallest: u64) -> String {
+    format!(
+        "schedule fuzz failure: {violation}\n  first failing seed: {seed}\n  smallest failing seed: {smallest}\n  reproduce with:\n    HARNESS_SEED={smallest} HARNESS_CASE='{}' cargo test -p asyncmg-harness --test schedule_fuzz -- --nocapture",
+        case.label()
+    )
+}

@@ -1,0 +1,35 @@
+//! Deterministic concurrency-testing harness for the asyncmg solvers.
+//!
+//! The production async solvers race by design: teams write the shared
+//! iterate and residual without global synchronisation, and the paper's
+//! convergence claims (Section III) are about *families* of interleavings
+//! — update probabilities `p_k ∈ [α, 1]`, read delays up to `δ`. A handful
+//! of wall-clock runs exercises one arbitrary interleaving per invocation;
+//! this crate exercises *chosen* ones:
+//!
+//! * [`FuzzCase`] — one solver configuration (matrix family × method ×
+//!   smoother × write mode × residual flavour) that can be run under a
+//!   [`VirtualSched`](asyncmg_threads::VirtualSched) seed: same seed, same
+//!   bit-identical execution.
+//! * [`fingerprint_run`] — a canonical hash of everything a run determines
+//!   (solution bits, residuals, correction streams) and nothing it doesn't
+//!   (wall-clock timestamps).
+//! * [`Oracle`] — the convergence oracle: finite solution, relative
+//!   residual below the configuration's threshold, per-grid correction
+//!   counts inside the stop-criterion envelope.
+//! * [`run_fuzz`] — the seeded fuzz loop: N seeds × M cases, shrinking any
+//!   failure to the smallest failing seed and printing a one-line
+//!   `HARNESS_SEED=… HARNESS_CASE=…` reproduction command.
+//!
+//! Reproducing a failure is a matter of re-exporting the environment
+//! variables from the failure message; see `docs/testing.md`.
+
+pub mod case;
+pub mod fingerprint;
+pub mod fuzz;
+pub mod oracle;
+
+pub use case::{CaseRun, FuzzCase, MatrixFamily};
+pub use fingerprint::{fingerprint_run, Fnv};
+pub use fuzz::{case_filter, run_fuzz, seeds_from_env, FuzzOutcome};
+pub use oracle::{Oracle, Violation};

@@ -19,7 +19,12 @@
 //!   barriers (team-local vectors of Algorithm 5),
 //! * [`RacyBuf`] — its generic sibling for index/value arrays filled at
 //!   disjoint positions by the parallel setup-phase kernels,
-//! * [`SpinLock`] — the raw lock behind the paper's lock-write option.
+//! * [`SpinLock`] — the raw lock behind the paper's lock-write option,
+//! * [`Sched`] / [`OsSched`] / [`VirtualSched`] — the schedule abstraction:
+//!   every point where a team worker touches real concurrency goes through
+//!   a [`Sched`], so the same solver code runs under the production
+//!   scheduler or under a deterministic seeded one for testing
+//!   ([`run_teams_sched`]).
 
 // Indexed loops over multiple parallel arrays are the house style for
 // numerical kernels; the iterator forms clippy suggests obscure them.
@@ -29,10 +34,12 @@ pub mod barrier;
 pub mod lock;
 pub mod partition;
 pub mod racy;
+pub mod sched;
 pub mod team;
 
 pub use barrier::SpinBarrier;
 pub use lock::SpinLock;
 pub use partition::{chunk_range, GridTeamLayout};
 pub use racy::{RacyBuf, RacyVec};
+pub use sched::{run_teams_sched, OsSched, ReadDelay, Sched, SchedPoint, VirtualSched};
 pub use team::{run_teams, TeamCtx};

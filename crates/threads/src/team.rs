@@ -4,12 +4,19 @@
 //! provided closure with a [`TeamCtx`] describing the thread's position.
 //! All threads are joined before `run_teams` returns, so the closure may
 //! borrow stack data (`std::thread::scope`).
+//!
+//! Synchronisation is delegated to a [`Sched`]: `run_teams` uses the
+//! production [`OsSched`] (spin barriers, real concurrency), while
+//! [`run_teams_sched`](crate::run_teams_sched) accepts any scheduler —
+//! notably the deterministic [`VirtualSched`](crate::VirtualSched) used by
+//! the test harness.
 
-use crate::barrier::SpinBarrier;
+use crate::lock::SpinLock;
 use crate::partition::chunk_range;
+use crate::sched::{OsSched, Sched, SchedPoint};
 
-/// Where a thread sits: its team, its rank within the team, and the barriers
-/// it may use.
+/// Where a thread sits: its team, its rank within the team, and the
+/// scheduler mediating its synchronisation points.
 pub struct TeamCtx<'a> {
     /// Index of this thread's team.
     pub team_id: usize,
@@ -21,22 +28,55 @@ pub struct TeamCtx<'a> {
     pub global_rank: usize,
     /// Total number of threads across all teams.
     pub n_threads: usize,
-    team_barrier: &'a SpinBarrier,
-    global_barrier: &'a SpinBarrier,
+    sched: &'a dyn Sched,
 }
 
 impl<'a> TeamCtx<'a> {
+    /// Builds a context for one worker. Used by the `run_teams*` entry
+    /// points; solver code receives contexts rather than creating them.
+    pub(crate) fn new(
+        team_id: usize,
+        rank: usize,
+        team_size: usize,
+        global_rank: usize,
+        n_threads: usize,
+        sched: &'a dyn Sched,
+    ) -> Self {
+        TeamCtx { team_id, rank, team_size, global_rank, n_threads, sched }
+    }
+
     /// Synchronises the threads of this team (the blue `Sync()` of Fig. 3).
     #[inline]
     pub fn barrier(&self) {
-        self.team_barrier.wait();
+        self.sched.team_barrier(self.global_rank, self.team_id);
     }
 
     /// Synchronises *all* threads (the red `Sync()` of Fig. 3; used only by
     /// the synchronous variants).
     #[inline]
     pub fn global_barrier(&self) {
-        self.global_barrier.wait();
+        self.sched.global_barrier(self.global_rank);
+    }
+
+    /// Announces a scheduling point (racy access or voluntary yield) to the
+    /// scheduler. Free under [`OsSched`] except for `Yield`, which maps to
+    /// [`std::thread::yield_now`].
+    #[inline]
+    pub fn sched_point(&self, kind: SchedPoint) {
+        self.sched.point(self.global_rank, kind);
+    }
+
+    /// Acquires a shared lock through the scheduler. Must be paired with
+    /// [`TeamCtx::unlock`] on the same lock.
+    #[inline]
+    pub fn lock(&self, lock: &SpinLock) {
+        self.sched.lock(self.global_rank, lock);
+    }
+
+    /// Releases a lock acquired with [`TeamCtx::lock`].
+    #[inline]
+    pub fn unlock(&self, lock: &SpinLock) {
+        self.sched.unlock(self.global_rank, lock);
     }
 
     /// This thread's static chunk of a loop over `0..n`, split across the
@@ -69,35 +109,14 @@ impl<'a> TeamCtx<'a> {
 /// Runs `f` on `Σ team_sizes` threads grouped into teams, then joins them.
 ///
 /// `f` receives each thread's [`TeamCtx`]. Panics in any thread propagate.
+/// Equivalent to [`run_teams_sched`](crate::run_teams_sched) with an
+/// [`OsSched`].
 pub fn run_teams<F>(team_sizes: &[usize], f: F)
 where
     F: Fn(TeamCtx<'_>) + Sync,
 {
-    assert!(!team_sizes.is_empty());
-    assert!(team_sizes.iter().all(|&s| s > 0), "empty team");
-    let n_threads: usize = team_sizes.iter().sum();
-    let team_barriers: Vec<SpinBarrier> = team_sizes.iter().map(|&s| SpinBarrier::new(s)).collect();
-    let global_barrier = SpinBarrier::new(n_threads);
-
-    std::thread::scope(|scope| {
-        let mut global_rank = 0usize;
-        for (team_id, &size) in team_sizes.iter().enumerate() {
-            for rank in 0..size {
-                let ctx = TeamCtx {
-                    team_id,
-                    rank,
-                    team_size: size,
-                    global_rank,
-                    n_threads,
-                    team_barrier: &team_barriers[team_id],
-                    global_barrier: &global_barrier,
-                };
-                let f = &f;
-                scope.spawn(move || f(ctx));
-                global_rank += 1;
-            }
-        }
-    });
+    let sched = OsSched::for_teams(team_sizes);
+    crate::sched::run_teams_sched(team_sizes, &sched, f);
 }
 
 #[cfg(test)]

@@ -110,6 +110,53 @@ fn simulation_and_threaded_solver_reach_similar_accuracy() {
 }
 
 #[test]
+fn simulate_is_bitwise_reproducible_for_a_fixed_seed() {
+    // The documented guarantee on `models::simulate`: same setup, rhs, and
+    // `ModelOptions` (seed included) ⇒ bit-identical `ModelResult`, for
+    // every model kind and with nonzero delay in play.
+    let s = paper_setup(TestSet::SevenPt, 7);
+    let b = random_rhs(s.n(), 21);
+    for model in [ModelKind::SemiAsync, ModelKind::FullAsyncSolution, ModelKind::FullAsyncResidual]
+    {
+        let opts = model_opts(|o| {
+            o.model = model;
+            o.alpha = 0.35;
+            o.delta = 5;
+            o.updates_per_grid = 15;
+            o.seed = 77;
+        });
+        let a = simulate(&s, AdditiveMethod::Multadd, &b, &opts);
+        let c = simulate(&s, AdditiveMethod::Multadd, &b, &opts);
+        assert_eq!(
+            a.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            c.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "{model:?}: x not bit-identical across replays"
+        );
+        assert_eq!(a.final_relres.to_bits(), c.final_relres.to_bits(), "{model:?}");
+        assert_eq!(a.instants, c.instants, "{model:?}");
+        assert_eq!(a.grid_updates, c.grid_updates, "{model:?}");
+        // A different seed must actually change the sampled trajectory.
+        let other = simulate(
+            &s,
+            AdditiveMethod::Multadd,
+            &b,
+            &model_opts(|o| {
+                o.model = model;
+                o.alpha = 0.35;
+                o.delta = 5;
+                o.updates_per_grid = 15;
+                o.seed = 78;
+            }),
+        );
+        assert_ne!(
+            a.final_relres.to_bits(),
+            other.final_relres.to_bits(),
+            "{model:?}: seed 78 replayed seed 77 exactly"
+        );
+    }
+}
+
+#[test]
 fn grid_size_independence_of_the_semi_async_model() {
     // Figure 1's headline: the final residual after 20 updates per grid is
     // roughly flat in the grid size.

@@ -136,6 +136,130 @@ proptest! {
     }
 
     #[test]
+    fn empty_rows_survive_spmv_diag_and_transpose(
+        entries in prop::collection::vec((0usize..18, 0usize..18, -4.0f64..4.0), 1..80),
+        x in prop::collection::vec(-5.0f64..5.0, 18),
+    ) {
+        // Rows ≡ 0 (mod 3) are left completely empty — the parallel setup
+        // kernels hit such rows on aggressive coarsenings and must not
+        // mis-index them.
+        let n = 18;
+        let mut coo = Coo::new(n, n);
+        for &(i, j, v) in &entries {
+            let (i, j) = (i % n, j % n);
+            if i % 3 != 0 {
+                coo.push(i, j, v);
+            }
+        }
+        let a = coo.to_csr();
+        let mut ax = vec![1.0; n];
+        a.spmv(&x, &mut ax);
+        let d = a.diag();
+        let mut d2 = vec![-1.0; n];
+        a.diag_into(&mut d2);
+        for i in (0..n).step_by(3) {
+            prop_assert_eq!(a.row(i).0.len(), 0, "row {} not empty", i);
+            prop_assert_eq!(ax[i], 0.0);
+            prop_assert_eq!(d[i], 0.0);
+        }
+        prop_assert_eq!(&d, &d2);
+        // Empty rows become empty columns of the transpose and round-trip.
+        let t = a.transpose();
+        for i in (0..n).step_by(3) {
+            for j in 0..n {
+                prop_assert_eq!(t.get(j, i), 0.0);
+            }
+        }
+        prop_assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn coo_duplicate_entries_sum_on_conversion(
+        entries in prop::collection::vec((0usize..14, 0usize..14, -4.0f64..4.0), 1..60),
+    ) {
+        // Deduplicate positions so each (i, j) is pushed exactly twice in
+        // the doubled matrix: summing v + v is exact in IEEE arithmetic,
+        // making bitwise comparison against the 2v single-push matrix valid.
+        let n = 14;
+        let mut seen = std::collections::HashSet::new();
+        let mut once = Coo::new(n, n);
+        let mut twice = Coo::new(n, n);
+        for &(i, j, v) in &entries {
+            let (i, j) = (i % n, j % n);
+            if seen.insert((i, j)) {
+                once.push(i, j, 2.0 * v);
+                twice.push(i, j, v);
+                twice.push(i, j, v);
+            }
+        }
+        let a = once.to_csr();
+        let b = twice.to_csr();
+        prop_assert_eq!(b.nnz(), a.nnz(), "duplicates not merged");
+        prop_assert_eq!(b, a);
+    }
+
+    #[test]
+    fn rectangular_transpose_preserves_every_entry(
+        entries in prop::collection::vec((0usize..11, 0usize..17, -4.0f64..4.0), 1..70),
+    ) {
+        // Rectangular matrices (interpolation operators are n×nc) must
+        // transpose entry-exactly, swap their dimensions, and round-trip.
+        let (m, n) = (11, 17);
+        let mut coo = Coo::new(m, n);
+        let mut seen = std::collections::HashSet::new();
+        for &(i, j, v) in &entries {
+            if seen.insert((i, j)) {
+                coo.push(i, j, v);
+            }
+        }
+        let a = coo.to_csr();
+        let t = a.transpose();
+        prop_assert_eq!(t.nrows(), n);
+        prop_assert_eq!(t.ncols(), m);
+        prop_assert_eq!(t.nnz(), a.nnz());
+        for i in 0..m {
+            let (cols, vals) = a.row(i);
+            for (c, v) in cols.iter().zip(vals) {
+                prop_assert_eq!(t.get(*c as usize, i), *v);
+            }
+        }
+        prop_assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn diag_is_zero_where_diagonal_entry_is_missing(
+        entries in prop::collection::vec((0usize..16, 0usize..16, 0.5f64..4.0), 1..80),
+        missing in prop::collection::vec(0usize..16, 1..8),
+    ) {
+        // Strictly off-diagonal entries everywhere except a few explicit
+        // diagonal survivors: `diag`/`diag_into` must report 0.0 exactly at
+        // the missing positions instead of panicking or mis-binary-searching.
+        let n = 16;
+        let missing: std::collections::HashSet<usize> = missing.into_iter().collect();
+        let mut coo = Coo::new(n, n);
+        for &(i, j, v) in &entries {
+            let (i, j) = (i % n, j % n);
+            if i != j {
+                coo.push(i, j, v);
+            }
+        }
+        for i in 0..n {
+            if !missing.contains(&i) {
+                coo.push(i, i, 1.0 + i as f64);
+            }
+        }
+        let a = coo.to_csr();
+        let d = a.diag();
+        let mut d2 = vec![f64::NAN; n];
+        a.diag_into(&mut d2);
+        for i in 0..n {
+            let expect = if missing.contains(&i) { 0.0 } else { 1.0 + i as f64 };
+            prop_assert_eq!(d[i], expect, "diag[{}]", i);
+            prop_assert_eq!(d2[i], expect, "diag_into[{}]", i);
+        }
+    }
+
+    #[test]
     fn interpolation_rows_bounded_and_c_rows_identity(
         entries in prop::collection::vec((0usize..25, 0usize..25, -3.0f64..3.0), 20..120)
     ) {

@@ -133,6 +133,82 @@ fn noop_probe_overhead_smoke() {
     assert!(probed.as_secs_f64() < 30.0, "async solve unreasonably slow: {probed:?}");
 }
 
+/// A synthetic trace with fixed timestamps covering every JSON feature:
+/// several grids (one counter-only with no retained events), a `NaN`
+/// `local_res` (rendered `null`), multiple phases, and dropped events.
+fn golden_trace() -> asyncmg_telemetry::SolveTrace {
+    use asyncmg_telemetry::{Event, Phase, ResidualSample, SolveTrace};
+    let events = vec![
+        Event::Phase { grid: 0, phase: Phase::Restrict, start_ns: 2, dur_ns: 3 },
+        Event::Phase { grid: 0, phase: Phase::Smooth, start_ns: 5, dur_ns: 10 },
+        Event::Phase { grid: 1, phase: Phase::Smooth, start_ns: 6, dur_ns: 12 },
+        Event::Phase { grid: 0, phase: Phase::Prolong, start_ns: 15, dur_ns: 2 },
+        Event::Phase { grid: 0, phase: Phase::SharedWrite, start_ns: 17, dur_ns: 1 },
+        Event::Phase { grid: 0, phase: Phase::ResidualUpdate, start_ns: 18, dur_ns: 4 },
+        Event::Correction { grid: 0, index: 0, t_ns: 22, local_res: 0.5 },
+        Event::Correction { grid: 1, index: 0, t_ns: 25, local_res: f64::NAN },
+        Event::Correction { grid: 0, index: 1, t_ns: 40, local_res: 0.125 },
+    ];
+    SolveTrace::from_events(
+        events,
+        &[2, 1, 0],
+        vec![
+            ResidualSample { t_ns: 0, relres: 1.0 },
+            ResidualSample { t_ns: 30, relres: 2.5e-2 },
+            ResidualSample { t_ns: 60, relres: 8.0e-4 },
+        ],
+        3,
+    )
+}
+
+/// The JSON export is a stable external format (`asyncmg-trace-v1`): the
+/// serialisation of a fixed trace must match the committed golden file
+/// byte-for-byte. Run with `GOLDEN_UPDATE=1` to re-bless after a deliberate
+/// schema change (and bump the schema tag when doing so).
+#[test]
+fn trace_json_matches_golden_file() {
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden/trace_schema.json");
+    let json = golden_trace().to_json();
+    if std::env::var("GOLDEN_UPDATE").as_deref() == Ok("1") {
+        std::fs::write(golden_path, &json).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("missing tests/golden/trace_schema.json; bless with GOLDEN_UPDATE=1");
+    assert_eq!(
+        json, golden,
+        "trace JSON diverged from tests/golden/trace_schema.json — if the \
+         schema change is intentional, bump the schema tag and re-bless with \
+         GOLDEN_UPDATE=1 cargo test -p asyncmg-apps --test telemetry_solver"
+    );
+}
+
+/// Structural guarantees of the golden trace itself: the schema tag, the
+/// `null` rendering of non-finite floats, and the full phase vocabulary.
+#[test]
+fn golden_trace_covers_schema_surface() {
+    let json = golden_trace().to_json();
+    assert!(json.contains("\"schema\": \"asyncmg-trace-v1\""));
+    assert!(json.contains("\"local_res\": null"), "NaN must render as null");
+    assert!(json.contains("\"dropped_events\": 3"));
+    // Every phase name appears in phase_totals (zero-count ones included),
+    // so downstream consumers can rely on a fixed-size array.
+    for name in [
+        "restrict",
+        "smooth",
+        "prolong",
+        "shared_write",
+        "residual_update",
+        "setup_strength",
+        "setup_interp",
+        "setup_rap",
+    ] {
+        assert!(json.contains(&format!("\"phase\": \"{name}\"")), "missing phase {name}");
+    }
+    // Grid 2 is counter-only: present with an empty events array.
+    assert!(json.contains("\"grid\": 2, \"corrections\": 0, \"events\": [\n    ]"));
+}
+
 /// `StopCriterion::Tolerance` participates in options equality and the
 /// helper constructor fills a sane check period.
 #[test]
