@@ -3,7 +3,9 @@
 use crate::coarsen::{aggressive_coarsen, coarsen, n_coarse, Coarsening};
 use crate::interp::{build_interpolation, Interpolation};
 use crate::strength::classical_strength_funcs;
-use asyncmg_sparse::{auto_setup_threads, rap_parallel, transpose_parallel, Csr, DenseLu};
+use asyncmg_sparse::{
+    auto_setup_threads, rap_parallel, transpose_parallel, Csr, CsrError, DenseLu,
+};
 use asyncmg_telemetry::{NoopProbe, Phase, Probe};
 use asyncmg_threads::chunk_range;
 use std::borrow::Cow;
@@ -145,9 +147,77 @@ impl Hierarchy {
     }
 }
 
+/// A validation failure detected by [`try_build_hierarchy`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum BuildError {
+    /// The fine-grid operator has no rows.
+    EmptyMatrix,
+    /// The fine-grid operator is not square.
+    NotSquare {
+        /// Row count.
+        nrows: usize,
+        /// Column count.
+        ncols: usize,
+    },
+    /// The fine-grid operator has a structural defect or non-finite entry.
+    BadMatrix(CsrError),
+    /// An option is out of range (description of the first violation).
+    InvalidOptions(String),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::EmptyMatrix => write!(f, "fine-grid operator has no rows"),
+            BuildError::NotSquare { nrows, ncols } => {
+                write!(f, "fine-grid operator is {nrows}x{ncols}, not square")
+            }
+            BuildError::BadMatrix(e) => write!(f, "bad fine-grid operator: {e}"),
+            BuildError::InvalidOptions(msg) => write!(f, "invalid AMG options: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
 /// Builds a hierarchy from the fine-grid operator.
 pub fn build_hierarchy(a: Csr, opts: &AmgOptions) -> Hierarchy {
     build_hierarchy_probed(a, opts, &NoopProbe)
+}
+
+/// [`build_hierarchy`] with up-front validation: the operator's structure
+/// and values and the option ranges are checked before setup starts,
+/// returning a typed [`BuildError`] instead of panicking (or silently
+/// building a poisoned hierarchy from non-finite entries).
+pub fn try_build_hierarchy(a: Csr, opts: &AmgOptions) -> Result<Hierarchy, BuildError> {
+    if a.nrows() == 0 {
+        return Err(BuildError::EmptyMatrix);
+    }
+    if a.nrows() != a.ncols() {
+        return Err(BuildError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+    }
+    a.validate().map_err(BuildError::BadMatrix)?;
+    if !(a.diag().iter().all(|&d| d != 0.0)) {
+        return Err(BuildError::InvalidOptions(
+            "fine-grid operator has a zero diagonal entry (smoothers divide by it)".into(),
+        ));
+    }
+    if !(opts.theta.is_finite() && (0.0..=1.0).contains(&opts.theta)) {
+        return Err(BuildError::InvalidOptions(format!("theta {} out of [0, 1]", opts.theta)));
+    }
+    if !(opts.trunc.is_finite() && (0.0..1.0).contains(&opts.trunc)) {
+        return Err(BuildError::InvalidOptions(format!("trunc {} out of [0, 1)", opts.trunc)));
+    }
+    if opts.max_levels < 2 {
+        return Err(BuildError::InvalidOptions(format!(
+            "max_levels {} leaves no room for a coarse grid",
+            opts.max_levels
+        )));
+    }
+    if opts.num_functions == 0 {
+        return Err(BuildError::InvalidOptions("num_functions must be positive".into()));
+    }
+    Ok(build_hierarchy(a, opts))
 }
 
 /// Builds a hierarchy, reporting per-level setup timings to `probe`.
@@ -391,6 +461,7 @@ mod tests {
 mod unknown_approach_tests {
     use super::*;
     use asyncmg_problems::elasticity::{elasticity_beam, BeamMaterials};
+    use asyncmg_problems::stencil::laplacian_7pt;
 
     #[test]
     fn unknown_approach_unmixes_elasticity_interpolation() {
@@ -434,5 +505,40 @@ mod unknown_approach_tests {
         assert!(nf3.n_levels() >= 2);
         assert!(nf3.coarse_lu.is_some());
         let _ = scalar;
+    }
+
+    #[test]
+    fn try_build_accepts_a_good_operator() {
+        let a = laplacian_7pt(6, 6, 6);
+        let h = try_build_hierarchy(a, &AmgOptions::default()).expect("valid operator");
+        assert!(h.n_levels() >= 2);
+    }
+
+    #[test]
+    fn try_build_rejects_bad_input() {
+        let a = laplacian_7pt(4, 4, 4);
+
+        let wide = Csr::from_raw(2, 3, vec![0, 1, 2], vec![0, 2], vec![1.0, 1.0]);
+        assert!(matches!(
+            try_build_hierarchy(wide, &AmgOptions::default()),
+            Err(BuildError::NotSquare { nrows: 2, ncols: 3 })
+        ));
+
+        let mut vals: Vec<f64> = a.vals().to_vec();
+        vals[0] = f64::INFINITY;
+        let poisoned =
+            Csr::from_raw(a.nrows(), a.ncols(), a.row_ptr().to_vec(), a.col_idx().to_vec(), vals);
+        assert!(matches!(
+            try_build_hierarchy(poisoned, &AmgOptions::default()),
+            Err(BuildError::BadMatrix(_))
+        ));
+
+        let bad_theta = AmgOptions { theta: 1.5, ..Default::default() };
+        assert!(matches!(
+            try_build_hierarchy(a.clone(), &bad_theta),
+            Err(BuildError::InvalidOptions(_))
+        ));
+        let bad_levels = AmgOptions { max_levels: 1, ..Default::default() };
+        assert!(matches!(try_build_hierarchy(a, &bad_levels), Err(BuildError::InvalidOptions(_))));
     }
 }

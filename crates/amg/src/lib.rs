@@ -25,7 +25,10 @@ pub mod smoothed;
 pub mod strength;
 
 pub use coarsen::{Cf, Coarsening};
-pub use hierarchy::{build_hierarchy, build_hierarchy_probed, AmgOptions, Hierarchy, Level};
+pub use hierarchy::{
+    build_hierarchy, build_hierarchy_probed, try_build_hierarchy, AmgOptions, BuildError,
+    Hierarchy, Level,
+};
 pub use interp::Interpolation;
 pub use smoothed::{
     smoothed_interpolant, smoothed_interpolant_with_diag, smoothed_interpolants, InterpSmoothing,

@@ -16,16 +16,34 @@
 //! Races on the shared vectors are handled with the paper's two options:
 //! **lock-write** (a mutex held by the team master around a team-parallel
 //! exclusive write) and **atomic-write** (element-wise atomic fetch-add).
+//!
+//! # Fault injection and recovery
+//!
+//! The runtime optionally runs *defended*: a seeded
+//! [`FaultPlan`](asyncmg_threads::FaultPlan) injects stragglers, permanent
+//! team crashes, and corrupted or dropped correction writes, while
+//! [`RecoveryOptions`] arms the countermeasures — non-finite/magnitude
+//! guards on corrections with per-level additive damping and quarantine
+//! (Murray & Weinzierl 2019), a watchdog generalising the tolerance
+//! monitor (per-level stall detection from the correction-counter
+//! heartbeats, divergence rollback to the last known-good iterate, and a
+//! hard wall-clock budget), and a structured [`SolveOutcome`] with the
+//! fault log attached so a faulted solve reports instead of hanging.
+//! When neither a plan nor recovery is configured, none of the extra
+//! barriers or checks run and the solver is bit-identical to the
+//! undefended runtime.
 
 use crate::additive::AdditiveMethod;
 use crate::setup::{CoarseSolve, MgSetup};
 use asyncmg_smoothers::{async_gs_sweep, LevelSmoother, SmootherKind};
 use asyncmg_sparse::{vecops, AtomicF64Vec, Csr};
-use asyncmg_telemetry::{NoopProbe, Phase, Probe};
+use asyncmg_telemetry::{FaultKind, FaultRecord, NoopProbe, Phase, Probe};
 use asyncmg_threads::{
-    run_teams_sched, GridTeamLayout, OsSched, RacyVec, Sched, SchedPoint, SpinLock, TeamCtx,
+    run_teams_sched, FaultPlan, GridTeamLayout, OsSched, RacyVec, Sched, SchedPoint, SpinLock,
+    TeamCtx,
 };
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// How the fine-grid residual is computed (Section IV).
@@ -77,6 +95,140 @@ impl StopCriterion {
     }
 }
 
+/// Detection-and-recovery configuration for the asynchronous runtime.
+///
+/// Everything defaults to *off*: a default-constructed value adds no
+/// barriers, no guards and no watchdog, so the solver behaves (and
+/// interleaves) exactly as without a recovery layer. Arm individual
+/// defences by assigning fields, or start from [`RecoveryOptions::defended`].
+///
+/// Marked `#[non_exhaustive]`: construct with [`RecoveryOptions::default`]
+/// and assign the fields you need.
+#[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
+pub struct RecoveryOptions {
+    /// Guard correction writes: a correction containing a non-finite entry
+    /// or one larger than [`RecoveryOptions::max_correction`] is suppressed
+    /// (never reaches the shared iterate) and counts a *strike* against its
+    /// grid.
+    pub guard_corrections: bool,
+    /// Quarantine a grid once it accumulates this many strikes: its
+    /// corrections stop being applied for the rest of the solve
+    /// (0 = never quarantine).
+    pub quarantine_after: usize,
+    /// Additive damping applied to a struck grid's subsequent corrections
+    /// (Murray & Weinzierl 2019): corrections are scaled by this factor
+    /// once a grid has at least one strike. 1.0 disables damping.
+    pub damping: f64,
+    /// Magnitude bound for the guard: any correction entry with absolute
+    /// value above this is treated like a non-finite one.
+    pub max_correction: f64,
+    /// Hard wall-clock budget for the whole solve. The watchdog raises the
+    /// stop flag and the result reports [`SolveOutcome::Faulted`] when it
+    /// is exceeded. `None` = unbounded.
+    pub max_wall: Option<Duration>,
+    /// Per-grid stall window: a grid whose correction counter does not
+    /// advance within this duration (and is not finished) is quarantined
+    /// by the watchdog. `None` = no stall detection.
+    pub max_stall: Option<Duration>,
+    /// Divergence rollback: when the monitored relative residual exceeds
+    /// this factor times the best observed so far (or goes non-finite),
+    /// the shared iterate is restored from the last known-good snapshot.
+    /// Ignored for [`ResComp::ResidualBased`], whose incremental residual
+    /// cannot survive an iterate rewrite. `None` = no rollback.
+    pub rollback_factor: Option<f64>,
+}
+
+impl Default for RecoveryOptions {
+    fn default() -> Self {
+        RecoveryOptions {
+            guard_corrections: false,
+            quarantine_after: 0,
+            damping: 1.0,
+            max_correction: 1e12,
+            max_wall: None,
+            max_stall: None,
+            rollback_factor: None,
+        }
+    }
+}
+
+impl RecoveryOptions {
+    /// The full defensive posture: guards with quarantine after 3 strikes
+    /// and 0.5 damping, and a 60 s wall-clock budget. Stall detection and
+    /// rollback stay opt-in (they are wall-clock heuristics that can
+    /// misfire under heavily serialised test schedulers).
+    pub fn defended() -> Self {
+        RecoveryOptions {
+            guard_corrections: true,
+            quarantine_after: 3,
+            damping: 0.5,
+            max_correction: 1e8,
+            max_wall: Some(Duration::from_secs(60)),
+            ..Default::default()
+        }
+    }
+
+    /// Whether any defence is armed.
+    pub fn any_enabled(&self) -> bool {
+        self.guard_corrections
+            || self.max_wall.is_some()
+            || self.max_stall.is_some()
+            || self.rollback_factor.is_some()
+    }
+
+    /// Whether the watchdog thread is needed.
+    fn needs_watchdog(&self) -> bool {
+        self.max_wall.is_some() || self.max_stall.is_some() || self.rollback_factor.is_some()
+    }
+
+    /// Validates field ranges, returning a description of the first
+    /// violation.
+    pub fn validate(&self) -> Result<(), String> {
+        // NaN must fail every range check, so the comparisons are written
+        // to reject incomparable values.
+        if self.damping.is_nan() || self.damping <= 0.0 || self.damping > 1.0 {
+            return Err(format!("recovery damping {} out of (0, 1]", self.damping));
+        }
+        if self.max_correction.is_nan() || self.max_correction <= 0.0 {
+            return Err(format!("recovery max_correction {} not positive", self.max_correction));
+        }
+        if let Some(f) = self.rollback_factor {
+            if f.is_nan() || f <= 1.0 {
+                return Err(format!("recovery rollback_factor {f} must exceed 1"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How a threaded solve ended.
+///
+/// Ordered by severity: a fault-free tolerance stop is `Converged`; a run
+/// that only exhausted its correction budget is `MaxIterations`; any run
+/// whose fault log is non-empty but which still produced a finite iterate
+/// is `Degraded`; a timed-out or non-finite run is `Faulted`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// The tolerance criterion was met (and nothing went wrong).
+    Converged,
+    /// The correction budget ran out before any tolerance was met
+    /// (count-based criteria always end here when fault-free).
+    MaxIterations,
+    /// Faults were injected or recovery actions taken, but the solve still
+    /// produced a finite iterate; consult the fault log.
+    Degraded,
+    /// The solve timed out or its final residual is non-finite.
+    Faulted,
+}
+
+impl SolveOutcome {
+    /// `true` for the two non-pathological endings.
+    pub fn is_ok(self) -> bool {
+        matches!(self, SolveOutcome::Converged | SolveOutcome::MaxIterations)
+    }
+}
+
 /// Options for the threaded solver.
 ///
 /// Marked `#[non_exhaustive]`: construct with [`AsyncOptions::default`] and
@@ -101,6 +253,8 @@ pub struct AsyncOptions {
     /// cycle ends with a global barrier and a global residual SpMV (the
     /// paper's "sync Multadd"/"sync AFACx").
     pub sync: bool,
+    /// Detection-and-recovery configuration (all off by default).
+    pub recovery: RecoveryOptions,
 }
 
 impl Default for AsyncOptions {
@@ -113,7 +267,31 @@ impl Default for AsyncOptions {
             t_max: 20,
             n_threads: 4,
             sync: false,
+            recovery: RecoveryOptions::default(),
         }
+    }
+}
+
+impl AsyncOptions {
+    /// Validates field ranges, returning a description of the first
+    /// violation. The panicking entry points only assert the basics; use
+    /// this (or `Solver::try_run`) for untrusted configurations.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_threads == 0 {
+            return Err("n_threads must be positive".into());
+        }
+        if self.t_max == 0 {
+            return Err("t_max must be positive".into());
+        }
+        if let StopCriterion::Tolerance { relres, check_every } = self.criterion {
+            if !(relres.is_finite() && relres > 0.0) {
+                return Err(format!("tolerance {relres} must be finite and positive"));
+            }
+            if check_every.is_zero() {
+                return Err("tolerance check_every must be non-zero".into());
+            }
+        }
+        self.recovery.validate()
     }
 }
 
@@ -130,6 +308,17 @@ pub struct AsyncResult {
     pub corrects_mean: f64,
     /// Wall-clock solve time.
     pub elapsed: Duration,
+    /// How the solve ended (structured, never by hanging).
+    pub outcome: SolveOutcome,
+    /// Injected faults and recovery actions, in time order (empty for
+    /// fault-free solves).
+    pub faults: Vec<FaultRecord>,
+    /// Whether a tolerance stop was actually observed (the monitor or a
+    /// synchronous cycle-end check saw the residual below target and
+    /// raised the stop flag). Unlike comparing the racy final `relres`
+    /// against the target, this flag is published with release/acquire
+    /// ordering and is therefore schedule-independent.
+    pub stopped_on_tolerance: bool,
 }
 
 /// Per-grid thread-shared workspace.
@@ -210,6 +399,13 @@ struct TeamData {
     /// (the store lands between their loads) — one would break while the
     /// other waits at the next team barrier forever.
     stop_local: AtomicBool,
+    /// Team-coherent guard verdict for the current write (same pattern as
+    /// `stop_local`: published by the master, separated by a barrier).
+    verdict: AtomicBool,
+    /// Team-coherent quarantine snapshot for the grid about to correct
+    /// (the global flag is set asynchronously by the watchdog, so members
+    /// reading it directly could disagree and tear the barrier protocol).
+    skip_local: AtomicBool,
 }
 
 /// The shared state of one solve.
@@ -227,6 +423,27 @@ struct Shared<'a, P: Probe + ?Sized> {
     epoch: Instant,
     /// `‖b‖₂`, with zero replaced by 1 so relative residuals stay defined.
     norm_b: f64,
+    /// The fault plan, when injecting.
+    plan: Option<&'a FaultPlan>,
+    /// `plan.is_some() || recovery armed` — gates every extra barrier and
+    /// check so undefended runs interleave bit-identically to the
+    /// pre-recovery runtime.
+    defended: bool,
+    /// Per-level quarantine flags (set by the guard or the watchdog, only
+    /// ever read team-coherently through `TeamData::skip_local`).
+    quarantined: Vec<AtomicBool>,
+    /// Per-level flags for grids whose team crashed and left.
+    dead: Vec<AtomicBool>,
+    /// Per-level guard strike counters.
+    strikes: Vec<AtomicUsize>,
+    /// The fault log (cold path: faults are rare by construction).
+    faults: Mutex<Vec<FaultRecord>>,
+    /// Raised by the watchdog when the wall-clock budget is exhausted.
+    timed_out: AtomicBool,
+    /// Raised (release) by whoever observes the tolerance met and stops
+    /// the solve; read (acquire) after the join. This is the
+    /// schedule-independent "did we converge" signal.
+    tol_stopped: AtomicBool,
 }
 
 impl<P: Probe + ?Sized> Shared<'_, P> {
@@ -234,6 +451,20 @@ impl<P: Probe + ?Sized> Shared<'_, P> {
     #[inline]
     fn now_ns(&self) -> u64 {
         self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Appends to the fault log and notifies the probe.
+    fn record_fault(&self, kind: FaultKind) {
+        let t_ns = self.now_ns();
+        self.faults.lock().unwrap().push(FaultRecord { t_ns, kind });
+        self.probe.fault(t_ns, kind);
+    }
+
+    /// Quarantines level `k` (idempotent), logging the transition.
+    fn quarantine(&self, k: usize) {
+        if !self.quarantined[k].swap(true, Ordering::AcqRel) {
+            self.record_fault(FaultKind::Quarantined { grid: k as u32 });
+        }
     }
 }
 
@@ -252,7 +483,7 @@ pub fn solve_async_probed<P: Probe + ?Sized>(
     opts: &AsyncOptions,
     probe: &P,
 ) -> AsyncResult {
-    solve_async_impl(setup, b, opts, probe, None)
+    solve_async_impl(setup, b, opts, probe, None, None)
 }
 
 /// [`solve_async_probed`] under an explicit [`Sched`].
@@ -274,7 +505,29 @@ pub fn solve_async_sched<P: Probe + ?Sized>(
     probe: &P,
     sched: &dyn Sched,
 ) -> AsyncResult {
-    solve_async_impl(setup, b, opts, probe, Some(sched))
+    solve_async_impl(setup, b, opts, probe, Some(sched), None)
+}
+
+/// The fully general entry point: [`solve_async_sched`] plus an optional
+/// seeded [`FaultPlan`] injecting stragglers, team crashes, and corrupted
+/// or dropped correction writes, with `opts.recovery` arming the
+/// countermeasures.
+///
+/// Fault decisions are pure functions of the plan's seed and the injection
+/// site, so under a `VirtualSched` the whole faulted solve — injection,
+/// detection and recovery included — replays deterministically from
+/// `(plan seed, schedule seed)`. Fault injection requires asynchronous
+/// execution (`!opts.sync`): a crashed team would deadlock the global
+/// barriers of the synchronous driver.
+pub fn solve_async_faulted<P: Probe + ?Sized>(
+    setup: &MgSetup,
+    b: &[f64],
+    opts: &AsyncOptions,
+    probe: &P,
+    sched: Option<&dyn Sched>,
+    plan: Option<&FaultPlan>,
+) -> AsyncResult {
+    solve_async_impl(setup, b, opts, probe, sched, plan)
 }
 
 fn solve_async_impl<P: Probe + ?Sized>(
@@ -283,10 +536,20 @@ fn solve_async_impl<P: Probe + ?Sized>(
     opts: &AsyncOptions,
     probe: &P,
     sched: Option<&dyn Sched>,
+    plan: Option<&FaultPlan>,
 ) -> AsyncResult {
     let n = setup.n();
     assert_eq!(b.len(), n);
     assert!(opts.n_threads > 0 && opts.t_max > 0);
+    if let Err(msg) = opts.recovery.validate() {
+        panic!("invalid RecoveryOptions: {msg}");
+    }
+    let plan = plan.filter(|p| !p.is_empty());
+    assert!(
+        plan.is_none() || !opts.sync,
+        "fault injection requires asynchronous execution (a crashed team would deadlock the \
+         synchronous driver's global barriers)"
+    );
     let work = setup.work_estimates(opts.method.uses_smoothed_interpolants());
     let layout = GridTeamLayout::build(&work, opts.n_threads);
     // The production scheduler is built here (team sizes are only known
@@ -310,10 +573,13 @@ fn solve_async_impl<P: Probe + ?Sized>(
             r_local: RacyVec::zeros(n),
             delta: RacyVec::zeros(n),
             stop_local: AtomicBool::new(false),
+            verdict: AtomicBool::new(false),
+            skip_local: AtomicBool::new(false),
         })
         .collect();
 
     let nb = vecops::norm2(b);
+    let n_levels = setup.n_levels();
     let shared = Shared {
         setup,
         b,
@@ -322,33 +588,46 @@ fn solve_async_impl<P: Probe + ?Sized>(
         x_lock: SpinLock::new(),
         r_lock: SpinLock::new(),
         stop: AtomicBool::new(false),
-        counters: (0..setup.n_levels()).map(|_| AtomicUsize::new(0)).collect(),
+        counters: (0..n_levels).map(|_| AtomicUsize::new(0)).collect(),
         opts: *opts,
         probe,
         epoch: Instant::now(),
         norm_b: if nb > 0.0 { nb } else { 1.0 },
+        plan,
+        defended: plan.is_some() || opts.recovery.any_enabled(),
+        quarantined: (0..n_levels).map(|_| AtomicBool::new(false)).collect(),
+        dead: (0..n_levels).map(|_| AtomicBool::new(false)).collect(),
+        strikes: (0..n_levels).map(|_| AtomicUsize::new(0)).collect(),
+        faults: Mutex::new(Vec::new()),
+        timed_out: AtomicBool::new(false),
+        tol_stopped: AtomicBool::new(false),
     };
 
-    let start = Instant::now();
-    match opts.criterion {
+    let tol = match opts.criterion {
         StopCriterion::Tolerance { relres, check_every } if !opts.sync => {
-            // Asynchronous tolerance stopping needs an observer: the worker
-            // threads never compute a global residual. The monitor samples
-            // the racy shared iterate and raises the stop flag.
-            let done = AtomicBool::new(false);
-            std::thread::scope(|s| {
-                s.spawn(|| monitor_loop(&shared, relres, check_every, &done));
-                run_teams_sched(&layout.sizes, sched, |ctx| {
-                    team_worker(&shared, &teams[ctx.team_id], &ctx);
-                });
-                done.store(true, Ordering::Release);
-            });
+            Some((relres, check_every))
         }
-        _ => {
+        _ => None,
+    };
+    let start = Instant::now();
+    if tol.is_some() || (!opts.sync && opts.recovery.needs_watchdog()) {
+        // Asynchronous tolerance stopping and the recovery defences need an
+        // observer: the worker threads never compute a global residual. The
+        // watchdog samples the racy shared iterate, checks the wall-clock
+        // budget and per-level heartbeats, and raises the stop flag.
+        let done = AtomicBool::new(false);
+        let period = tol.map_or(Duration::from_millis(1), |(_, every)| every);
+        std::thread::scope(|s| {
+            s.spawn(|| watchdog_loop(&shared, tol.map(|(t, _)| t), period, &done));
             run_teams_sched(&layout.sizes, sched, |ctx| {
                 team_worker(&shared, &teams[ctx.team_id], &ctx);
             });
-        }
+            done.store(true, Ordering::Release);
+        });
+    } else {
+        run_teams_sched(&layout.sizes, sched, |ctx| {
+            team_worker(&shared, &teams[ctx.team_id], &ctx);
+        });
     }
     let elapsed = start.elapsed();
 
@@ -362,26 +641,64 @@ fn solve_async_impl<P: Probe + ?Sized>(
         probe.residual_sample(shared.now_ns(), relres);
     }
     let grid_corrections: Vec<usize> =
-        shared.counters.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        shared.counters.iter().map(|c| c.load(Ordering::Acquire)).collect();
     let corrects_mean =
         grid_corrections.iter().sum::<usize>() as f64 / grid_corrections.len() as f64;
-    AsyncResult { x, relres, grid_corrections, corrects_mean, elapsed }
+    let faults = shared.faults.into_inner().unwrap();
+    let stopped_on_tolerance = shared.tol_stopped.load(Ordering::Acquire);
+    let hit_tol = match opts.criterion {
+        StopCriterion::Tolerance { relres: t, .. } => stopped_on_tolerance || relres < t,
+        _ => false,
+    };
+    let outcome = if shared.timed_out.load(Ordering::Acquire) || !relres.is_finite() {
+        SolveOutcome::Faulted
+    } else if !faults.is_empty() {
+        SolveOutcome::Degraded
+    } else if hit_tol {
+        SolveOutcome::Converged
+    } else {
+        SolveOutcome::MaxIterations
+    };
+    AsyncResult {
+        x,
+        relres,
+        grid_corrections,
+        corrects_mean,
+        elapsed,
+        outcome,
+        faults,
+        stopped_on_tolerance,
+    }
 }
 
-/// The tolerance monitor: periodically computes the relative residual from
-/// the racy shared iterate (atomic reads, no locks — the workers never
-/// wait on the monitor) and raises the stop flag once it is below `tol`.
-fn monitor_loop<P: Probe + ?Sized>(
+/// The watchdog (a generalisation of the tolerance monitor): periodically
+/// computes the relative residual from the racy shared iterate (atomic
+/// reads, no locks — the workers never wait on it), raises the stop flag
+/// once it is below `tol`, and — when recovery is armed — enforces the
+/// wall-clock budget, quarantines stalled grids via the correction-counter
+/// heartbeats, and rolls a diverging iterate back to the last known-good
+/// snapshot.
+fn watchdog_loop<P: Probe + ?Sized>(
     shared: &Shared<'_, P>,
-    tol: f64,
+    tol: Option<f64>,
     check_every: Duration,
     done: &AtomicBool,
 ) {
     let a0 = shared.setup.a(0);
     let n = shared.setup.n();
+    let rec = shared.opts.recovery;
+    // Rollback never composes with the residual-based flavour: rewriting
+    // `x` would break its incremental `r = b − A x` invariant.
+    let rollback = rec.rollback_factor.filter(|_| shared.opts.res_comp != ResComp::ResidualBased);
+    let want_res = tol.is_some() || rollback.is_some();
+    let n_levels = shared.counters.len();
+    let mut last_counts = vec![0usize; n_levels];
+    let mut last_change = vec![Instant::now(); n_levels];
+    let mut best = f64::INFINITY;
+    let mut good: Vec<f64> = Vec::new();
     loop {
-        // Sleep in short slices so a finished run does not leave the monitor
-        // sleeping out a long check interval.
+        // Sleep in short slices so a finished run does not leave the
+        // watchdog sleeping out a long check interval.
         let mut slept = Duration::ZERO;
         while slept < check_every {
             if done.load(Ordering::Acquire) {
@@ -394,6 +711,39 @@ fn monitor_loop<P: Probe + ?Sized>(
         if done.load(Ordering::Acquire) {
             return;
         }
+        // Hard wall-clock budget: stop the solve and report Faulted. The
+        // workers check the (team-republished) stop flag once per round, so
+        // any live team leaves within one round of corrections.
+        if let Some(max_wall) = rec.max_wall {
+            if shared.epoch.elapsed() >= max_wall {
+                shared.record_fault(FaultKind::Timeout);
+                shared.timed_out.store(true, Ordering::Release);
+                shared.stop.store(true, Ordering::Release);
+                return;
+            }
+        }
+        // Per-level stall detection: the correction counters are the
+        // heartbeats. A level that is neither finished nor advancing gets
+        // quarantined so the survivors stop waiting for its contribution.
+        if let Some(max_stall) = rec.max_stall {
+            for k in 0..n_levels {
+                let c = shared.counters[k].load(Ordering::Acquire);
+                if c != last_counts[k] {
+                    last_counts[k] = c;
+                    last_change[k] = Instant::now();
+                } else if c < shared.opts.t_max
+                    && !shared.quarantined[k].load(Ordering::Acquire)
+                    && !shared.dead[k].load(Ordering::Acquire)
+                    && last_change[k].elapsed() >= max_stall
+                {
+                    shared.record_fault(FaultKind::Stalled { grid: k as u32 });
+                    shared.quarantine(k);
+                }
+            }
+        }
+        if !want_res {
+            continue;
+        }
         let mut sum = 0.0;
         for i in 0..n {
             let v = shared.b[i] - a0.row_dot_atomic(i, &shared.x);
@@ -401,7 +751,22 @@ fn monitor_loop<P: Probe + ?Sized>(
         }
         let relres = sum.sqrt() / shared.norm_b;
         shared.probe.residual_sample(shared.now_ns(), relres);
-        if relres < tol {
+        if let Some(factor) = rollback {
+            if relres.is_finite() && relres <= best {
+                best = relres;
+                good.resize(n, 0.0);
+                shared.x.snapshot(&mut good);
+            } else if !good.is_empty() && (!relres.is_finite() || relres > factor * best) {
+                // Divergence (or poison): restore the last known-good
+                // iterate. Concurrent corrections keep landing on top of
+                // the restored values, which is exactly the additive
+                // model's tolerance for perturbed iterates.
+                shared.x.store_rows(0..n, &good);
+                shared.record_fault(FaultKind::Rollback);
+            }
+        }
+        if tol.is_some_and(|t| relres < t) {
+            shared.tol_stopped.store(true, Ordering::Release);
             shared.stop.store(true, Ordering::Release);
             return;
         }
@@ -424,7 +789,25 @@ fn team_worker<P: Probe + ?Sized>(shared: &Shared<'_, P>, team: &TeamData, ctx: 
         ctx.global_barrier();
     }
 
+    // Per-worker loop-iteration counter. Every member of a team sees the
+    // same value at the same loop point, so fault decisions keyed to
+    // (site, round) are team-coherent by construction.
+    let mut round: u64 = 0;
     loop {
+        // Injected permanent crash: every member computes the same verdict
+        // (a pure function of team and round), so the whole team leaves
+        // together without tearing any barrier.
+        if let Some(plan) = shared.plan {
+            if plan.team_crashed(ctx.team_id, round) {
+                if ctx.is_team_master() {
+                    shared.record_fault(FaultKind::TeamCrash { team: ctx.team_id as u32 });
+                    for grid in &team.grids {
+                        shared.dead[grid.k].store(true, Ordering::Release);
+                    }
+                }
+                break;
+            }
+        }
         let mut team_done = true;
         for grid in &team.grids {
             // Criterion 1 (and the Tolerance cap): a grid past t_max stops
@@ -437,10 +820,25 @@ fn team_worker<P: Probe + ?Sized>(shared: &Shared<'_, P>, team: &TeamData, ctx: 
             if capped && !opts.sync && count >= opts.t_max {
                 continue;
             }
+            // Quarantine check. The flag is set asynchronously (guard or
+            // watchdog), so the master publishes a team-coherent snapshot
+            // the same way the stop flag is republished.
+            if shared.defended {
+                if ctx.is_team_master() {
+                    team.skip_local.store(
+                        shared.quarantined[grid.k].load(Ordering::Acquire),
+                        Ordering::Release,
+                    );
+                }
+                ctx.barrier();
+                if team.skip_local.load(Ordering::Acquire) {
+                    continue;
+                }
+            }
             team_done = false;
             correction_phase(shared, team, grid, ctx);
-            write_x_phase(shared, team, grid, ctx);
-            residual_phase(shared, team, grid, ctx);
+            let wrote = write_x_phase(shared, team, grid, ctx, round);
+            residual_phase(shared, team, grid, ctx, wrote);
             if ctx.is_team_master() {
                 shared.counters[grid.k].fetch_add(1, Ordering::AcqRel);
                 if shared.probe.enabled() {
@@ -474,6 +872,26 @@ fn team_worker<P: Probe + ?Sized>(shared: &Shared<'_, P>, team: &TeamData, ctx: 
                 ctx.sched_point(SchedPoint::Yield);
             }
         }
+
+        // Injected straggling: burn extra scheduling decisions, delaying
+        // only this worker. Purely per-worker (no shared state), so no
+        // team coherence is needed; under a virtual scheduler each yield
+        // is one descheduling.
+        if let Some(plan) = shared.plan {
+            let steps = plan.stall_steps(ctx.global_rank, round);
+            if steps > 0 {
+                if round == 0 || plan.stall_steps(ctx.global_rank, round - 1) == 0 {
+                    shared.record_fault(FaultKind::Straggler {
+                        worker: ctx.global_rank as u32,
+                        steps,
+                    });
+                }
+                for _ in 0..steps {
+                    ctx.sched_point(SchedPoint::Yield);
+                }
+            }
+        }
+        round += 1;
 
         match (opts.sync, opts.criterion) {
             (true, criterion) => {
@@ -511,6 +929,7 @@ fn team_worker<P: Probe + ?Sized>(shared: &Shared<'_, P>, team: &TeamData, ctx: 
                         let relres = sum.sqrt() / shared.norm_b;
                         shared.probe.residual_sample(shared.now_ns(), relres);
                         if tol.is_some_and(|t| relres < t) {
+                            shared.tol_stopped.store(true, Ordering::Release);
                             shared.stop.store(true, Ordering::Release);
                         }
                     }
@@ -528,6 +947,21 @@ fn team_worker<P: Probe + ?Sized>(shared: &Shared<'_, P>, team: &TeamData, ctx: 
                 if team_done {
                     break;
                 }
+                // Criterion 1 has no stop flag of its own, but a defended
+                // run must still honour the watchdog's timeout stop. The
+                // republish-then-barrier dance keeps the break team-
+                // coherent; undefended runs skip it entirely (no extra
+                // barrier, bit-identical schedules).
+                if shared.defended {
+                    if ctx.is_team_master() {
+                        team.stop_local
+                            .store(shared.stop.load(Ordering::Acquire), Ordering::Release);
+                    }
+                    ctx.barrier();
+                    if team.stop_local.load(Ordering::Acquire) {
+                        break;
+                    }
+                }
             }
             (false, StopCriterion::Tolerance { .. }) => {
                 // The monitor raises the global flag; t_max caps each grid
@@ -543,8 +977,15 @@ fn team_worker<P: Probe + ?Sized>(shared: &Shared<'_, P>, team: &TeamData, ctx: 
             }
             (false, StopCriterion::Two) => {
                 if ctx.is_global_master() {
-                    let all_done =
-                        shared.counters.iter().all(|c| c.load(Ordering::Acquire) >= opts.t_max);
+                    // Quarantined and crashed grids never reach t_max;
+                    // counting them as done keeps the survivors from
+                    // spinning forever on a level that will never advance.
+                    let all_done = shared.counters.iter().enumerate().all(|(k, c)| {
+                        c.load(Ordering::Acquire) >= opts.t_max
+                            || (shared.defended
+                                && (shared.quarantined[k].load(Ordering::Acquire)
+                                    || shared.dead[k].load(Ordering::Acquire)))
+                    });
                     if all_done {
                         shared.stop.store(true, Ordering::Release);
                     }
@@ -864,13 +1305,83 @@ fn team_coarse_solve<P: Probe + ?Sized>(
 }
 
 /// `x += e_0`, with lock-write or atomic-write.
+///
+/// This is the fault site for write corruption/drops and the recovery site
+/// for the correction guard: a defended run may corrupt `e_0`, suppress it
+/// (dropped, or guard-rejected with a strike), or scale it by the damping
+/// factor before it reaches the shared iterate. Returns whether the write
+/// was applied — residual bookkeeping must skip updates for suppressed
+/// writes.
 fn write_x_phase<P: Probe + ?Sized>(
     shared: &Shared<'_, P>,
     team: &TeamData,
     grid: &GridData,
     ctx: &TeamCtx<'_>,
-) {
+    round: u64,
+) -> bool {
     let n = shared.setup.n();
+    let rec = &shared.opts.recovery;
+    // Injected faults on this round's write. Decisions are pure functions
+    // of (grid, round): every team member computes the same verdict.
+    if let Some(plan) = shared.plan {
+        if plan.drops_write(grid.k, round) {
+            if ctx.is_team_master() {
+                shared.record_fault(FaultKind::WriteDropped { grid: grid.k as u32 });
+            }
+            return false;
+        }
+        if let Some(kind) = plan.corruption(grid.k, round) {
+            // The master mangles one entry of its own chunk, then a
+            // barrier publishes the corruption before anyone (guard or
+            // write loop) reads e_0.
+            if ctx.is_team_master() {
+                let chunk = ctx.chunk(n);
+                if !chunk.is_empty() {
+                    let dst = unsafe { grid.e[0].slice_mut(chunk.start..chunk.start + 1) };
+                    dst[0] = plan.corrupt_value(kind, dst[0], grid.k, round);
+                }
+                shared.record_fault(FaultKind::WriteCorrupted { grid: grid.k as u32 });
+            }
+            ctx.barrier();
+        }
+    }
+    // Correction guard: the master scans the (now stable) correction and
+    // publishes a team-coherent verdict. A rejected correction never
+    // reaches `x`; repeated rejections damp and eventually quarantine the
+    // grid.
+    let mut scale = 1.0;
+    if shared.defended && rec.guard_corrections {
+        if ctx.is_team_master() {
+            let e0 = unsafe { grid.e[0].as_slice() };
+            let bad = e0.iter().any(|&v| !v.is_finite() || v.abs() > rec.max_correction);
+            team.verdict.store(bad, Ordering::Release);
+            if bad {
+                shared.record_fault(FaultKind::GuardTripped { grid: grid.k as u32 });
+                let strikes = shared.strikes[grid.k].fetch_add(1, Ordering::AcqRel) + 1;
+                if rec.quarantine_after > 0 && strikes >= rec.quarantine_after {
+                    shared.quarantine(grid.k);
+                } else if rec.damping < 1.0 && strikes == 1 {
+                    shared.record_fault(FaultKind::Damped { grid: grid.k as u32 });
+                }
+            }
+        }
+        ctx.barrier();
+        if team.verdict.load(Ordering::Acquire) {
+            return false;
+        }
+        if rec.damping < 1.0 && shared.strikes[grid.k].load(Ordering::Acquire) > 0 {
+            scale = rec.damping;
+        }
+    }
+    if scale != 1.0 {
+        // Additive damping: scale the rows this member is about to write
+        // (chunk-disjoint, so no barrier needed before the write below).
+        let chunk = ctx.chunk(n);
+        let dst = unsafe { grid.e[0].slice_mut(chunk.clone()) };
+        for v in dst.iter_mut() {
+            *v *= scale;
+        }
+    }
     let e0 = unsafe { grid.e[0].as_slice() };
     let timing = shared.probe.enabled() && ctx.is_team_master();
     let t0 = if timing { shared.now_ns() } else { 0 };
@@ -901,7 +1412,7 @@ fn write_x_phase<P: Probe + ?Sized>(
         let now = shared.now_ns();
         shared.probe.phase(ctx.global_rank, grid.k, Phase::SharedWrite, t0, now - t0);
     }
-    let _ = team;
+    true
 }
 
 /// Refresh the team-local residual (Algorithm 5 lines 11–19, plus the
@@ -911,6 +1422,7 @@ fn residual_phase<P: Probe + ?Sized>(
     team: &TeamData,
     grid: &GridData,
     ctx: &TeamCtx<'_>,
+    wrote: bool,
 ) {
     let setup = shared.setup;
     let opts = &shared.opts;
@@ -923,7 +1435,7 @@ fn residual_phase<P: Probe + ?Sized>(
     }
     let timing = shared.probe.enabled() && ctx.is_team_master();
     let t0 = if timing { shared.now_ns() } else { 0 };
-    residual_phase_inner(shared, team, grid, ctx, n, a0);
+    residual_phase_inner(shared, team, grid, ctx, n, a0, wrote);
     if timing {
         let now = shared.now_ns();
         shared.probe.phase(ctx.global_rank, grid.k, Phase::ResidualUpdate, t0, now - t0);
@@ -937,42 +1449,49 @@ fn residual_phase_inner<P: Probe + ?Sized>(
     ctx: &TeamCtx<'_>,
     n: usize,
     a0: &Csr,
+    wrote: bool,
 ) {
     let opts = &shared.opts;
     if opts.res_comp == ResComp::ResidualBased {
-        // delta = A e_0 (team-parallel), then r_glob −= delta.
-        let e0 = unsafe { grid.e[0].as_slice() };
-        let chunk = ctx.chunk(n);
-        {
-            let dst = unsafe { team.delta.slice_mut(chunk.clone()) };
-            for (off, i) in chunk.clone().enumerate() {
-                dst[off] = a0.row_dot(i, e0);
-            }
-        }
-        ctx.barrier();
-        let delta = unsafe { team.delta.as_slice() };
-        match opts.write {
-            WriteMode::Lock => {
-                if ctx.is_team_master() {
-                    ctx.lock(&shared.r_lock);
-                }
-                ctx.barrier();
-                let chunk = ctx.chunk(n);
-                for i in chunk {
-                    shared.r_glob.store(i, shared.r_glob.load(i) - delta[i]);
-                }
-                ctx.barrier();
-                if ctx.is_team_master() {
-                    ctx.unlock(&shared.r_lock);
+        // A suppressed write (dropped or guard-rejected) never changed x,
+        // so the incremental update must be skipped too — applying it
+        // would break the `r = b − A x` invariant permanently. The team
+        // still refreshes r_local from the shared residual below.
+        if wrote {
+            // delta = A e_0 (team-parallel), then r_glob −= delta.
+            let e0 = unsafe { grid.e[0].as_slice() };
+            let chunk = ctx.chunk(n);
+            {
+                let dst = unsafe { team.delta.slice_mut(chunk.clone()) };
+                for (off, i) in chunk.clone().enumerate() {
+                    dst[off] = a0.row_dot(i, e0);
                 }
             }
-            WriteMode::Atomic => {
-                ctx.sched_point(SchedPoint::RacyWrite);
-                let chunk = ctx.chunk(n);
-                for i in chunk {
-                    shared.r_glob.fetch_add(i, -delta[i]);
+            ctx.barrier();
+            let delta = unsafe { team.delta.as_slice() };
+            match opts.write {
+                WriteMode::Lock => {
+                    if ctx.is_team_master() {
+                        ctx.lock(&shared.r_lock);
+                    }
+                    ctx.barrier();
+                    let chunk = ctx.chunk(n);
+                    for i in chunk {
+                        shared.r_glob.store(i, shared.r_glob.load(i) - delta[i]);
+                    }
+                    ctx.barrier();
+                    if ctx.is_team_master() {
+                        ctx.unlock(&shared.r_lock);
+                    }
                 }
-                ctx.barrier();
+                WriteMode::Atomic => {
+                    ctx.sched_point(SchedPoint::RacyWrite);
+                    let chunk = ctx.chunk(n);
+                    for i in chunk {
+                        shared.r_glob.fetch_add(i, -delta[i]);
+                    }
+                    ctx.barrier();
+                }
             }
         }
         ctx.sched_point(SchedPoint::RacyRead);
@@ -1345,5 +1864,222 @@ mod tests {
             r2.final_relres(),
             r1.final_relres()
         );
+    }
+
+    // ---- fault injection and recovery -----------------------------------
+
+    use asyncmg_threads::{Corruption, Fault, FaultPlan, VirtualSched};
+
+    fn faulted(
+        s: &MgSetup,
+        b: &[f64],
+        opts: &AsyncOptions,
+        plan: &FaultPlan,
+        sched_seed: u64,
+    ) -> AsyncResult {
+        let sched = VirtualSched::new(sched_seed);
+        solve_async_faulted(s, b, opts, &NoopProbe, Some(&sched), Some(plan))
+    }
+
+    #[test]
+    fn defended_fault_free_run_is_clean() {
+        let s = setup_n(6);
+        let b = random_rhs(s.n(), 3);
+        let opts = AsyncOptions {
+            t_max: 30,
+            n_threads: 4,
+            recovery: RecoveryOptions::defended(),
+            ..Default::default()
+        };
+        let res = solve_async_probed(&s, &b, &opts, &NoopProbe);
+        assert!(res.faults.is_empty(), "no faults injected, none should be logged");
+        assert_eq!(res.outcome, SolveOutcome::MaxIterations);
+        assert!(res.outcome.is_ok());
+        assert!(res.relres < 1e-2, "relres {}", res.relres);
+    }
+
+    #[test]
+    fn unguarded_nan_corruption_faults_the_solve() {
+        let s = setup_n(6);
+        let b = random_rhs(s.n(), 3);
+        let plan = FaultPlan::new(1).with(Fault::CorruptWrite {
+            grid: 0,
+            at_round: 2,
+            kind: Corruption::Nan,
+        });
+        let opts = AsyncOptions { t_max: 10, n_threads: 4, ..Default::default() };
+        let res = faulted(&s, &b, &opts, &plan, 11);
+        assert_eq!(res.outcome, SolveOutcome::Faulted, "NaN must poison the unguarded iterate");
+        assert!(!res.relres.is_finite());
+        assert!(res.faults.iter().any(|f| matches!(f.kind, FaultKind::WriteCorrupted { grid: 0 })));
+    }
+
+    #[test]
+    fn guarded_corruption_is_suppressed_and_degrades() {
+        let s = setup_n(6);
+        let b = random_rhs(s.n(), 3);
+        let plan = FaultPlan::new(2).with(Fault::CorruptWrite {
+            grid: 1,
+            at_round: 1,
+            kind: Corruption::Inf,
+        });
+        let opts = AsyncOptions {
+            t_max: 20,
+            n_threads: 4,
+            recovery: RecoveryOptions::defended(),
+            ..Default::default()
+        };
+        let res = faulted(&s, &b, &opts, &plan, 12);
+        assert_eq!(res.outcome, SolveOutcome::Degraded);
+        assert!(res.relres.is_finite() && res.relres < 1e-1, "relres {}", res.relres);
+        assert!(res.x.iter().all(|v| v.is_finite()));
+        assert!(res.faults.iter().any(|f| matches!(f.kind, FaultKind::GuardTripped { grid: 1 })));
+    }
+
+    #[test]
+    fn crashed_team_degrades_but_rest_of_hierarchy_converges() {
+        let s = setup_n(6);
+        let b = random_rhs(s.n(), 3);
+        let plan = FaultPlan::new(3).with(Fault::Crash { team: 1, at_round: 0 });
+        let opts = AsyncOptions {
+            t_max: 30,
+            n_threads: 4,
+            recovery: RecoveryOptions::defended(),
+            ..Default::default()
+        };
+        let res = faulted(&s, &b, &opts, &plan, 13);
+        assert_eq!(res.outcome, SolveOutcome::Degraded);
+        assert!(res.faults.iter().any(|f| matches!(f.kind, FaultKind::TeamCrash { team: 1 })));
+        // The crashed team did no corrections; the surviving grids finished
+        // their budget and still reduced the residual.
+        assert!(res.grid_corrections.contains(&0), "{:?}", res.grid_corrections);
+        assert!(res.grid_corrections.contains(&30), "{:?}", res.grid_corrections);
+        assert!(res.relres.is_finite() && res.relres < 1e-1, "relres {}", res.relres);
+    }
+
+    #[test]
+    fn dropped_writes_are_logged_and_solve_survives() {
+        let s = setup_n(6);
+        let ell = s.n_levels() - 1;
+        let b = random_rhs(s.n(), 3);
+        let plan = FaultPlan::new(4).with(Fault::DropWrite { grid: ell, prob: 1.0 });
+        let opts = AsyncOptions {
+            t_max: 20,
+            n_threads: 4,
+            recovery: RecoveryOptions::defended(),
+            ..Default::default()
+        };
+        let res = faulted(&s, &b, &opts, &plan, 14);
+        assert_eq!(res.outcome, SolveOutcome::Degraded);
+        let drops = res
+            .faults
+            .iter()
+            .filter(|f| matches!(f.kind, FaultKind::WriteDropped { grid } if grid as usize == ell))
+            .count();
+        assert_eq!(drops, 20, "every round of the coarsest grid drops");
+        assert!(res.relres.is_finite() && res.relres < 1e-1, "relres {}", res.relres);
+    }
+
+    #[test]
+    fn repeated_corruption_quarantines_the_grid() {
+        let s = setup_n(6);
+        let b = random_rhs(s.n(), 3);
+        // NaN (unlike a bit-flip, which can land back in range) trips the
+        // guard on every hit, so four hits exceed the 3-strike quarantine
+        // threshold deterministically.
+        let mut plan = FaultPlan::new(5);
+        for round in 1..=4 {
+            plan =
+                plan.with(Fault::CorruptWrite { grid: 1, at_round: round, kind: Corruption::Nan });
+        }
+        let opts = AsyncOptions {
+            t_max: 20,
+            n_threads: 4,
+            recovery: RecoveryOptions::defended(), // quarantine_after: 3
+            ..Default::default()
+        };
+        let res = faulted(&s, &b, &opts, &plan, 15);
+        assert_eq!(res.outcome, SolveOutcome::Degraded);
+        assert!(res.faults.iter().any(|f| matches!(f.kind, FaultKind::Quarantined { grid: 1 })));
+        assert!(res.relres.is_finite(), "quarantine must keep the iterate clean");
+    }
+
+    #[test]
+    fn wall_clock_timeout_reports_faulted() {
+        let s = setup_n(6);
+        let b = random_rhs(s.n(), 3);
+        let opts = AsyncOptions {
+            t_max: 200_000,
+            n_threads: 4,
+            recovery: RecoveryOptions { max_wall: Some(Duration::ZERO), ..Default::default() },
+            ..Default::default()
+        };
+        let res = solve_async_probed(&s, &b, &opts, &NoopProbe);
+        assert_eq!(res.outcome, SolveOutcome::Faulted);
+        assert!(res.faults.iter().any(|f| matches!(f.kind, FaultKind::Timeout)));
+        assert!(
+            res.grid_corrections.iter().all(|&c| c < 200_000),
+            "timeout must cut the budget short: {:?}",
+            res.grid_corrections
+        );
+    }
+
+    #[test]
+    fn straggler_injection_is_logged_and_harmless() {
+        let s = setup_n(6);
+        let b = random_rhs(s.n(), 3);
+        let plan = FaultPlan::new(6).with(Fault::Straggler {
+            worker: 0,
+            from_round: 2,
+            rounds: 3,
+            steps: 7,
+        });
+        let opts = AsyncOptions { t_max: 20, n_threads: 4, ..Default::default() };
+        let res = faulted(&s, &b, &opts, &plan, 16);
+        assert_eq!(res.outcome, SolveOutcome::Degraded);
+        assert!(res
+            .faults
+            .iter()
+            .any(|f| matches!(f.kind, FaultKind::Straggler { worker: 0, steps: 7 })));
+        assert!(res.relres < 1e-1, "a slow worker must not break convergence: {}", res.relres);
+        assert!(res.grid_corrections.iter().all(|&c| c == 20), "{:?}", res.grid_corrections);
+    }
+
+    #[test]
+    fn faulted_replay_is_deterministic_under_virtual_sched() {
+        let s = setup_n(6);
+        let b = random_rhs(s.n(), 3);
+        let plan = FaultPlan::new(7)
+            .with(Fault::Crash { team: 2, at_round: 3 })
+            .with(Fault::CorruptWrite { grid: 0, at_round: 2, kind: Corruption::BitFlip });
+        let opts = AsyncOptions {
+            t_max: 15,
+            n_threads: 4,
+            recovery: RecoveryOptions::defended(),
+            ..Default::default()
+        };
+        let r1 = faulted(&s, &b, &opts, &plan, 17);
+        let r2 = faulted(&s, &b, &opts, &plan, 17);
+        assert_eq!(r1.outcome, r2.outcome);
+        assert_eq!(r1.relres.to_bits(), r2.relres.to_bits(), "bit-identical replay");
+        assert_eq!(r1.grid_corrections, r2.grid_corrections);
+        let kinds = |r: &AsyncResult| r.faults.iter().map(|f| f.kind).collect::<Vec<_>>();
+        assert_eq!(kinds(&r1), kinds(&r2));
+    }
+
+    #[test]
+    fn recovery_options_validate_ranges() {
+        assert!(RecoveryOptions::default().validate().is_ok());
+        assert!(RecoveryOptions::defended().validate().is_ok());
+        let r = RecoveryOptions { damping: 0.0, ..Default::default() };
+        assert!(r.validate().is_err());
+        let r = RecoveryOptions { rollback_factor: Some(0.5), ..Default::default() };
+        assert!(r.validate().is_err());
+        let mut o =
+            AsyncOptions { criterion: StopCriterion::tolerance(f64::NAN), ..Default::default() };
+        assert!(o.validate().is_err());
+        o.criterion = StopCriterion::One;
+        o.n_threads = 0;
+        assert!(o.validate().is_err());
     }
 }

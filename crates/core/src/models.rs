@@ -57,6 +57,20 @@ impl Default for ModelOptions {
     }
 }
 
+impl ModelOptions {
+    /// Validates field ranges, returning a description of the first
+    /// violation. [`simulate`] panics on the same conditions.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.alpha.is_finite() && self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err(format!("alpha {} out of (0, 1]", self.alpha));
+        }
+        if self.updates_per_grid == 0 {
+            return Err("updates_per_grid must be positive".into());
+        }
+        Ok(())
+    }
+}
+
 /// Simulation outcome.
 #[derive(Clone, Debug)]
 pub struct ModelResult {
@@ -115,7 +129,9 @@ pub fn simulate(
     b: &[f64],
     opts: &ModelOptions,
 ) -> ModelResult {
-    assert!(opts.alpha > 0.0 && opts.alpha <= 1.0);
+    if let Err(msg) = opts.validate() {
+        panic!("invalid ModelOptions: {msg}");
+    }
     let n = setup.n();
     let ngrids = setup.n_levels();
     let mut rng = StdRng::seed_from_u64(opts.seed);

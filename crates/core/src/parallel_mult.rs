@@ -6,7 +6,7 @@
 //! of every cycle the full thread set synchronises several times, which is
 //! exactly the cost asynchronous Multadd avoids.
 
-use crate::asynchronous::AsyncResult;
+use crate::asynchronous::{AsyncResult, SolveOutcome};
 use crate::setup::{CoarseSolve, MgSetup};
 use asyncmg_smoothers::{LevelSmoother, SmootherKind};
 use asyncmg_sparse::vecops;
@@ -240,12 +240,26 @@ pub fn solve_mult_threaded_sched<P: Probe + ?Sized>(
     setup.a(0).residual(b, &xv, &mut res);
     let relres = if nb > 0.0 { vecops::norm2(&res) / nb } else { vecops::norm2(&res) };
     let cycles = cycles_done.load(Ordering::Acquire);
+    // The cycle is fully barriered, so the stop flag is only ever raised by
+    // the master's exact end-of-cycle residual check — it doubles as the
+    // "tolerance actually observed" signal.
+    let stopped_on_tolerance = stop.load(Ordering::Acquire);
+    let outcome = if !relres.is_finite() {
+        SolveOutcome::Faulted
+    } else if tol.is_some_and(|t| stopped_on_tolerance || relres < t) {
+        SolveOutcome::Converged
+    } else {
+        SolveOutcome::MaxIterations
+    };
     AsyncResult {
         x: xv,
         relres,
         grid_corrections: vec![cycles; setup.n_levels()],
         corrects_mean: cycles as f64,
         elapsed,
+        outcome,
+        faults: Vec::new(),
+        stopped_on_tolerance,
     }
 }
 

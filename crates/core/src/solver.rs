@@ -18,26 +18,33 @@
 //!     .t_max(1000)
 //!     .tolerance(1e-8)
 //!     .run(&b);
-//! // Converges to 1e-8 in a few tens of corrections on an unloaded
-//! // machine; asynchronous stopping is racy by design, so only the
-//! // schedule-independent bound is asserted here.
-//! assert!(report.relres < 1e-3);
+//! // `converged` is schedule-independent: it is raised (release) by
+//! // whoever actually observes the tolerance met — the monitor thread or
+//! // the exact post-run residual check — and read (acquire) after the
+//! // join, so no racy monitor timing can flip it.
+//! assert!(report.converged);
+//! assert!(report.outcome == asyncmg_core::SolveOutcome::Converged);
 //! ```
 //!
 //! `threads(0)` selects the sequential backend, `threads(n)` with
 //! [`Solver::sync`] the synchronous-threaded one, and `threads(n)` alone the
 //! asynchronous solver of the paper. A [`Probe`] can observe any backend;
 //! [`Solver::with_trace`] records a full [`SolveTrace`] without writing a
-//! probe by hand.
+//! probe by hand. [`Solver::timeout`], [`Solver::recovery`] and
+//! [`Solver::fault_plan`] configure the resilience layer of the
+//! asynchronous backend; [`Solver::try_run`] validates inputs and options
+//! up front, returning a typed [`SolveError`] instead of panicking.
 
 use crate::additive::{solve_additive_probed, AdditiveMethod};
 use crate::asynchronous::{
-    solve_async_probed, AsyncOptions, AsyncResult, ResComp, StopCriterion, WriteMode,
+    solve_async_faulted, AsyncOptions, AsyncResult, RecoveryOptions, ResComp, SolveOutcome,
+    StopCriterion, WriteMode,
 };
 use crate::mult::solve_mult_probed;
 use crate::parallel_mult::solve_mult_threaded_probed;
 use crate::setup::MgSetup;
-use asyncmg_telemetry::{NoopProbe, Probe, SolveTrace, TelemetryProbe};
+use asyncmg_telemetry::{FaultRecord, NoopProbe, Probe, SolveTrace, TelemetryProbe};
+use asyncmg_threads::FaultPlan;
 use std::time::Duration;
 
 /// Which multigrid method the [`Solver`] runs.
@@ -94,9 +101,49 @@ pub struct SolveReport {
     pub history: Vec<f64>,
     /// Wall-clock solve time.
     pub elapsed: Duration,
+    /// How the solve ended (structured: converged, budget exhausted,
+    /// degraded by faults, or faulted outright — never by hanging).
+    pub outcome: SolveOutcome,
+    /// Injected faults and recovery actions in time order (empty for
+    /// fault-free runs).
+    pub faults: Vec<FaultRecord>,
     /// The recorded telemetry, when [`Solver::with_trace`] was used.
     pub trace: Option<SolveTrace>,
 }
+
+/// A validation failure detected by [`Solver::try_run`] before any solve
+/// work starts.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SolveError {
+    /// The right-hand side length does not match the fine-grid dimension.
+    RhsLength {
+        /// Fine-grid dimension.
+        expected: usize,
+        /// Supplied rhs length.
+        got: usize,
+    },
+    /// The right-hand side contains a non-finite entry.
+    NonFiniteRhs {
+        /// Index of the first offending entry.
+        index: usize,
+    },
+    /// An option is out of range (description of the first violation).
+    InvalidOptions(String),
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::RhsLength { expected, got } => {
+                write!(f, "rhs has {got} entries but the fine grid has {expected}")
+            }
+            SolveError::NonFiniteRhs { index } => write!(f, "rhs entry {index} is not finite"),
+            SolveError::InvalidOptions(msg) => write!(f, "invalid solver options: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
 
 /// Builder-style front-end over all solvers in this crate.
 ///
@@ -115,6 +162,8 @@ pub struct Solver<'a> {
     write: WriteMode,
     criterion: StopCriterion,
     sync: bool,
+    recovery: RecoveryOptions,
+    plan: Option<&'a FaultPlan>,
     probe: Option<&'a dyn Probe>,
     collect_trace: bool,
 }
@@ -134,6 +183,8 @@ impl<'a> Solver<'a> {
             write: defaults.write,
             criterion: defaults.criterion,
             sync: defaults.sync,
+            recovery: defaults.recovery,
+            plan: None,
             probe: None,
             collect_trace: false,
         }
@@ -198,6 +249,40 @@ impl<'a> Solver<'a> {
         self
     }
 
+    /// Hard wall-clock budget for the asynchronous backend: on expiry the
+    /// watchdog stops all teams and the report's outcome is
+    /// [`SolveOutcome::Faulted`]. Shorthand for setting
+    /// [`RecoveryOptions::max_wall`].
+    pub fn timeout(mut self, budget: Duration) -> Self {
+        self.recovery.max_wall = Some(budget);
+        self
+    }
+
+    /// Quarantine any grid whose correction counter does not advance within
+    /// `window` (asynchronous backend). Shorthand for setting
+    /// [`RecoveryOptions::max_stall`].
+    pub fn max_stall(mut self, window: Duration) -> Self {
+        self.recovery.max_stall = Some(window);
+        self
+    }
+
+    /// Full detection-and-recovery configuration for the asynchronous
+    /// backend. Replaces anything set through [`Solver::timeout`] or
+    /// [`Solver::max_stall`].
+    pub fn recovery(mut self, recovery: RecoveryOptions) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Injects a seeded deterministic [`FaultPlan`] into the asynchronous
+    /// backend (resilience testing). Requires asynchronous execution; the
+    /// injected faults and any recovery actions appear in
+    /// [`SolveReport::faults`].
+    pub fn fault_plan(mut self, plan: &'a FaultPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
     /// Observes the run with a caller-owned [`Probe`].
     pub fn probe(mut self, probe: &'a dyn Probe) -> Self {
         self.probe = Some(probe);
@@ -209,6 +294,60 @@ impl<'a> Solver<'a> {
     pub fn with_trace(mut self) -> Self {
         self.collect_trace = true;
         self
+    }
+
+    /// The [`AsyncOptions`] this builder resolves to for the threaded
+    /// additive backends.
+    fn async_options(&self, method: AdditiveMethod) -> AsyncOptions {
+        let criterion = match self.tolerance {
+            Some(relres) => StopCriterion::Tolerance { relres, check_every: self.check_every },
+            None => self.criterion,
+        };
+        AsyncOptions {
+            method,
+            res_comp: self.res_comp,
+            write: self.write,
+            t_max: self.t_max,
+            n_threads: self.threads,
+            sync: self.sync,
+            criterion,
+            recovery: self.recovery,
+        }
+    }
+
+    /// [`Solver::run`] with up-front validation: the right-hand side and
+    /// every configured option are checked before any thread is spawned,
+    /// returning a typed [`SolveError`] instead of panicking mid-solve.
+    pub fn try_run(&self, b: &[f64]) -> Result<SolveReport, SolveError> {
+        let n = self.setup.n();
+        if b.len() != n {
+            return Err(SolveError::RhsLength { expected: n, got: b.len() });
+        }
+        if let Some(index) = b.iter().position(|v| !v.is_finite()) {
+            return Err(SolveError::NonFiniteRhs { index });
+        }
+        if self.t_max == 0 {
+            return Err(SolveError::InvalidOptions("t_max must be positive".into()));
+        }
+        if let Some(t) = self.tolerance {
+            if !(t.is_finite() && t > 0.0) {
+                return Err(SolveError::InvalidOptions(format!(
+                    "tolerance {t} must be finite and positive"
+                )));
+            }
+        }
+        if self.plan.is_some_and(|p| !p.is_empty()) && (self.sync || self.threads == 0) {
+            return Err(SolveError::InvalidOptions(
+                "fault injection requires the asynchronous threaded backend".into(),
+            ));
+        }
+        if self.threads > 0 {
+            let method = self.method.additive().unwrap_or(AdditiveMethod::Multadd);
+            self.async_options(method).validate().map_err(SolveError::InvalidOptions)?;
+        } else {
+            self.recovery.validate().map_err(SolveError::InvalidOptions)?;
+        }
+        Ok(self.run(b))
     }
 
     /// Runs the configured solver on `b`.
@@ -229,17 +368,17 @@ impl<'a> Solver<'a> {
 
     /// Runs with an explicit probe (monomorphised per probe type).
     fn run_with<P: Probe + ?Sized>(&self, b: &[f64], probe: &P) -> SolveReport {
-        let report = match (self.threads, self.method.additive()) {
+        match (self.threads, self.method.additive()) {
             (0, None) => {
                 let start = std::time::Instant::now();
                 let res = solve_mult_probed(self.setup, b, self.t_max, self.tolerance, probe);
-                sequential_report(res, start.elapsed(), 1)
+                sequential_report(res, start.elapsed(), 1, self.tolerance)
             }
             (0, Some(method)) => {
                 let start = std::time::Instant::now();
                 let res =
                     solve_additive_probed(self.setup, method, b, self.t_max, self.tolerance, probe);
-                sequential_report(res, start.elapsed(), self.setup.n_levels())
+                sequential_report(res, start.elapsed(), self.setup.n_levels(), self.tolerance)
             }
             (threads, None) => {
                 let res = solve_mult_threaded_probed(
@@ -250,63 +389,64 @@ impl<'a> Solver<'a> {
                     self.tolerance,
                     probe,
                 );
-                threaded_report(res)
+                threaded_report(res, self.tolerance)
             }
-            (threads, Some(method)) => {
-                let criterion = match self.tolerance {
-                    Some(relres) => {
-                        StopCriterion::Tolerance { relres, check_every: self.check_every }
-                    }
-                    None => self.criterion,
-                };
-                let opts = AsyncOptions {
-                    method,
-                    res_comp: self.res_comp,
-                    write: self.write,
-                    t_max: self.t_max,
-                    n_threads: threads,
-                    sync: self.sync,
-                    criterion,
-                };
-                let res = solve_async_probed(self.setup, b, &opts, probe);
-                threaded_report(res)
+            (_, Some(method)) => {
+                let opts = self.async_options(method);
+                let res = solve_async_faulted(self.setup, b, &opts, probe, None, self.plan);
+                threaded_report(res, self.tolerance)
             }
-        };
-        SolveReport { converged: self.tolerance.is_none_or(|t| report.relres < t), ..report }
+        }
     }
 }
 
 /// Report for the sequential backends: the cycle count is the history
-/// length, identical on every grid.
+/// length, identical on every grid, and the per-cycle tolerance check is
+/// exact (no racy reads), so `relres < tol` is authoritative.
 fn sequential_report(
     res: crate::additive::SolveResult,
     elapsed: Duration,
     n_grids: usize,
+    tolerance: Option<f64>,
 ) -> SolveReport {
     let cycles = res.history.len();
     let relres = res.final_relres();
+    let hit_tol = tolerance.is_some_and(|t| relres < t);
+    let outcome = if !relres.is_finite() {
+        SolveOutcome::Faulted
+    } else if hit_tol {
+        SolveOutcome::Converged
+    } else {
+        SolveOutcome::MaxIterations
+    };
     SolveReport {
         x: res.x,
         relres,
-        converged: true,
+        converged: tolerance.is_none() || hit_tol,
         grid_corrections: vec![cycles; n_grids],
         corrects_mean: cycles as f64,
         history: res.history,
         elapsed,
+        outcome,
+        faults: Vec::new(),
         trace: None,
     }
 }
 
-/// Report for the threaded backends.
-fn threaded_report(res: AsyncResult) -> SolveReport {
+/// Report for the threaded backends. `converged` uses the backend's
+/// release/acquire `stopped_on_tolerance` flag — not only the racy final
+/// residual — so it is schedule-independent.
+fn threaded_report(res: AsyncResult, tolerance: Option<f64>) -> SolveReport {
     SolveReport {
+        converged: tolerance.is_none_or(|t| res.stopped_on_tolerance || res.relres < t),
         x: res.x,
         relres: res.relres,
-        converged: true,
         grid_corrections: res.grid_corrections,
         corrects_mean: res.corrects_mean,
         history: Vec::new(),
         elapsed: res.elapsed,
+        outcome: res.outcome,
+        faults: res.faults,
         trace: None,
     }
 }
@@ -371,5 +511,91 @@ mod tests {
         let b = random_rhs(s.n(), 5);
         let report = Solver::new(&s).method(Method::Mult).threads(4).t_max(20).run(&b);
         assert!(report.relres < 1e-5, "relres {}", report.relres);
+    }
+
+    #[test]
+    fn try_run_validates_inputs() {
+        let s = setup_n(6);
+        let b = random_rhs(s.n(), 6);
+
+        let short = vec![1.0; s.n() - 1];
+        assert!(matches!(
+            Solver::new(&s).try_run(&short),
+            Err(SolveError::RhsLength { got, .. }) if got == s.n() - 1
+        ));
+
+        let mut poisoned = b.clone();
+        poisoned[3] = f64::NAN;
+        assert_eq!(
+            Solver::new(&s).try_run(&poisoned).err(),
+            Some(SolveError::NonFiniteRhs { index: 3 })
+        );
+
+        assert!(matches!(
+            Solver::new(&s).tolerance(-1.0).try_run(&b),
+            Err(SolveError::InvalidOptions(_))
+        ));
+        assert!(matches!(Solver::new(&s).t_max(0).try_run(&b), Err(SolveError::InvalidOptions(_))));
+
+        let plan = asyncmg_threads::FaultPlan::new(1)
+            .with(asyncmg_threads::Fault::Crash { team: 0, at_round: 0 });
+        assert!(matches!(
+            Solver::new(&s).sync(true).fault_plan(&plan).try_run(&b),
+            Err(SolveError::InvalidOptions(_))
+        ));
+
+        let bad = RecoveryOptions { damping: -1.0, ..Default::default() };
+        assert!(matches!(
+            Solver::new(&s).recovery(bad).try_run(&b),
+            Err(SolveError::InvalidOptions(_))
+        ));
+    }
+
+    #[test]
+    fn try_run_solves_valid_input() {
+        let s = setup_n(6);
+        let b = random_rhs(s.n(), 7);
+        let report = Solver::new(&s)
+            .method(Method::Multadd)
+            .threads(4)
+            .t_max(500)
+            .tolerance(1e-6)
+            .timeout(Duration::from_secs(60))
+            .try_run(&b)
+            .expect("valid configuration");
+        assert!(report.converged);
+        assert_eq!(report.outcome, SolveOutcome::Converged);
+        assert!(report.faults.is_empty());
+    }
+
+    #[test]
+    fn fault_plan_through_builder_degrades_report() {
+        use asyncmg_threads::{Corruption, Fault, FaultPlan};
+        let s = setup_n(6);
+        let b = random_rhs(s.n(), 8);
+        let plan = FaultPlan::new(9).with(Fault::CorruptWrite {
+            grid: 0,
+            at_round: 1,
+            kind: Corruption::Nan,
+        });
+        let report = Solver::new(&s)
+            .method(Method::Multadd)
+            .threads(4)
+            .t_max(20)
+            .recovery(RecoveryOptions::defended())
+            .fault_plan(&plan)
+            .run(&b);
+        assert_eq!(report.outcome, SolveOutcome::Degraded);
+        assert!(!report.faults.is_empty());
+        assert!(report.relres.is_finite());
+    }
+
+    #[test]
+    fn model_options_validate_ranges() {
+        use crate::models::ModelOptions;
+        assert!(ModelOptions::default().validate().is_ok());
+        assert!(ModelOptions { alpha: 0.0, ..Default::default() }.validate().is_err());
+        assert!(ModelOptions { alpha: f64::NAN, ..Default::default() }.validate().is_err());
+        assert!(ModelOptions { updates_per_grid: 0, ..Default::default() }.validate().is_err());
     }
 }

@@ -3,14 +3,14 @@
 use crate::fingerprint::fingerprint_run;
 use asyncmg_amg::{build_hierarchy, AmgOptions};
 use asyncmg_core::{
-    solve_async_sched, AdditiveMethod, AsyncOptions, AsyncResult, MgOptions, MgSetup, ResComp,
-    StopCriterion, WriteMode,
+    solve_async_faulted, AdditiveMethod, AsyncOptions, AsyncResult, MgOptions, MgSetup,
+    RecoveryOptions, ResComp, StopCriterion, WriteMode,
 };
 use asyncmg_problems::rhs::random_rhs;
 use asyncmg_problems::stencil::{laplacian_27pt, laplacian_7pt};
 use asyncmg_smoothers::SmootherKind;
 use asyncmg_telemetry::TelemetryProbe;
-use asyncmg_threads::{ReadDelay, VirtualSched};
+use asyncmg_threads::{Corruption, Fault, FaultPlan, ReadDelay, VirtualSched};
 
 /// The test-problem families the fuzz matrix draws from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -33,6 +33,70 @@ impl MatrixFamily {
         match *self {
             MatrixFamily::SevenPt(n) => format!("7pt{n}"),
             MatrixFamily::TwentySevenPt(n) => format!("27pt{n}"),
+        }
+    }
+}
+
+/// The fault-injection axis of the fuzz matrix. A non-`None` axis arms
+/// [`RecoveryOptions::defended`] for the run, so the oracle can demand a
+/// structured degraded outcome instead of a hang or a poisoned iterate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAxis {
+    /// No injection: the plain fuzz configuration.
+    None,
+    /// Worker 0 is descheduled for extra steps over a window of rounds.
+    Straggler,
+    /// Grid team 1 crashes early and never corrects again.
+    Crash,
+    /// Grid 0's correction write is replaced by NaN at round 2.
+    Corrupt,
+    /// Grid 1's correction writes are dropped with probability ½ per round.
+    Drop,
+}
+
+impl FaultAxis {
+    /// All axes, `None` first (the order test matrices iterate in).
+    pub const ALL: [FaultAxis; 5] = [
+        FaultAxis::None,
+        FaultAxis::Straggler,
+        FaultAxis::Crash,
+        FaultAxis::Corrupt,
+        FaultAxis::Drop,
+    ];
+
+    /// The fault plan this axis injects, keyed to `seed` (probabilistic
+    /// decisions and bit-flip targets vary with the scheduler seed; the
+    /// injected sites are fixed per axis). `None` for [`FaultAxis::None`].
+    pub fn plan(self, seed: u64) -> Option<FaultPlan> {
+        match self {
+            FaultAxis::None => None,
+            FaultAxis::Straggler => Some(FaultPlan::new(seed).with(Fault::Straggler {
+                worker: 0,
+                from_round: 2,
+                rounds: 4,
+                steps: 5,
+            })),
+            FaultAxis::Crash => {
+                Some(FaultPlan::new(seed).with(Fault::Crash { team: 1, at_round: 3 }))
+            }
+            FaultAxis::Corrupt => Some(FaultPlan::new(seed).with(Fault::CorruptWrite {
+                grid: 0,
+                at_round: 2,
+                kind: Corruption::Nan,
+            })),
+            FaultAxis::Drop => {
+                Some(FaultPlan::new(seed).with(Fault::DropWrite { grid: 1, prob: 0.5 }))
+            }
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            FaultAxis::None => "",
+            FaultAxis::Straggler => "/straggler",
+            FaultAxis::Crash => "/crash",
+            FaultAxis::Corrupt => "/corrupt",
+            FaultAxis::Drop => "/drop",
         }
     }
 }
@@ -63,6 +127,8 @@ pub struct FuzzCase {
     pub rhs_seed: u64,
     /// Optional bounded read-delay injection (the paper's `δ`).
     pub delay: Option<ReadDelay>,
+    /// Fault-injection axis (a non-`None` axis arms defended recovery).
+    pub fault: FaultAxis,
 }
 
 impl FuzzCase {
@@ -82,6 +148,7 @@ impl FuzzCase {
             n_threads: opts.n_threads,
             rhs_seed: 3,
             delay: None,
+            fault: FaultAxis::None,
         }
     }
 
@@ -108,7 +175,11 @@ impl FuzzCase {
             ResComp::ResidualBased => "rbased",
         };
         let delay = if self.delay.is_some() { "/delay" } else { "" };
-        format!("{}/{method}/{smoother}/{write}/{res}{delay}", self.family.label())
+        format!(
+            "{}/{method}/{smoother}/{write}/{res}{delay}{}",
+            self.family.label(),
+            self.fault.label()
+        )
     }
 
     fn setup(&self) -> MgSetup {
@@ -128,6 +199,13 @@ impl FuzzCase {
         opts.t_max = self.t_max;
         opts.n_threads = self.n_threads;
         opts.sync = false;
+        if self.fault != FaultAxis::None {
+            // Fault cases run defended so injected failures end in a
+            // structured Degraded/Faulted outcome rather than a poisoned
+            // iterate; fault-free cases stay bit-identical to earlier
+            // harness revisions (no extra barriers).
+            opts.recovery = RecoveryOptions::defended();
+        }
         opts
     }
 
@@ -143,8 +221,9 @@ impl FuzzCase {
             Some(d) => VirtualSched::with_delay(sched_seed, d),
             None => VirtualSched::new(sched_seed),
         };
+        let plan = self.fault.plan(sched_seed);
         let mut probe = TelemetryProbe::with_threads(self.n_threads);
-        let result = solve_async_sched(&setup, &b, &opts, &probe, &sched);
+        let result = solve_async_faulted(&setup, &b, &opts, &probe, Some(&sched), plan.as_ref());
         let trace = probe.take_trace();
         let decisions = sched.decisions();
         let fingerprint = fingerprint_run(&result, &trace);

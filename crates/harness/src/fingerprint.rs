@@ -7,8 +7,8 @@
 //! event streams, phase occurrence counts — is a pure function of the
 //! schedule and is folded into a 64-bit FNV-1a digest.
 
-use asyncmg_core::AsyncResult;
-use asyncmg_telemetry::SolveTrace;
+use asyncmg_core::{AsyncResult, SolveOutcome};
+use asyncmg_telemetry::{FaultKind, SolveTrace};
 
 /// FNV-1a, 64-bit. Small, dependency-free, and stable across platforms —
 /// exactly what a golden fingerprint needs (this is a digest for test
@@ -93,5 +93,26 @@ pub fn fingerprint_run(result: &AsyncResult, trace: &SolveTrace) -> u64 {
         h.write_u64(t.count);
     }
     h.write_u64(trace.dropped_events);
+    // Outcome and fault log: kinds and their sites are schedule-determined
+    // (fault decisions are pure functions of plan seed and site); the
+    // records' wall-clock timestamps are not, so only the kinds are hashed.
+    h.write_u64(match result.outcome {
+        SolveOutcome::Converged => 0,
+        SolveOutcome::MaxIterations => 1,
+        SolveOutcome::Degraded => 2,
+        SolveOutcome::Faulted => 3,
+    });
+    h.write_u64(result.faults.len() as u64);
+    for f in &result.faults {
+        h.write_bytes(f.kind.name().as_bytes());
+        h.write_u64(f.kind.grid().map_or(u64::MAX, u64::from));
+        if let FaultKind::Straggler { worker, steps } = f.kind {
+            h.write_u64(worker as u64);
+            h.write_u64(steps as u64);
+        }
+        if let FaultKind::TeamCrash { team } = f.kind {
+            h.write_u64(team as u64);
+        }
+    }
     h.finish()
 }

@@ -29,7 +29,7 @@ pub mod fingerprint;
 pub mod fuzz;
 pub mod oracle;
 
-pub use case::{CaseRun, FuzzCase, MatrixFamily};
+pub use case::{CaseRun, FaultAxis, FuzzCase, MatrixFamily};
 pub use fingerprint::{fingerprint_run, Fnv};
 pub use fuzz::{case_filter, run_fuzz, seeds_from_env, FuzzOutcome};
 pub use oracle::{Oracle, Violation};

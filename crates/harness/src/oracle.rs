@@ -1,7 +1,7 @@
 //! Convergence oracles: what must hold for *every* interleaving.
 
-use crate::case::{CaseRun, FuzzCase};
-use asyncmg_core::StopCriterion;
+use crate::case::{CaseRun, FaultAxis, FuzzCase};
+use asyncmg_core::{SolveOutcome, StopCriterion};
 
 /// The properties a schedule-fuzzed run is checked against.
 ///
@@ -9,6 +9,12 @@ use asyncmg_core::StopCriterion;
 /// Section VI measures) convergence for *families* of asynchronous
 /// executions, so any single interleaving violating the oracle is a bug —
 /// either in the solver or in the oracle's model of it.
+///
+/// For fault-injected cases (`case.fault != FaultAxis::None`) the bar
+/// changes shape rather than dropping: the iterate must stay finite and the
+/// outcome must be *structured* — `Degraded` with a non-empty fault log —
+/// never `Faulted`, never a hang; crashed or quarantined grids are allowed
+/// below the correction envelope.
 #[derive(Clone, Copy, Debug)]
 pub struct Oracle {
     /// Required final relative residual, or `None` when the configuration
@@ -21,13 +27,32 @@ impl Oracle {
     /// Checks a run. `Err` carries a human-readable violation description.
     pub fn check(&self, case: &FuzzCase, run: &CaseRun) -> Result<(), Violation> {
         let r = &run.result;
+        let faulted_case = case.fault != FaultAxis::None;
         // No NaN/Inf anywhere: an async schedule may slow convergence but
-        // must never corrupt the iterate.
+        // must never corrupt the iterate — and with defended recovery, an
+        // injected corruption must be suppressed before it reaches x.
         if !r.relres.is_finite() {
             return Err(Violation::new(case, format!("non-finite relres {}", r.relres)));
         }
         if let Some(i) = r.x.iter().position(|v| !v.is_finite()) {
             return Err(Violation::new(case, format!("non-finite x[{i}] = {}", r.x[i])));
+        }
+        if faulted_case {
+            // The solve must end structurally: a logged, degraded outcome.
+            if r.outcome != SolveOutcome::Degraded {
+                return Err(Violation::new(
+                    case,
+                    format!("fault-injected run ended {:?}, expected Degraded", r.outcome),
+                ));
+            }
+            if r.faults.is_empty() {
+                return Err(Violation::new(case, "fault-injected run logged no faults".into()));
+            }
+        } else if !r.faults.is_empty() {
+            return Err(Violation::new(
+                case,
+                format!("fault-free run logged {} faults", r.faults.len()),
+            ));
         }
         if let Some(tol) = self.max_relres {
             if r.relres >= tol {
@@ -41,19 +66,22 @@ impl Oracle {
         // every grid performs exactly `t_max` corrections regardless of
         // schedule; under Criterion 2 at least `t_max`, with a generous cap
         // catching runaway grids (a team that never observes the stop flag).
+        // Fault injection can legitimately push grids below the floor
+        // (crashed teams, quarantined grids), never above the cap.
         let envelope = match case.criterion {
             StopCriterion::One => (case.t_max, case.t_max),
             StopCriterion::Two | StopCriterion::Tolerance { .. } => {
                 (case.t_max, case.t_max.saturating_mul(50))
             }
         };
+        let floor = if faulted_case { 0 } else { envelope.0 };
         for (k, &c) in r.grid_corrections.iter().enumerate() {
-            if c < envelope.0 || c > envelope.1 {
+            if c < floor || c > envelope.1 {
                 return Err(Violation::new(
                     case,
                     format!(
                         "grid {k} performed {c} corrections, outside envelope [{}, {}]",
-                        envelope.0, envelope.1
+                        floor, envelope.1
                     ),
                 ));
             }

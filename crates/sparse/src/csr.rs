@@ -46,6 +46,79 @@ fn dot4(vals: &[f64], cols: &[u32], x: &[f64]) -> f64 {
     (a0 + a1) + (a2 + a3) + tail
 }
 
+/// A structural or value defect found by [`Csr::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CsrError {
+    /// `row_ptr` does not have `nrows + 1` entries.
+    RowPtrLength {
+        /// `nrows + 1`.
+        expected: usize,
+        /// Actual `row_ptr` length.
+        got: usize,
+    },
+    /// `row_ptr`, `col_idx` and `vals` disagree about the entry count.
+    NnzMismatch {
+        /// `row_ptr.last()`.
+        row_ptr_last: usize,
+        /// `col_idx.len()`.
+        col_idx: usize,
+        /// `vals.len()`.
+        vals: usize,
+    },
+    /// `row_ptr` decreases at this row.
+    RowPtrNotMonotone {
+        /// Offending row.
+        row: usize,
+    },
+    /// A column index is out of range.
+    ColOutOfRange {
+        /// Offending row.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+        /// Matrix column count.
+        ncols: usize,
+    },
+    /// Column indices within a row are not strictly increasing.
+    ColsNotSorted {
+        /// Offending row.
+        row: usize,
+    },
+    /// A stored value is NaN or infinite.
+    NonFiniteValue {
+        /// Offending row.
+        row: usize,
+        /// Offending column.
+        col: usize,
+    },
+}
+
+impl std::fmt::Display for CsrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsrError::RowPtrLength { expected, got } => {
+                write!(f, "row_ptr has {got} entries, expected {expected}")
+            }
+            CsrError::NnzMismatch { row_ptr_last, col_idx, vals } => write!(
+                f,
+                "entry counts disagree: row_ptr says {row_ptr_last}, col_idx {col_idx}, vals {vals}"
+            ),
+            CsrError::RowPtrNotMonotone { row } => write!(f, "row_ptr decreases at row {row}"),
+            CsrError::ColOutOfRange { row, col, ncols } => {
+                write!(f, "row {row} references column {col} of a {ncols}-column matrix")
+            }
+            CsrError::ColsNotSorted { row } => {
+                write!(f, "columns of row {row} are not strictly increasing")
+            }
+            CsrError::NonFiniteValue { row, col } => {
+                write!(f, "entry ({row}, {col}) is not finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsrError {}
+
 /// A sparse matrix in compressed sparse row format.
 ///
 /// Column indices are `u32` (half the memory of `usize` indices, the usual
@@ -90,6 +163,52 @@ impl Csr {
             }
         }
         Csr { nrows, ncols, row_ptr, col_idx, vals }
+    }
+
+    /// Full structural and value validation, independent of build profile.
+    ///
+    /// Unlike the `debug_assert`s in [`Csr::from_raw`], this checks release
+    /// builds too and reports the defect instead of panicking: row-pointer
+    /// monotonicity, column range and ordering, and entry finiteness. Use
+    /// it on untrusted input before handing the matrix to a solver.
+    pub fn validate(&self) -> Result<(), CsrError> {
+        if self.row_ptr.len() != self.nrows + 1 {
+            return Err(CsrError::RowPtrLength {
+                expected: self.nrows + 1,
+                got: self.row_ptr.len(),
+            });
+        }
+        if *self.row_ptr.last().unwrap() as usize != self.vals.len()
+            || self.col_idx.len() != self.vals.len()
+        {
+            return Err(CsrError::NnzMismatch {
+                row_ptr_last: *self.row_ptr.last().unwrap() as usize,
+                col_idx: self.col_idx.len(),
+                vals: self.vals.len(),
+            });
+        }
+        for i in 0..self.nrows {
+            let (lo, hi) = (self.row_ptr[i] as usize, self.row_ptr[i + 1] as usize);
+            if lo > hi {
+                return Err(CsrError::RowPtrNotMonotone { row: i });
+            }
+            for k in lo..hi {
+                if self.col_idx[k] as usize >= self.ncols {
+                    return Err(CsrError::ColOutOfRange {
+                        row: i,
+                        col: self.col_idx[k] as usize,
+                        ncols: self.ncols,
+                    });
+                }
+                if k > lo && self.col_idx[k - 1] >= self.col_idx[k] {
+                    return Err(CsrError::ColsNotSorted { row: i });
+                }
+                if !self.vals[k].is_finite() {
+                    return Err(CsrError::NonFiniteValue { row: i, col: self.col_idx[k] as usize });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The `n × n` identity matrix.
@@ -490,5 +609,42 @@ mod tests {
         a.scale_rows(&[1.0, 2.0, 0.5]);
         assert_eq!(a.get(1, 0), -2.0);
         assert_eq!(a.get(2, 2), 1.0);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_matrices() {
+        assert_eq!(small().validate(), Ok(()));
+        assert_eq!(Csr::identity(5).validate(), Ok(()));
+        assert_eq!(Csr::from_diag(&[1.0, -2.0]).validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_reports_defects() {
+        // Built through the private constructor so defective raw parts can
+        // bypass from_raw's panics.
+        let mut a = small();
+        a.vals[1] = f64::NAN;
+        assert!(matches!(a.validate(), Err(CsrError::NonFiniteValue { .. })));
+
+        let a = Csr {
+            nrows: 2,
+            ncols: 2,
+            row_ptr: vec![0, 1, 2],
+            col_idx: vec![0, 5],
+            vals: vec![1.0, 1.0],
+        };
+        assert_eq!(a.validate(), Err(CsrError::ColOutOfRange { row: 1, col: 5, ncols: 2 }));
+
+        let a = Csr {
+            nrows: 2,
+            ncols: 2,
+            row_ptr: vec![0, 2, 2],
+            col_idx: vec![1, 0],
+            vals: vec![1.0, 1.0],
+        };
+        assert_eq!(a.validate(), Err(CsrError::ColsNotSorted { row: 0 }));
+
+        let a = Csr { nrows: 1, ncols: 1, row_ptr: vec![0, 2], col_idx: vec![0], vals: vec![1.0] };
+        assert!(matches!(a.validate(), Err(CsrError::NnzMismatch { .. })));
     }
 }

@@ -37,7 +37,7 @@ pub mod vecops;
 
 pub use atomic::AtomicF64Vec;
 pub use coo::Coo;
-pub use csr::Csr;
+pub use csr::{Csr, CsrError};
 pub use dense::{DenseLu, DenseMatrix};
 pub use parallel::{auto_setup_threads, rap_parallel, spgemm_parallel, transpose_parallel};
 pub use spgemm::{add_scaled, rap, spgemm};

@@ -28,6 +28,93 @@ pub use recorder::TelemetryProbe;
 pub use ring::EventRing;
 pub use trace::{CorrectionRecord, GridTimeline, PhaseTotal, ResidualSample, SolveTrace};
 
+/// What happened in one fault event — an *injected* failure (from a
+/// `FaultPlan`) or a *recovery* action the runtime took in response.
+///
+/// Grid ids are hierarchy level indices; worker/team ids follow the
+/// solver's `GridTeamLayout`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Injected: a worker was stalled for `steps` scheduler yields.
+    Straggler { worker: u32, steps: u32 },
+    /// Injected: grid team `team` stopped making progress permanently.
+    TeamCrash { team: u32 },
+    /// Injected: a correction write on `grid` was corrupted before the
+    /// guard saw it.
+    WriteCorrupted { grid: u32 },
+    /// Injected: a correction write on `grid` was dropped entirely.
+    WriteDropped { grid: u32 },
+    /// Recovery: the non-finite/magnitude guard rejected a correction on
+    /// `grid` (the write was suppressed).
+    GuardTripped { grid: u32 },
+    /// Recovery: `grid` accumulated enough strikes that its corrections
+    /// are now additively damped.
+    Damped { grid: u32 },
+    /// Recovery: `grid` was quarantined — its corrections are no longer
+    /// applied to the shared iterate.
+    Quarantined { grid: u32 },
+    /// Recovery: the watchdog saw no heartbeat from `grid` within the
+    /// configured stall window.
+    Stalled { grid: u32 },
+    /// Recovery: divergence detected; the iterate was rolled back to the
+    /// last known-good snapshot.
+    Rollback,
+    /// Recovery: the hard wall-clock timeout fired and stopped the solve.
+    Timeout,
+}
+
+impl FaultKind {
+    /// Stable lowercase name (used in the JSON schema).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Straggler { .. } => "straggler",
+            FaultKind::TeamCrash { .. } => "team_crash",
+            FaultKind::WriteCorrupted { .. } => "write_corrupted",
+            FaultKind::WriteDropped { .. } => "write_dropped",
+            FaultKind::GuardTripped { .. } => "guard_tripped",
+            FaultKind::Damped { .. } => "damped",
+            FaultKind::Quarantined { .. } => "quarantined",
+            FaultKind::Stalled { .. } => "stalled",
+            FaultKind::Rollback => "rollback",
+            FaultKind::Timeout => "timeout",
+        }
+    }
+
+    /// The grid (level) this fault concerns, when it concerns one.
+    pub fn grid(self) -> Option<u32> {
+        match self {
+            FaultKind::WriteCorrupted { grid }
+            | FaultKind::WriteDropped { grid }
+            | FaultKind::GuardTripped { grid }
+            | FaultKind::Damped { grid }
+            | FaultKind::Quarantined { grid }
+            | FaultKind::Stalled { grid } => Some(grid),
+            _ => None,
+        }
+    }
+
+    /// Whether this event was injected by a fault plan (as opposed to a
+    /// recovery action the runtime took).
+    pub fn is_injected(self) -> bool {
+        matches!(
+            self,
+            FaultKind::Straggler { .. }
+                | FaultKind::TeamCrash { .. }
+                | FaultKind::WriteCorrupted { .. }
+                | FaultKind::WriteDropped { .. }
+        )
+    }
+}
+
+/// One entry of a solve's fault log.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultRecord {
+    /// Nanoseconds since the solve epoch.
+    pub t_ns: u64,
+    /// What happened.
+    pub kind: FaultKind,
+}
+
 /// The instrumented phases of one grid correction (Algorithm 5), plus the
 /// timed stages of the hierarchy setup.
 ///
@@ -138,6 +225,11 @@ pub trait Probe: Sync {
     /// residual.
     #[inline(always)]
     fn residual_sample(&self, _t_ns: u64, _relres: f64) {}
+
+    /// A fault was injected or a recovery action taken. Cold path: faults
+    /// are rare by construction, so recording probes may lock here.
+    #[inline(always)]
+    fn fault(&self, _t_ns: u64, _kind: FaultKind) {}
 }
 
 /// The default probe: records nothing, costs nothing.
@@ -166,6 +258,11 @@ impl<P: Probe + ?Sized> Probe for &P {
     fn residual_sample(&self, t_ns: u64, relres: f64) {
         (**self).residual_sample(t_ns, relres);
     }
+
+    #[inline(always)]
+    fn fault(&self, t_ns: u64, kind: FaultKind) {
+        (**self).fault(t_ns, kind);
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +278,16 @@ mod tests {
         p.correction(0, 0, 0, 0, f64::NAN);
         p.phase(0, 0, Phase::Smooth, 0, 1);
         p.residual_sample(0, 1.0);
+        p.fault(0, FaultKind::Timeout);
+    }
+
+    #[test]
+    fn fault_kind_names_and_grids() {
+        assert_eq!(FaultKind::Quarantined { grid: 3 }.name(), "quarantined");
+        assert_eq!(FaultKind::Quarantined { grid: 3 }.grid(), Some(3));
+        assert_eq!(FaultKind::Timeout.grid(), None);
+        assert!(FaultKind::TeamCrash { team: 1 }.is_injected());
+        assert!(!FaultKind::GuardTripped { grid: 0 }.is_injected());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::ring::EventRing;
 use crate::trace::{ResidualSample, SolveTrace};
-use crate::{Event, Phase, Probe};
+use crate::{Event, FaultKind, FaultRecord, Phase, Probe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -21,6 +21,7 @@ pub struct TelemetryProbe {
     rings: Vec<EventRing>,
     corrections: Vec<AtomicU64>,
     residuals: Mutex<Vec<ResidualSample>>,
+    faults: Mutex<Vec<FaultRecord>>,
 }
 
 impl TelemetryProbe {
@@ -31,6 +32,7 @@ impl TelemetryProbe {
             rings: (0..n_threads.max(1)).map(|_| EventRing::new(capacity)).collect(),
             corrections: (0..MAX_GRIDS).map(|_| AtomicU64::new(0)).collect(),
             residuals: Mutex::new(Vec::new()),
+            faults: Mutex::new(Vec::new()),
         }
     }
 
@@ -63,7 +65,8 @@ impl TelemetryProbe {
         let counts: Vec<u64> =
             self.corrections[..n_grids].iter().map(|c| c.swap(0, Ordering::Relaxed)).collect();
         let residuals = std::mem::take(&mut *self.residuals.lock().unwrap());
-        SolveTrace::from_events(events, &counts, residuals, dropped)
+        let faults = std::mem::take(&mut *self.faults.lock().unwrap());
+        SolveTrace::from_events(events, &counts, residuals, dropped, faults)
     }
 }
 
@@ -107,6 +110,11 @@ impl Probe for TelemetryProbe {
     fn residual_sample(&self, t_ns: u64, relres: f64) {
         self.residuals.lock().unwrap().push(ResidualSample { t_ns, relres });
     }
+
+    #[inline]
+    fn fault(&self, t_ns: u64, kind: FaultKind) {
+        self.faults.lock().unwrap().push(FaultRecord { t_ns, kind });
+    }
 }
 
 #[cfg(test)]
@@ -128,11 +136,16 @@ mod tests {
             }
             probe.residual_sample(1, 0.5);
             probe.residual_sample(2, 0.25);
+            probe.fault(3, FaultKind::GuardTripped { grid: 0 });
         });
         let trace = probe.take_trace();
         assert_eq!(trace.grid_corrections(), vec![20, 20]);
         assert_eq!(trace.phase_totals[Phase::Smooth.index()].count, 40);
         assert_eq!(trace.residual_history.len(), 2);
+        assert_eq!(
+            trace.faults,
+            vec![FaultRecord { t_ns: 3, kind: FaultKind::GuardTripped { grid: 0 } }]
+        );
         assert_eq!(trace.dropped_events, 0);
         // The recorder is cleared for reuse.
         assert!(probe.take_trace().grid_corrections().is_empty());

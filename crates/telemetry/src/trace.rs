@@ -1,6 +1,6 @@
 //! The merged outcome of an instrumented solve, and its JSON export.
 
-use crate::{Event, Phase};
+use crate::{Event, FaultRecord, Phase};
 
 /// One observation of the global relative residual.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -54,16 +54,20 @@ pub struct SolveTrace {
     /// Events lost to ring-buffer overwriting (0 unless a run outgrew its
     /// rings).
     pub dropped_events: u64,
+    /// Injected faults and recovery actions, in time order (empty for
+    /// fault-free solves).
+    pub faults: Vec<FaultRecord>,
 }
 
 impl SolveTrace {
-    /// Builds a trace from merged ring events, exact per-grid counters, and
-    /// the residual history.
+    /// Builds a trace from merged ring events, exact per-grid counters, the
+    /// residual history, and the fault log.
     pub fn from_events(
         mut events: Vec<Event>,
         corrections: &[u64],
         residual_history: Vec<ResidualSample>,
         dropped_events: u64,
+        mut faults: Vec<FaultRecord>,
     ) -> Self {
         let n_grids = corrections.len().max(
             events
@@ -97,7 +101,8 @@ impl SolveTrace {
                 }
             }
         }
-        SolveTrace { residual_history, grids, phase_totals, dropped_events }
+        faults.sort_by_key(|f| f.t_ns);
+        SolveTrace { residual_history, grids, phase_totals, dropped_events, faults }
     }
 
     /// Per-grid correction counts (the shape of `AsyncResult::grid_corrections`).
@@ -166,8 +171,40 @@ impl SolveTrace {
             }
             out.push_str("\n    ]}");
         }
+        out.push_str("\n  ],\n");
+
+        out.push_str("  \"faults\": [");
+        for (i, f) in self.faults.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"t_ns\": {}, \"kind\": \"{}\"{}}}",
+                f.t_ns,
+                f.kind.name(),
+                fault_detail(f.kind)
+            ));
+        }
         out.push_str("\n  ]\n}\n");
         out
+    }
+}
+
+/// Kind-specific JSON fields of one fault record (leading comma included).
+fn fault_detail(kind: crate::FaultKind) -> String {
+    use crate::FaultKind::*;
+    match kind {
+        Straggler { worker, steps } => format!(", \"worker\": {worker}, \"steps\": {steps}"),
+        TeamCrash { team } => format!(", \"team\": {team}"),
+        WriteCorrupted { grid }
+        | WriteDropped { grid }
+        | GuardTripped { grid }
+        | Damped { grid }
+        | Quarantined { grid }
+        | Stalled { grid } => {
+            format!(", \"grid\": {grid}")
+        }
+        Rollback | Timeout => String::new(),
     }
 }
 
@@ -200,6 +237,10 @@ mod tests {
                 ResidualSample { t_ns: 50, relres: 1e-3 },
             ],
             0,
+            vec![
+                FaultRecord { t_ns: 40, kind: crate::FaultKind::Quarantined { grid: 1 } },
+                FaultRecord { t_ns: 15, kind: crate::FaultKind::TeamCrash { team: 1 } },
+            ],
         )
     }
 
@@ -211,14 +252,18 @@ mod tests {
         assert_eq!(t.grids[0].events[0].t_ns, 10);
         assert_eq!(t.phase_totals[Phase::Smooth.index()], PhaseTotal { count: 2, total_ns: 17 });
         assert_eq!(t.final_relres(), Some(1e-3));
+        // Fault records are sorted by time.
+        assert_eq!(t.faults[0].kind, crate::FaultKind::TeamCrash { team: 1 });
+        assert_eq!(t.faults[1].kind, crate::FaultKind::Quarantined { grid: 1 });
     }
 
     #[test]
     fn counters_win_over_retained_events() {
         // Ring overwrite lost events: counters still report the truth.
-        let t = SolveTrace::from_events(vec![], &[40, 38], vec![], 12);
+        let t = SolveTrace::from_events(vec![], &[40, 38], vec![], 12, vec![]);
         assert_eq!(t.grid_corrections(), vec![40, 38]);
         assert_eq!(t.dropped_events, 12);
+        assert!(t.faults.is_empty());
     }
 
     #[test]
@@ -227,6 +272,8 @@ mod tests {
         assert!(json.contains("\"schema\": \"asyncmg-trace-v1\""));
         assert!(json.contains("\"local_res\": null"));
         assert!(json.contains("\"phase\": \"smooth\""));
+        assert!(json.contains("\"kind\": \"team_crash\", \"team\": 1"));
+        assert!(json.contains("\"kind\": \"quarantined\", \"grid\": 1"));
         // Balanced braces/brackets.
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();

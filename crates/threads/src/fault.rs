@@ -1,0 +1,258 @@
+//! Deterministic fault injection for the team runtime.
+//!
+//! A [`FaultPlan`] describes *which* failures to inject into a solve —
+//! stalled workers, permanently dead grid teams, corrupted or dropped
+//! correction writes — without owning any mutable state. Every decision is
+//! a pure function of the plan's seed and the *site* asking (worker or grid
+//! id plus the per-worker round counter), hashed through splitmix64. That
+//! makes plans:
+//!
+//! * **deterministic** — the same plan makes the same decisions no matter
+//!   how the OS interleaves threads, so fault runs replay bit-identically
+//!   under [`crate::VirtualSched`] and statistically under
+//!   [`crate::OsSched`];
+//! * **coherent across a team** — all members of a grid team compute the
+//!   same crash/corrupt/drop verdict for a given round, so barrier
+//!   protocols cannot be torn apart by members disagreeing about a fault;
+//! * **composable** — a plan is orthogonal to the scheduler: the scheduler
+//!   decides *when* code runs, the plan decides *what fails*.
+//!
+//! The solver calls the decision methods at its fault sites; the plan never
+//! calls into the solver.
+
+/// How a corrupted correction write is mangled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Corruption {
+    /// The written value becomes `NaN` (silent poison without guards).
+    Nan,
+    /// The written value becomes `+∞`.
+    Inf,
+    /// One high exponent bit of the value is flipped, producing a finite
+    /// but wildly out-of-scale number — the case magnitude guards exist
+    /// for.
+    BitFlip,
+}
+
+/// One injected failure mode.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Fault {
+    /// Worker `worker` becomes a straggler: for `rounds` rounds starting
+    /// at `from_round` it is descheduled for `steps` extra scheduling
+    /// decisions per round.
+    Straggler { worker: usize, from_round: u64, rounds: u64, steps: u32 },
+    /// Team `team` crashes permanently at round `at_round`: its workers
+    /// stop correcting and leave the solve.
+    Crash { team: usize, at_round: u64 },
+    /// Grid `grid`'s correction write at round `at_round` is corrupted.
+    CorruptWrite { grid: usize, at_round: u64, kind: Corruption },
+    /// Grid `grid`'s correction writes are dropped with probability
+    /// `prob` per round.
+    DropWrite { grid: usize, prob: f64 },
+}
+
+/// A seeded, deterministic set of failures to inject into one solve.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing) with the given decision seed. The
+    /// seed only matters for probabilistic faults ([`Fault::DropWrite`])
+    /// and for bit-flip target selection.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, faults: Vec::new() }
+    }
+
+    /// Adds a fault to the plan (builder style).
+    pub fn with(mut self, fault: Fault) -> Self {
+        if let Fault::DropWrite { prob, .. } = fault {
+            assert!((0.0..=1.0).contains(&prob), "drop probability out of [0,1]");
+        }
+        self.faults.push(fault);
+        self
+    }
+
+    /// The plan's decision seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The faults this plan injects.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// `true` if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Extra scheduling decisions worker `worker` must burn at round
+    /// `round` (0 when it is not a straggler there).
+    pub fn stall_steps(&self, worker: usize, round: u64) -> u32 {
+        self.faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::Straggler { worker: w, from_round, rounds, steps }
+                    if w == worker && round >= from_round && round < from_round + rounds =>
+                {
+                    Some(steps)
+                }
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Whether team `team` is (or has already) crashed at round `round`.
+    /// Monotone in `round`: once crashed, always crashed.
+    pub fn team_crashed(&self, team: usize, round: u64) -> bool {
+        self.faults.iter().any(|f| match *f {
+            Fault::Crash { team: t, at_round } => t == team && round >= at_round,
+            _ => false,
+        })
+    }
+
+    /// The corruption to apply to grid `grid`'s write at round `round`,
+    /// if any. Identical for every member of the grid's team.
+    pub fn corruption(&self, grid: usize, round: u64) -> Option<Corruption> {
+        self.faults.iter().find_map(|f| match *f {
+            Fault::CorruptWrite { grid: g, at_round, kind } if g == grid && round == at_round => {
+                Some(kind)
+            }
+            _ => None,
+        })
+    }
+
+    /// Whether grid `grid`'s write at round `round` is dropped. A pure
+    /// function of (seed, grid, round): no RNG state, so the verdict is
+    /// the same from every thread and on every replay.
+    pub fn drops_write(&self, grid: usize, round: u64) -> bool {
+        self.faults.iter().any(|f| match *f {
+            Fault::DropWrite { grid: g, prob } if g == grid => {
+                unit_f64(site_hash(self.seed, 0xD209, grid as u64, round)) < prob
+            }
+            _ => false,
+        })
+    }
+
+    /// Applies `kind` to the value `v` written by grid `grid` at round
+    /// `round`.
+    pub fn corrupt_value(&self, kind: Corruption, v: f64, grid: usize, round: u64) -> f64 {
+        match kind {
+            Corruption::Nan => f64::NAN,
+            Corruption::Inf => f64::INFINITY,
+            Corruption::BitFlip => {
+                // Flip one of the top 11 exponent bits so the result is
+                // finite but out of scale by many orders of magnitude.
+                let bit = 52 + site_hash(self.seed, 0xB17F, grid as u64, round) % 11;
+                f64::from_bits(v.to_bits() ^ (1u64 << bit))
+            }
+        }
+    }
+}
+
+/// splitmix64: a full-avalanche 64-bit mixer (public domain constants).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stateless hash of a decision site.
+fn site_hash(seed: u64, tag: u64, a: u64, b: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(tag ^ splitmix64(a ^ splitmix64(b))))
+}
+
+/// Maps a hash to a uniform f64 in [0, 1).
+fn unit_f64(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> FaultPlan {
+        FaultPlan::new(7)
+            .with(Fault::Straggler { worker: 1, from_round: 3, rounds: 2, steps: 5 })
+            .with(Fault::Crash { team: 2, at_round: 10 })
+            .with(Fault::CorruptWrite { grid: 0, at_round: 4, kind: Corruption::Nan })
+            .with(Fault::DropWrite { grid: 3, prob: 0.5 })
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let p1 = plan();
+        let p2 = plan();
+        for round in 0..64 {
+            assert_eq!(p1.drops_write(3, round), p2.drops_write(3, round));
+            assert_eq!(p1.corruption(0, round), p2.corruption(0, round));
+            assert_eq!(p1.stall_steps(1, round), p2.stall_steps(1, round));
+        }
+        assert_eq!(
+            p1.corrupt_value(Corruption::BitFlip, 1.5, 0, 9).to_bits(),
+            p2.corrupt_value(Corruption::BitFlip, 1.5, 0, 9).to_bits()
+        );
+    }
+
+    #[test]
+    fn straggler_window_is_bounded() {
+        let p = plan();
+        assert_eq!(p.stall_steps(1, 2), 0);
+        assert_eq!(p.stall_steps(1, 3), 5);
+        assert_eq!(p.stall_steps(1, 4), 5);
+        assert_eq!(p.stall_steps(1, 5), 0);
+        assert_eq!(p.stall_steps(0, 3), 0, "only the named worker straggles");
+    }
+
+    #[test]
+    fn crash_is_permanent() {
+        let p = plan();
+        assert!(!p.team_crashed(2, 9));
+        assert!(p.team_crashed(2, 10));
+        assert!(p.team_crashed(2, 1_000_000));
+        assert!(!p.team_crashed(0, 1_000_000));
+    }
+
+    #[test]
+    fn corruption_hits_exactly_its_round() {
+        let p = plan();
+        assert_eq!(p.corruption(0, 3), None);
+        assert_eq!(p.corruption(0, 4), Some(Corruption::Nan));
+        assert_eq!(p.corruption(0, 5), None);
+        assert_eq!(p.corruption(1, 4), None);
+    }
+
+    #[test]
+    fn drop_probability_is_roughly_respected() {
+        let p = plan();
+        let dropped = (0..10_000).filter(|&r| p.drops_write(3, r)).count();
+        assert!((3_500..6_500).contains(&dropped), "{dropped} drops at prob 0.5");
+        assert_eq!((0..10_000).filter(|&r| p.drops_write(0, r)).count(), 0);
+    }
+
+    #[test]
+    fn corrupt_values_break_the_write() {
+        let p = plan();
+        assert!(p.corrupt_value(Corruption::Nan, 1.0, 0, 0).is_nan());
+        assert!(p.corrupt_value(Corruption::Inf, 1.0, 0, 0).is_infinite());
+        let flipped = p.corrupt_value(Corruption::BitFlip, 1.0, 0, 0);
+        assert_ne!(flipped.to_bits(), 1.0f64.to_bits());
+        // An exponent-bit flip of a normal value is out of scale (or
+        // non-finite) — the situation magnitude guards must catch.
+        assert!(!flipped.is_finite() || flipped.abs() > 1e3 || flipped.abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let p = FaultPlan::new(0);
+        assert!(p.is_empty());
+        assert_eq!(p.stall_steps(0, 0), 0);
+        assert!(!p.team_crashed(0, u64::MAX));
+        assert_eq!(p.corruption(0, 0), None);
+        assert!(!p.drops_write(0, 0));
+    }
+}

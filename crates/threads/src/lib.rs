@@ -24,13 +24,17 @@
 //!   every point where a team worker touches real concurrency goes through
 //!   a [`Sched`], so the same solver code runs under the production
 //!   scheduler or under a deterministic seeded one for testing
-//!   ([`run_teams_sched`]).
+//!   ([`run_teams_sched`]),
+//! * [`FaultPlan`] — seeded, deterministic fault injection (stragglers,
+//!   team crashes, corrupted/dropped writes) whose decisions are pure
+//!   functions of the injection site, composable with either scheduler.
 
 // Indexed loops over multiple parallel arrays are the house style for
 // numerical kernels; the iterator forms clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]
 
 pub mod barrier;
+pub mod fault;
 pub mod lock;
 pub mod partition;
 pub mod racy;
@@ -38,6 +42,7 @@ pub mod sched;
 pub mod team;
 
 pub use barrier::SpinBarrier;
+pub use fault::{Corruption, Fault, FaultPlan};
 pub use lock::SpinLock;
 pub use partition::{chunk_range, GridTeamLayout};
 pub use racy::{RacyBuf, RacyVec};

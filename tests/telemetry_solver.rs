@@ -135,9 +135,10 @@ fn noop_probe_overhead_smoke() {
 
 /// A synthetic trace with fixed timestamps covering every JSON feature:
 /// several grids (one counter-only with no retained events), a `NaN`
-/// `local_res` (rendered `null`), multiple phases, and dropped events.
+/// `local_res` (rendered `null`), multiple phases, dropped events, and a
+/// fault log mixing injected faults with recovery actions.
 fn golden_trace() -> asyncmg_telemetry::SolveTrace {
-    use asyncmg_telemetry::{Event, Phase, ResidualSample, SolveTrace};
+    use asyncmg_telemetry::{Event, FaultKind, FaultRecord, Phase, ResidualSample, SolveTrace};
     let events = vec![
         Event::Phase { grid: 0, phase: Phase::Restrict, start_ns: 2, dur_ns: 3 },
         Event::Phase { grid: 0, phase: Phase::Smooth, start_ns: 5, dur_ns: 10 },
@@ -158,6 +159,12 @@ fn golden_trace() -> asyncmg_telemetry::SolveTrace {
             ResidualSample { t_ns: 60, relres: 8.0e-4 },
         ],
         3,
+        vec![
+            FaultRecord { t_ns: 24, kind: FaultKind::WriteCorrupted { grid: 1 } },
+            FaultRecord { t_ns: 24, kind: FaultKind::GuardTripped { grid: 1 } },
+            FaultRecord { t_ns: 50, kind: FaultKind::TeamCrash { team: 2 } },
+            FaultRecord { t_ns: 55, kind: FaultKind::Quarantined { grid: 1 } },
+        ],
     )
 }
 
@@ -207,6 +214,10 @@ fn golden_trace_covers_schema_surface() {
     }
     // Grid 2 is counter-only: present with an empty events array.
     assert!(json.contains("\"grid\": 2, \"corrections\": 0, \"events\": [\n    ]"));
+    // Fault records carry their kind name plus kind-specific fields.
+    assert!(json.contains("\"kind\": \"write_corrupted\", \"grid\": 1"));
+    assert!(json.contains("\"kind\": \"team_crash\", \"team\": 2"));
+    assert!(json.contains("\"kind\": \"quarantined\", \"grid\": 1"));
 }
 
 /// `StopCriterion::Tolerance` participates in options equality and the
