@@ -34,13 +34,14 @@
 //! undefended runtime.
 
 use crate::additive::AdditiveMethod;
+use crate::resilience::CheckpointStore;
 use crate::setup::{CoarseSolve, MgSetup};
 use asyncmg_smoothers::{async_gs_sweep, LevelSmoother, SmootherKind};
 use asyncmg_sparse::{vecops, AtomicF64Vec, Csr};
 use asyncmg_telemetry::{FaultKind, FaultRecord, NoopProbe, Phase, Probe};
 use asyncmg_threads::{
-    run_teams_sched, FaultPlan, GridTeamLayout, OsSched, RacyVec, Sched, SchedPoint, SpinLock,
-    TeamCtx,
+    run_teams_sched, Clock, FaultPlan, GridTeamLayout, OsClock, OsSched, RacyVec, Sched,
+    SchedPoint, SpinLock, TeamCtx,
 };
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -420,7 +421,14 @@ struct Shared<'a, P: Probe + ?Sized> {
     counters: Vec<AtomicUsize>,
     opts: AsyncOptions,
     probe: &'a P,
-    epoch: Instant,
+    /// The clock every time-based decision reads ([`OsClock`] by default;
+    /// a [`VirtualClock`](asyncmg_threads::VirtualClock) makes watchdog
+    /// timeout paths deterministic and sleep-free in tests).
+    clock: &'a dyn Clock,
+    /// `clock.now_ns()` at solve start (probe timestamps are relative).
+    start_ns: u64,
+    /// Monitor-thread checkpoint hook of the resilience session layer.
+    hook: Option<&'a CheckpointHook<'a>>,
     /// `‖b‖₂`, with zero replaced by 1 so relative residuals stay defined.
     norm_b: f64,
     /// The fault plan, when injecting.
@@ -447,10 +455,12 @@ struct Shared<'a, P: Probe + ?Sized> {
 }
 
 impl<P: Probe + ?Sized> Shared<'_, P> {
-    /// Nanoseconds since the solve epoch (for probe timestamps).
+    /// Nanoseconds since the solve epoch (for probe timestamps and the
+    /// watchdog's budget/stall arithmetic — all through the clock, so a
+    /// virtual clock controls every timeout path).
     #[inline]
     fn now_ns(&self) -> u64 {
-        self.epoch.elapsed().as_nanos() as u64
+        self.clock.now_ns().saturating_sub(self.start_ns)
     }
 
     /// Appends to the fault log and notifies the probe.
@@ -483,7 +493,7 @@ pub fn solve_async_probed<P: Probe + ?Sized>(
     opts: &AsyncOptions,
     probe: &P,
 ) -> AsyncResult {
-    solve_async_impl(setup, b, opts, probe, None, None)
+    solve_async_impl(setup, b, opts, probe, None, None, None, None)
 }
 
 /// [`solve_async_probed`] under an explicit [`Sched`].
@@ -505,7 +515,7 @@ pub fn solve_async_sched<P: Probe + ?Sized>(
     probe: &P,
     sched: &dyn Sched,
 ) -> AsyncResult {
-    solve_async_impl(setup, b, opts, probe, Some(sched), None)
+    solve_async_impl(setup, b, opts, probe, Some(sched), None, None, None)
 }
 
 /// The fully general entry point: [`solve_async_sched`] plus an optional
@@ -527,9 +537,61 @@ pub fn solve_async_faulted<P: Probe + ?Sized>(
     sched: Option<&dyn Sched>,
     plan: Option<&FaultPlan>,
 ) -> AsyncResult {
-    solve_async_impl(setup, b, opts, probe, sched, plan)
+    solve_async_impl(setup, b, opts, probe, sched, plan, None, None)
 }
 
+/// [`solve_async_faulted`] with an explicit [`Clock`].
+///
+/// Every time-based decision of the solve — the watchdog's `max_wall`
+/// budget, the `max_stall` windows, the sleeps between watchdog polls, and
+/// all probe timestamps — reads this clock. With the default
+/// ([`OsClock`]) the behaviour is exactly [`solve_async_faulted`]; with a
+/// [`VirtualClock`](asyncmg_threads::VirtualClock) the watchdog burns no
+/// wall-clock time and a timeout test expires its budget deterministically
+/// in microseconds (see `docs/robustness.md`).
+pub fn solve_async_clocked<P: Probe + ?Sized>(
+    setup: &MgSetup,
+    b: &[f64],
+    opts: &AsyncOptions,
+    probe: &P,
+    sched: Option<&dyn Sched>,
+    plan: Option<&FaultPlan>,
+    clock: Option<&dyn Clock>,
+) -> AsyncResult {
+    solve_async_impl(setup, b, opts, probe, sched, plan, clock, None)
+}
+
+/// The monitor-thread checkpoint hook a resilience session installs: at
+/// `cadence` (and immediately after any quarantine event) the watchdog
+/// snapshots the shared iterate into `store` together with the relative
+/// residual it just computed.
+pub struct CheckpointHook<'a> {
+    /// Where snapshots accumulate (the session keeps the best across
+    /// attempts).
+    pub store: &'a CheckpointStore,
+    /// Minimum spacing between cadence-driven snapshots.
+    pub cadence: Duration,
+    /// The session attempt this solve is, for trace attribution.
+    pub attempt: u32,
+}
+
+/// [`solve_async_clocked`] with a [`CheckpointHook`]: the resilience
+/// session's internal entry point.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn solve_async_hooked<P: Probe + ?Sized>(
+    setup: &MgSetup,
+    b: &[f64],
+    opts: &AsyncOptions,
+    probe: &P,
+    sched: Option<&dyn Sched>,
+    plan: Option<&FaultPlan>,
+    clock: Option<&dyn Clock>,
+    hook: Option<&CheckpointHook<'_>>,
+) -> AsyncResult {
+    solve_async_impl(setup, b, opts, probe, sched, plan, clock, hook)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn solve_async_impl<P: Probe + ?Sized>(
     setup: &MgSetup,
     b: &[f64],
@@ -537,6 +599,8 @@ fn solve_async_impl<P: Probe + ?Sized>(
     probe: &P,
     sched: Option<&dyn Sched>,
     plan: Option<&FaultPlan>,
+    clock: Option<&dyn Clock>,
+    hook: Option<&CheckpointHook<'_>>,
 ) -> AsyncResult {
     let n = setup.n();
     assert_eq!(b.len(), n);
@@ -578,6 +642,16 @@ fn solve_async_impl<P: Probe + ?Sized>(
         })
         .collect();
 
+    // The production clock is built here unless the caller supplied one
+    // (virtual clocks make the watchdog's timeout paths deterministic).
+    let os_clock;
+    let clock: &dyn Clock = match clock {
+        Some(c) => c,
+        None => {
+            os_clock = OsClock::new();
+            &os_clock
+        }
+    };
     let nb = vecops::norm2(b);
     let n_levels = setup.n_levels();
     let shared = Shared {
@@ -591,7 +665,9 @@ fn solve_async_impl<P: Probe + ?Sized>(
         counters: (0..n_levels).map(|_| AtomicUsize::new(0)).collect(),
         opts: *opts,
         probe,
-        epoch: Instant::now(),
+        clock,
+        start_ns: clock.now_ns(),
+        hook,
         norm_b: if nb > 0.0 { nb } else { 1.0 },
         plan,
         defended: plan.is_some() || opts.recovery.any_enabled(),
@@ -610,7 +686,7 @@ fn solve_async_impl<P: Probe + ?Sized>(
         _ => None,
     };
     let start = Instant::now();
-    if tol.is_some() || (!opts.sync && opts.recovery.needs_watchdog()) {
+    if tol.is_some() || (!opts.sync && (opts.recovery.needs_watchdog() || hook.is_some())) {
         // Asynchronous tolerance stopping and the recovery defences need an
         // observer: the worker threads never compute a global residual. The
         // watchdog samples the racy shared iterate, checks the wall-clock
@@ -693,9 +769,16 @@ fn watchdog_loop<P: Probe + ?Sized>(
     let want_res = tol.is_some() || rollback.is_some();
     let n_levels = shared.counters.len();
     let mut last_counts = vec![0usize; n_levels];
-    let mut last_change = vec![Instant::now(); n_levels];
+    // All budget/stall/cadence arithmetic is in clock nanoseconds relative
+    // to the solve epoch: under an `OsClock` this is the pre-abstraction
+    // wall-clock behaviour, under a `VirtualClock` every timeout path is
+    // deterministic and sleep-free.
+    let mut last_change = vec![shared.now_ns(); n_levels];
     let mut best = f64::INFINITY;
     let mut good: Vec<f64> = Vec::new();
+    let mut ckpt_buf: Vec<f64> = Vec::new();
+    let mut last_ckpt_ns: Option<u64> = None;
+    let mut last_quarantined = 0usize;
     loop {
         // Sleep in short slices so a finished run does not leave the
         // watchdog sleeping out a long check interval.
@@ -705,17 +788,18 @@ fn watchdog_loop<P: Probe + ?Sized>(
                 return;
             }
             let slice = (check_every - slept).min(Duration::from_millis(1));
-            std::thread::sleep(slice);
+            shared.clock.sleep(slice);
             slept += slice;
         }
         if done.load(Ordering::Acquire) {
             return;
         }
+        let now_ns = shared.now_ns();
         // Hard wall-clock budget: stop the solve and report Faulted. The
         // workers check the (team-republished) stop flag once per round, so
         // any live team leaves within one round of corrections.
         if let Some(max_wall) = rec.max_wall {
-            if shared.epoch.elapsed() >= max_wall {
+            if now_ns >= max_wall.as_nanos() as u64 {
                 shared.record_fault(FaultKind::Timeout);
                 shared.timed_out.store(true, Ordering::Release);
                 shared.stop.store(true, Ordering::Release);
@@ -726,22 +810,33 @@ fn watchdog_loop<P: Probe + ?Sized>(
         // heartbeats. A level that is neither finished nor advancing gets
         // quarantined so the survivors stop waiting for its contribution.
         if let Some(max_stall) = rec.max_stall {
+            let stall_ns = max_stall.as_nanos() as u64;
             for k in 0..n_levels {
                 let c = shared.counters[k].load(Ordering::Acquire);
                 if c != last_counts[k] {
                     last_counts[k] = c;
-                    last_change[k] = Instant::now();
+                    last_change[k] = now_ns;
                 } else if c < shared.opts.t_max
                     && !shared.quarantined[k].load(Ordering::Acquire)
                     && !shared.dead[k].load(Ordering::Acquire)
-                    && last_change[k].elapsed() >= max_stall
+                    && now_ns.saturating_sub(last_change[k]) >= stall_ns
                 {
                     shared.record_fault(FaultKind::Stalled { grid: k as u32 });
                     shared.quarantine(k);
                 }
             }
         }
-        if !want_res {
+        // Checkpoint cadence: a session hook asks for a snapshot every
+        // `cadence` — and immediately after a quarantine event, so the last
+        // healthy state before degradation is preserved.
+        let ckpt_due = shared.hook.is_some_and(|h| {
+            let quarantined =
+                shared.quarantined.iter().filter(|q| q.load(Ordering::Acquire)).count();
+            quarantined != last_quarantined
+                || last_ckpt_ns
+                    .is_none_or(|t| now_ns.saturating_sub(t) >= h.cadence.as_nanos() as u64)
+        });
+        if !want_res && !ckpt_due {
             continue;
         }
         let mut sum = 0.0;
@@ -751,6 +846,31 @@ fn watchdog_loop<P: Probe + ?Sized>(
         }
         let relres = sum.sqrt() / shared.norm_b;
         shared.probe.residual_sample(shared.now_ns(), relres);
+        if let Some(hook) = shared.hook.filter(|_| ckpt_due) {
+            last_ckpt_ns = Some(now_ns);
+            last_quarantined =
+                shared.quarantined.iter().filter(|q| q.load(Ordering::Acquire)).count();
+            if relres.is_finite() {
+                let t0 = shared.now_ns();
+                ckpt_buf.resize(n, 0.0);
+                shared.x.snapshot(&mut ckpt_buf);
+                hook.store.offer(&ckpt_buf, relres, hook.attempt, t0);
+                if shared.probe.enabled() {
+                    let t1 = shared.now_ns();
+                    // The monitor records on its own ring, one past the
+                    // last worker rank (probes sized for workers only drop
+                    // the event safely).
+                    shared.probe.phase(
+                        shared.opts.n_threads,
+                        0,
+                        Phase::Checkpoint,
+                        t0,
+                        t1.saturating_sub(t0),
+                    );
+                    shared.probe.checkpoint(t0, hook.attempt, relres, false);
+                }
+            }
+        }
         if let Some(factor) = rollback {
             if relres.is_finite() && relres <= best {
                 best = relres;

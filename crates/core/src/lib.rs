@@ -58,6 +58,7 @@ pub mod krylov;
 pub mod models;
 pub mod mult;
 pub mod parallel_mult;
+pub mod resilience;
 pub mod setup;
 pub mod solver;
 pub mod workspace;
@@ -68,8 +69,8 @@ pub use additive::{solve_additive, CorrectionScratch};
 #[allow(deprecated)]
 pub use asynchronous::solve_async;
 pub use asynchronous::{
-    solve_async_faulted, solve_async_probed, solve_async_sched, AsyncOptions, AsyncResult,
-    RecoveryOptions, ResComp, SolveOutcome, StopCriterion, WriteMode,
+    solve_async_clocked, solve_async_faulted, solve_async_probed, solve_async_sched, AsyncOptions,
+    AsyncResult, CheckpointHook, RecoveryOptions, ResComp, SolveOutcome, StopCriterion, WriteMode,
 };
 pub use krylov::{
     pcg, pcg_probed, AdditivePrec, CgResult, IdentityPrec, JacobiPrec, Preconditioner, VCyclePrec,
@@ -81,6 +82,10 @@ pub use mult::{solve_mult, MultScratch};
 #[allow(deprecated)]
 pub use parallel_mult::solve_mult_threaded;
 pub use parallel_mult::{solve_mult_threaded_probed, solve_mult_threaded_sched};
+pub use resilience::{
+    AttemptReport, Checkpoint, CheckpointStats, CheckpointStore, EscalationReason, RetryPolicy,
+    Rung, SessionError, SessionReport,
+};
 pub use setup::{CoarseSolve, MgOptions, MgSetup};
 pub use solver::{Method, SolveError, SolveReport, Solver};
 pub use workspace::Workspace;
@@ -90,4 +95,4 @@ pub use workspace::Workspace;
 pub use asyncmg_telemetry::{
     FaultKind, FaultRecord, NoopProbe, Phase, Probe, SolveTrace, TelemetryProbe,
 };
-pub use asyncmg_threads::{Corruption, Fault, FaultPlan};
+pub use asyncmg_threads::{Clock, Corruption, Fault, FaultPlan, OsClock, VirtualClock};

@@ -37,14 +37,15 @@
 
 use crate::additive::{solve_additive_probed, AdditiveMethod};
 use crate::asynchronous::{
-    solve_async_faulted, AsyncOptions, AsyncResult, RecoveryOptions, ResComp, SolveOutcome,
+    solve_async_clocked, AsyncOptions, AsyncResult, RecoveryOptions, ResComp, SolveOutcome,
     StopCriterion, WriteMode,
 };
 use crate::mult::solve_mult_probed;
 use crate::parallel_mult::solve_mult_threaded_probed;
+use crate::resilience::{run_session, RetryPolicy, Rung, SessionError, SessionReport};
 use crate::setup::MgSetup;
 use asyncmg_telemetry::{FaultRecord, NoopProbe, Probe, SolveTrace, TelemetryProbe};
-use asyncmg_threads::FaultPlan;
+use asyncmg_threads::{Clock, FaultPlan};
 use std::time::Duration;
 
 /// Which multigrid method the [`Solver`] runs.
@@ -62,7 +63,7 @@ pub enum Method {
 
 impl Method {
     /// The additive method this maps to, or `None` for Mult.
-    fn additive(self) -> Option<AdditiveMethod> {
+    pub(crate) fn additive(self) -> Option<AdditiveMethod> {
         match self {
             Method::Mult => None,
             Method::Multadd => Some(AdditiveMethod::Multadd),
@@ -152,20 +153,25 @@ impl std::error::Error for SolveError {}
 /// execution, no telemetry.
 #[derive(Clone, Copy)]
 pub struct Solver<'a> {
-    setup: &'a MgSetup,
-    method: Method,
-    threads: usize,
-    t_max: usize,
-    tolerance: Option<f64>,
-    check_every: Duration,
-    res_comp: ResComp,
-    write: WriteMode,
-    criterion: StopCriterion,
-    sync: bool,
-    recovery: RecoveryOptions,
-    plan: Option<&'a FaultPlan>,
-    probe: Option<&'a dyn Probe>,
-    collect_trace: bool,
+    pub(crate) setup: &'a MgSetup,
+    pub(crate) method: Method,
+    pub(crate) threads: usize,
+    pub(crate) t_max: usize,
+    pub(crate) tolerance: Option<f64>,
+    pub(crate) check_every: Duration,
+    pub(crate) res_comp: ResComp,
+    pub(crate) write: WriteMode,
+    pub(crate) criterion: StopCriterion,
+    pub(crate) sync: bool,
+    pub(crate) recovery: RecoveryOptions,
+    pub(crate) plan: Option<&'a FaultPlan>,
+    pub(crate) probe: Option<&'a dyn Probe>,
+    pub(crate) collect_trace: bool,
+    pub(crate) retry: RetryPolicy,
+    pub(crate) checkpoint_every: Duration,
+    pub(crate) session_seed: Option<u64>,
+    pub(crate) clock: Option<&'a dyn Clock>,
+    pub(crate) ladder: &'a [Rung],
 }
 
 impl<'a> Solver<'a> {
@@ -187,6 +193,11 @@ impl<'a> Solver<'a> {
             plan: None,
             probe: None,
             collect_trace: false,
+            retry: RetryPolicy::default(),
+            checkpoint_every: Duration::from_millis(5),
+            session_seed: None,
+            clock: None,
+            ladder: &Rung::LADDER,
         }
     }
 
@@ -296,6 +307,67 @@ impl<'a> Solver<'a> {
         self
     }
 
+    /// Retry budget of a resilient session ([`Solver::resilient`]):
+    /// attempt cap, backoff, and overall deadline.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Cadence of the watchdog's checkpoint snapshots during resilient
+    /// sessions (asynchronous rungs only; attempt-end checkpoints are
+    /// always taken).
+    pub fn checkpoint_every(mut self, cadence: Duration) -> Self {
+        self.checkpoint_every = cadence;
+        self
+    }
+
+    /// Makes a resilient session deterministic: attempt `a` runs under a
+    /// `VirtualSched` seeded from `(seed, a)` with count-based stopping,
+    /// so the whole session — escalations, warm starts and final bits —
+    /// replays identically for the same seed.
+    pub fn session_seed(mut self, seed: u64) -> Self {
+        self.session_seed = Some(seed);
+        self
+    }
+
+    /// The clock a resilient session reads for backoff, deadline and
+    /// checkpoint timestamps, and that asynchronous `Solver::run`s hand to
+    /// the watchdog. A [`VirtualClock`](asyncmg_threads::VirtualClock)
+    /// makes every timeout path deterministic and sleep-free.
+    pub fn session_clock(mut self, clock: &'a dyn Clock) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Replaces the degradation ladder of [`Solver::resilient`] (escalation
+    /// walks the slice left to right and stays on the last rung). An empty
+    /// slice selects the default [`Rung::LADDER`].
+    pub fn ladder(mut self, ladder: &'a [Rung]) -> Self {
+        self.ladder = ladder;
+        self
+    }
+
+    /// Runs a resilient session: checkpoint/rollback, retry with backoff,
+    /// and the automatic degradation ladder, until the tolerance is met or
+    /// the [`RetryPolicy`] is exhausted. Requires [`Solver::tolerance`].
+    ///
+    /// # Panics
+    ///
+    /// On invalid configuration; use [`Solver::try_resilient`] for a typed
+    /// error.
+    pub fn resilient(&self, b: &[f64]) -> SessionReport {
+        match self.try_resilient(b) {
+            Ok(report) => report,
+            Err(e) => panic!("resilient session failed to start: {e}"),
+        }
+    }
+
+    /// [`Solver::resilient`] with up-front validation instead of panicking.
+    pub fn try_resilient(&self, b: &[f64]) -> Result<SessionReport, SessionError> {
+        run_session(self, b)
+    }
+
     /// The [`AsyncOptions`] this builder resolves to for the threaded
     /// additive backends.
     fn async_options(&self, method: AdditiveMethod) -> AsyncOptions {
@@ -315,10 +387,10 @@ impl<'a> Solver<'a> {
         }
     }
 
-    /// [`Solver::run`] with up-front validation: the right-hand side and
-    /// every configured option are checked before any thread is spawned,
-    /// returning a typed [`SolveError`] instead of panicking mid-solve.
-    pub fn try_run(&self, b: &[f64]) -> Result<SolveReport, SolveError> {
+    /// Validates the right-hand side and every configured option without
+    /// running anything (the checks behind [`Solver::try_run`] and
+    /// [`Solver::try_resilient`]).
+    pub(crate) fn validate(&self, b: &[f64]) -> Result<(), SolveError> {
         let n = self.setup.n();
         if b.len() != n {
             return Err(SolveError::RhsLength { expected: n, got: b.len() });
@@ -347,6 +419,14 @@ impl<'a> Solver<'a> {
         } else {
             self.recovery.validate().map_err(SolveError::InvalidOptions)?;
         }
+        Ok(())
+    }
+
+    /// [`Solver::run`] with up-front validation: the right-hand side and
+    /// every configured option are checked before any thread is spawned,
+    /// returning a typed [`SolveError`] instead of panicking mid-solve.
+    pub fn try_run(&self, b: &[f64]) -> Result<SolveReport, SolveError> {
+        self.validate(b)?;
         Ok(self.run(b))
     }
 
@@ -393,7 +473,8 @@ impl<'a> Solver<'a> {
             }
             (_, Some(method)) => {
                 let opts = self.async_options(method);
-                let res = solve_async_faulted(self.setup, b, &opts, probe, None, self.plan);
+                let res =
+                    solve_async_clocked(self.setup, b, &opts, probe, None, self.plan, self.clock);
                 threaded_report(res, self.tolerance)
             }
         }

@@ -182,7 +182,7 @@ impl FuzzCase {
         )
     }
 
-    fn setup(&self) -> MgSetup {
+    pub(crate) fn setup(&self) -> MgSetup {
         let a = self.family.build();
         let h = build_hierarchy(a, &AmgOptions::default());
         let mut opts = MgOptions::default();

@@ -28,8 +28,10 @@ pub mod case;
 pub mod fingerprint;
 pub mod fuzz;
 pub mod oracle;
+pub mod resilience;
 
 pub use case::{CaseRun, FaultAxis, FuzzCase, MatrixFamily};
 pub use fingerprint::{fingerprint_run, Fnv};
 pub use fuzz::{case_filter, run_fuzz, seeds_from_env, FuzzOutcome};
 pub use oracle::{Oracle, Violation};
+pub use resilience::{check_session, fingerprint_session, ResilienceAxis, SessionRun};

@@ -121,3 +121,5 @@ impl std::fmt::Display for Violation {
         write!(f, "[{}] {}", self.case, self.reason)
     }
 }
+
+impl std::error::Error for Violation {}

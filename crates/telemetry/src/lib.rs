@@ -26,7 +26,10 @@ pub mod trace;
 
 pub use recorder::TelemetryProbe;
 pub use ring::EventRing;
-pub use trace::{CorrectionRecord, GridTimeline, PhaseTotal, ResidualSample, SolveTrace};
+pub use trace::{
+    AttemptRecord, CheckpointRecord, CorrectionRecord, GridTimeline, PhaseTotal, ResidualSample,
+    SolveTrace,
+};
 
 /// What happened in one fault event — an *injected* failure (from a
 /// `FaultPlan`) or a *recovery* action the runtime took in response.
@@ -139,11 +142,15 @@ pub enum Phase {
     SetupInterp,
     /// Setup: the Galerkin product `Pᵀ A P` and restriction transpose.
     SetupRap,
+    /// Resilience: a checkpoint snapshot of the shared iterate (monitor
+    /// thread cadence or quarantine-triggered).
+    Checkpoint,
 }
 
 impl Phase {
-    /// All phases: the solve pipeline in order, then the setup stages.
-    pub const ALL: [Phase; 8] = [
+    /// All phases: the solve pipeline in order, then the setup stages, then
+    /// the resilience snapshots.
+    pub const ALL: [Phase; 9] = [
         Phase::Restrict,
         Phase::Smooth,
         Phase::Prolong,
@@ -152,6 +159,7 @@ impl Phase {
         Phase::SetupStrength,
         Phase::SetupInterp,
         Phase::SetupRap,
+        Phase::Checkpoint,
     ];
 
     /// Stable lowercase name (used in the JSON schema).
@@ -165,6 +173,7 @@ impl Phase {
             Phase::SetupStrength => "setup_strength",
             Phase::SetupInterp => "setup_interp",
             Phase::SetupRap => "setup_rap",
+            Phase::Checkpoint => "checkpoint",
         }
     }
 
@@ -179,6 +188,7 @@ impl Phase {
             Phase::SetupStrength => 5,
             Phase::SetupInterp => 6,
             Phase::SetupRap => 7,
+            Phase::Checkpoint => 8,
         }
     }
 }
@@ -230,6 +240,13 @@ pub trait Probe: Sync {
     /// are rare by construction, so recording probes may lock here.
     #[inline(always)]
     fn fault(&self, _t_ns: u64, _kind: FaultKind) {}
+
+    /// A resilience checkpoint was taken (`restored == false`) or the
+    /// iterate was restored from one (`restored == true`). Cold path, like
+    /// [`Probe::fault`]: checkpoints happen at monitor cadence, not in the
+    /// correction hot loop.
+    #[inline(always)]
+    fn checkpoint(&self, _t_ns: u64, _attempt: u32, _relres: f64, _restored: bool) {}
 }
 
 /// The default probe: records nothing, costs nothing.
@@ -263,6 +280,11 @@ impl<P: Probe + ?Sized> Probe for &P {
     fn fault(&self, t_ns: u64, kind: FaultKind) {
         (**self).fault(t_ns, kind);
     }
+
+    #[inline(always)]
+    fn checkpoint(&self, t_ns: u64, attempt: u32, relres: f64, restored: bool) {
+        (**self).checkpoint(t_ns, attempt, relres, restored);
+    }
 }
 
 #[cfg(test)]
@@ -279,6 +301,7 @@ mod tests {
         p.phase(0, 0, Phase::Smooth, 0, 1);
         p.residual_sample(0, 1.0);
         p.fault(0, FaultKind::Timeout);
+        p.checkpoint(0, 0, 1.0, false);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The recording probe: per-thread rings + exact counters + residual trace.
 
 use crate::ring::EventRing;
-use crate::trace::{ResidualSample, SolveTrace};
+use crate::trace::{CheckpointRecord, ResidualSample, SolveTrace};
 use crate::{Event, FaultKind, FaultRecord, Phase, Probe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -22,6 +22,7 @@ pub struct TelemetryProbe {
     corrections: Vec<AtomicU64>,
     residuals: Mutex<Vec<ResidualSample>>,
     faults: Mutex<Vec<FaultRecord>>,
+    checkpoints: Mutex<Vec<CheckpointRecord>>,
 }
 
 impl TelemetryProbe {
@@ -33,6 +34,7 @@ impl TelemetryProbe {
             corrections: (0..MAX_GRIDS).map(|_| AtomicU64::new(0)).collect(),
             residuals: Mutex::new(Vec::new()),
             faults: Mutex::new(Vec::new()),
+            checkpoints: Mutex::new(Vec::new()),
         }
     }
 
@@ -66,7 +68,11 @@ impl TelemetryProbe {
             self.corrections[..n_grids].iter().map(|c| c.swap(0, Ordering::Relaxed)).collect();
         let residuals = std::mem::take(&mut *self.residuals.lock().unwrap());
         let faults = std::mem::take(&mut *self.faults.lock().unwrap());
-        SolveTrace::from_events(events, &counts, residuals, dropped, faults)
+        let mut checkpoints = std::mem::take(&mut *self.checkpoints.lock().unwrap());
+        checkpoints.sort_by_key(|c| c.t_ns);
+        let mut trace = SolveTrace::from_events(events, &counts, residuals, dropped, faults);
+        trace.checkpoints = checkpoints;
+        trace
     }
 }
 
@@ -115,6 +121,11 @@ impl Probe for TelemetryProbe {
     fn fault(&self, t_ns: u64, kind: FaultKind) {
         self.faults.lock().unwrap().push(FaultRecord { t_ns, kind });
     }
+
+    #[inline]
+    fn checkpoint(&self, t_ns: u64, attempt: u32, relres: f64, restored: bool) {
+        self.checkpoints.lock().unwrap().push(CheckpointRecord { t_ns, attempt, relres, restored });
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +148,7 @@ mod tests {
             probe.residual_sample(1, 0.5);
             probe.residual_sample(2, 0.25);
             probe.fault(3, FaultKind::GuardTripped { grid: 0 });
+            probe.checkpoint(4, 0, 0.25, false);
         });
         let trace = probe.take_trace();
         assert_eq!(trace.grid_corrections(), vec![20, 20]);
@@ -145,6 +157,10 @@ mod tests {
         assert_eq!(
             trace.faults,
             vec![FaultRecord { t_ns: 3, kind: FaultKind::GuardTripped { grid: 0 } }]
+        );
+        assert_eq!(
+            trace.checkpoints,
+            vec![CheckpointRecord { t_ns: 4, attempt: 0, relres: 0.25, restored: false }]
         );
         assert_eq!(trace.dropped_events, 0);
         // The recorder is cleared for reuse.

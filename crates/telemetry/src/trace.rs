@@ -41,6 +41,43 @@ pub struct PhaseTotal {
     pub total_ns: u64,
 }
 
+/// One resilience checkpoint event: a snapshot taken (`restored == false`)
+/// or the iterate restored from the best known snapshot (`restored ==
+/// true`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CheckpointRecord {
+    /// Nanoseconds since the trace epoch.
+    pub t_ns: u64,
+    /// The session attempt this checkpoint belongs to (0 for plain solves).
+    pub attempt: u32,
+    /// Relative residual of the snapshot.
+    pub relres: f64,
+    /// `true` when the event is a rollback *to* a checkpoint rather than
+    /// the taking of one.
+    pub restored: bool,
+}
+
+/// One attempt boundary of a resilience session.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttemptRecord {
+    /// Attempt number (0-based).
+    pub index: u32,
+    /// Degradation-ladder rung the attempt ran on (stable lowercase name,
+    /// e.g. `async_atomic`, `pcg`).
+    pub rung: String,
+    /// Nanoseconds since the trace epoch at which the attempt started.
+    pub start_ns: u64,
+    /// Wall-clock duration of the attempt in nanoseconds.
+    pub elapsed_ns: u64,
+    /// Exact relative residual after the attempt.
+    pub relres: f64,
+    /// Structured outcome name (`converged`, `max_iterations`, `degraded`,
+    /// `faulted`).
+    pub outcome: String,
+    /// Why the session escalated past this attempt, when it did.
+    pub escalation: Option<String>,
+}
+
 /// Everything observed during one instrumented solve.
 #[derive(Clone, Debug, Default)]
 pub struct SolveTrace {
@@ -57,6 +94,12 @@ pub struct SolveTrace {
     /// Injected faults and recovery actions, in time order (empty for
     /// fault-free solves).
     pub faults: Vec<FaultRecord>,
+    /// Resilience checkpoint events, in time order (empty unless a session
+    /// or a checkpoint hook ran).
+    pub checkpoints: Vec<CheckpointRecord>,
+    /// Resilience-session attempt boundaries, in order (empty for plain
+    /// solves).
+    pub attempts: Vec<AttemptRecord>,
 }
 
 impl SolveTrace {
@@ -102,7 +145,57 @@ impl SolveTrace {
             }
         }
         faults.sort_by_key(|f| f.t_ns);
-        SolveTrace { residual_history, grids, phase_totals, dropped_events, faults }
+        SolveTrace {
+            residual_history,
+            grids,
+            phase_totals,
+            dropped_events,
+            faults,
+            checkpoints: Vec::new(),
+            attempts: Vec::new(),
+        }
+    }
+
+    /// Appends `other` (one attempt of a resilience session) onto this
+    /// trace, shifting all of its timestamps by `offset_ns` so the merged
+    /// timeline stays monotone. Correction counters, phase totals and
+    /// dropped-event counts accumulate; event streams concatenate.
+    pub fn absorb(&mut self, other: SolveTrace, offset_ns: u64) {
+        self.residual_history.extend(
+            other
+                .residual_history
+                .into_iter()
+                .map(|s| ResidualSample { t_ns: s.t_ns + offset_ns, ..s }),
+        );
+        if self.grids.len() < other.grids.len() {
+            self.grids.resize(other.grids.len(), GridTimeline::default());
+        }
+        for (dst, src) in self.grids.iter_mut().zip(other.grids) {
+            dst.corrections += src.corrections;
+            dst.events.extend(
+                src.events.into_iter().map(|e| CorrectionRecord { t_ns: e.t_ns + offset_ns, ..e }),
+            );
+        }
+        for (dst, src) in self.phase_totals.iter_mut().zip(other.phase_totals) {
+            dst.count += src.count;
+            dst.total_ns += src.total_ns;
+        }
+        self.dropped_events += other.dropped_events;
+        self.faults.extend(
+            other.faults.into_iter().map(|f| FaultRecord { t_ns: f.t_ns + offset_ns, ..f }),
+        );
+        self.checkpoints.extend(
+            other
+                .checkpoints
+                .into_iter()
+                .map(|c| CheckpointRecord { t_ns: c.t_ns + offset_ns, ..c }),
+        );
+        self.attempts.extend(
+            other
+                .attempts
+                .into_iter()
+                .map(|a| AttemptRecord { start_ns: a.start_ns + offset_ns, ..a }),
+        );
     }
 
     /// Per-grid correction counts (the shape of `AsyncResult::grid_corrections`).
@@ -115,11 +208,12 @@ impl SolveTrace {
         self.residual_history.last().map(|s| s.relres)
     }
 
-    /// Serialises the trace to JSON (schema `asyncmg-trace-v1`; see
-    /// `docs/telemetry.md`).
+    /// Serialises the trace to JSON (schema `asyncmg-trace-v2`; see
+    /// `docs/telemetry.md`). v2 adds the `"checkpoints"` and `"attempts"`
+    /// arrays of the resilience session layer; every v1 field is unchanged.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(4096);
-        out.push_str("{\n  \"schema\": \"asyncmg-trace-v1\",\n");
+        out.push_str("{\n  \"schema\": \"asyncmg-trace-v2\",\n");
         out.push_str(&format!("  \"dropped_events\": {},\n", self.dropped_events));
 
         out.push_str("  \"residual_history\": [");
@@ -183,6 +277,44 @@ impl SolveTrace {
                 f.t_ns,
                 f.kind.name(),
                 fault_detail(f.kind)
+            ));
+        }
+        out.push_str("\n  ],\n");
+
+        out.push_str("  \"checkpoints\": [");
+        for (i, c) in self.checkpoints.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"t_ns\": {}, \"attempt\": {}, \"relres\": {}, \"restored\": {}}}",
+                c.t_ns,
+                c.attempt,
+                json_f64(c.relres),
+                c.restored
+            ));
+        }
+        out.push_str("\n  ],\n");
+
+        out.push_str("  \"attempts\": [");
+        for (i, a) in self.attempts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let escalation = match &a.escalation {
+                Some(reason) => format!("\"{reason}\""),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "\n    {{\"index\": {}, \"rung\": \"{}\", \"start_ns\": {}, \"elapsed_ns\": {}, \
+                 \"relres\": {}, \"outcome\": \"{}\", \"escalation\": {}}}",
+                a.index,
+                a.rung,
+                a.start_ns,
+                a.elapsed_ns,
+                json_f64(a.relres),
+                a.outcome,
+                escalation
             ));
         }
         out.push_str("\n  ]\n}\n");
@@ -268,16 +400,60 @@ mod tests {
 
     #[test]
     fn json_is_well_formed_and_nan_is_null() {
-        let json = sample_trace().to_json();
-        assert!(json.contains("\"schema\": \"asyncmg-trace-v1\""));
+        let mut trace = sample_trace();
+        trace.checkpoints.push(CheckpointRecord {
+            t_ns: 25,
+            attempt: 0,
+            relres: 0.5,
+            restored: false,
+        });
+        trace.attempts.push(AttemptRecord {
+            index: 0,
+            rung: "async_atomic".into(),
+            start_ns: 0,
+            elapsed_ns: 60,
+            relres: 1e-3,
+            outcome: "degraded".into(),
+            escalation: Some("degraded".into()),
+        });
+        let json = trace.to_json();
+        assert!(json.contains("\"schema\": \"asyncmg-trace-v2\""));
         assert!(json.contains("\"local_res\": null"));
         assert!(json.contains("\"phase\": \"smooth\""));
         assert!(json.contains("\"kind\": \"team_crash\", \"team\": 1"));
         assert!(json.contains("\"kind\": \"quarantined\", \"grid\": 1"));
+        assert!(json.contains("\"attempt\": 0, \"relres\": 5e-1, \"restored\": false"));
+        assert!(json.contains("\"rung\": \"async_atomic\""));
+        assert!(json.contains("\"escalation\": \"degraded\""));
         // Balanced braces/brackets.
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn absorb_shifts_and_accumulates() {
+        let mut a = sample_trace();
+        let mut b = sample_trace();
+        b.checkpoints.push(CheckpointRecord { t_ns: 5, attempt: 1, relres: 0.1, restored: true });
+        b.attempts.push(AttemptRecord {
+            index: 1,
+            rung: "pcg".into(),
+            start_ns: 0,
+            elapsed_ns: 9,
+            relres: 1e-9,
+            outcome: "converged".into(),
+            escalation: None,
+        });
+        let base_corrections = a.grid_corrections();
+        a.absorb(b, 100);
+        // Counters accumulate, event streams concatenate with shifted times.
+        assert_eq!(a.grid_corrections(), vec![base_corrections[0] * 2, base_corrections[1] * 2]);
+        assert_eq!(a.residual_history.last().unwrap().t_ns, 150);
+        assert_eq!(a.phase_totals[Phase::Smooth.index()].count, 4);
+        assert_eq!(a.faults.last().unwrap().t_ns, 140);
+        assert_eq!(a.checkpoints.last().unwrap().t_ns, 105);
+        assert_eq!(a.attempts.last().unwrap().start_ns, 100);
     }
 }

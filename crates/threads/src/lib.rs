@@ -27,13 +27,18 @@
 //!   ([`run_teams_sched`]),
 //! * [`FaultPlan`] — seeded, deterministic fault injection (stragglers,
 //!   team crashes, corrupted/dropped writes) whose decisions are pure
-//!   functions of the injection site, composable with either scheduler.
+//!   functions of the injection site, composable with either scheduler,
+//! * [`Clock`] / [`OsClock`] / [`VirtualClock`] — the time abstraction:
+//!   watchdog budgets, stall windows and session backoff/deadlines read
+//!   time through a [`Clock`], so timeout paths are testable (and the
+//!   resilience session replayable) without sleeping wall-clock time.
 
 // Indexed loops over multiple parallel arrays are the house style for
 // numerical kernels; the iterator forms clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]
 
 pub mod barrier;
+pub mod clock;
 pub mod fault;
 pub mod lock;
 pub mod partition;
@@ -42,6 +47,7 @@ pub mod sched;
 pub mod team;
 
 pub use barrier::SpinBarrier;
+pub use clock::{Clock, OsClock, VirtualClock};
 pub use fault::{Corruption, Fault, FaultPlan};
 pub use lock::SpinLock;
 pub use partition::{chunk_range, GridTeamLayout};

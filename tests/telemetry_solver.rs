@@ -62,7 +62,7 @@ fn tolerance_stops_async_multadd_below_tol() {
 
     // The JSON export carries the schema tag and parses to balanced braces.
     let json = trace.to_json();
-    assert!(json.contains("\"schema\": \"asyncmg-trace-v1\""));
+    assert!(json.contains("\"schema\": \"asyncmg-trace-v2\""));
     assert_eq!(json.matches('{').count(), json.matches('}').count());
 }
 
@@ -135,10 +135,14 @@ fn noop_probe_overhead_smoke() {
 
 /// A synthetic trace with fixed timestamps covering every JSON feature:
 /// several grids (one counter-only with no retained events), a `NaN`
-/// `local_res` (rendered `null`), multiple phases, dropped events, and a
-/// fault log mixing injected faults with recovery actions.
+/// `local_res` (rendered `null`), multiple phases, dropped events, a fault
+/// log mixing injected faults with recovery actions, and the v2 resilience
+/// surface (checkpoint events and session attempt boundaries).
 fn golden_trace() -> asyncmg_telemetry::SolveTrace {
-    use asyncmg_telemetry::{Event, FaultKind, FaultRecord, Phase, ResidualSample, SolveTrace};
+    use asyncmg_telemetry::{
+        AttemptRecord, CheckpointRecord, Event, FaultKind, FaultRecord, Phase, ResidualSample,
+        SolveTrace,
+    };
     let events = vec![
         Event::Phase { grid: 0, phase: Phase::Restrict, start_ns: 2, dur_ns: 3 },
         Event::Phase { grid: 0, phase: Phase::Smooth, start_ns: 5, dur_ns: 10 },
@@ -150,7 +154,7 @@ fn golden_trace() -> asyncmg_telemetry::SolveTrace {
         Event::Correction { grid: 1, index: 0, t_ns: 25, local_res: f64::NAN },
         Event::Correction { grid: 0, index: 1, t_ns: 40, local_res: 0.125 },
     ];
-    SolveTrace::from_events(
+    let mut trace = SolveTrace::from_events(
         events,
         &[2, 1, 0],
         vec![
@@ -165,10 +169,35 @@ fn golden_trace() -> asyncmg_telemetry::SolveTrace {
             FaultRecord { t_ns: 50, kind: FaultKind::TeamCrash { team: 2 } },
             FaultRecord { t_ns: 55, kind: FaultKind::Quarantined { grid: 1 } },
         ],
-    )
+    );
+    trace.checkpoints = vec![
+        CheckpointRecord { t_ns: 28, attempt: 0, relres: 2.5e-2, restored: false },
+        CheckpointRecord { t_ns: 62, attempt: 1, relres: 2.5e-2, restored: true },
+    ];
+    trace.attempts = vec![
+        AttemptRecord {
+            index: 0,
+            rung: "async_atomic".into(),
+            start_ns: 0,
+            elapsed_ns: 58,
+            relres: 2.5e-2,
+            outcome: "degraded".into(),
+            escalation: Some("degraded".into()),
+        },
+        AttemptRecord {
+            index: 1,
+            rung: "async_lock".into(),
+            start_ns: 60,
+            elapsed_ns: 40,
+            relres: 8.0e-4,
+            outcome: "converged".into(),
+            escalation: None,
+        },
+    ];
+    trace
 }
 
-/// The JSON export is a stable external format (`asyncmg-trace-v1`): the
+/// The JSON export is a stable external format (`asyncmg-trace-v2`): the
 /// serialisation of a fixed trace must match the committed golden file
 /// byte-for-byte. Run with `GOLDEN_UPDATE=1` to re-bless after a deliberate
 /// schema change (and bump the schema tag when doing so).
@@ -195,7 +224,7 @@ fn trace_json_matches_golden_file() {
 #[test]
 fn golden_trace_covers_schema_surface() {
     let json = golden_trace().to_json();
-    assert!(json.contains("\"schema\": \"asyncmg-trace-v1\""));
+    assert!(json.contains("\"schema\": \"asyncmg-trace-v2\""));
     assert!(json.contains("\"local_res\": null"), "NaN must render as null");
     assert!(json.contains("\"dropped_events\": 3"));
     // Every phase name appears in phase_totals (zero-count ones included),
@@ -209,6 +238,7 @@ fn golden_trace_covers_schema_surface() {
         "setup_strength",
         "setup_interp",
         "setup_rap",
+        "checkpoint",
     ] {
         assert!(json.contains(&format!("\"phase\": \"{name}\"")), "missing phase {name}");
     }
@@ -218,6 +248,15 @@ fn golden_trace_covers_schema_surface() {
     assert!(json.contains("\"kind\": \"write_corrupted\", \"grid\": 1"));
     assert!(json.contains("\"kind\": \"team_crash\", \"team\": 2"));
     assert!(json.contains("\"kind\": \"quarantined\", \"grid\": 1"));
+    // v2 resilience surface: checkpoint events (taken and restored) and
+    // attempt boundaries with rung / outcome / escalation fields.
+    assert!(json.contains("\"checkpoints\": ["));
+    assert!(json.contains("\"restored\": false"));
+    assert!(json.contains("\"restored\": true"));
+    assert!(json.contains("\"attempts\": ["));
+    assert!(json.contains("\"rung\": \"async_atomic\""));
+    assert!(json.contains("\"escalation\": \"degraded\""));
+    assert!(json.contains("\"escalation\": null"), "final attempt renders null escalation");
 }
 
 /// `StopCriterion::Tolerance` participates in options equality and the
