@@ -1,0 +1,143 @@
+//! Service throughput benchmark: warm-cache reuse and batched dispatch.
+//!
+//! Measures the two wins the solver service exists for, on the paper's
+//! 27-point Laplacian family at `relres ≤ 1e-6`:
+//!
+//! * **warm vs cold** — a cold solve pays for the AMG setup (the dominant
+//!   cost); a warm solve finds its hierarchy in the fingerprint cache and
+//!   goes straight to cycling,
+//! * **batched vs sequential** — four same-matrix right-hand sides
+//!   coalesced into one blocked dispatch traverse the matrix once per
+//!   sweep for all four columns, against four back-to-back warm solves.
+//!
+//! Run with `cargo bench -p asyncmg-bench --bench throughput`; it prints a
+//! JSON report to stdout (the committed baseline is `BENCH_service.json`
+//! at the repo root) and a human-readable summary to stderr. `-- --smoke`
+//! selects a seconds-long CI-sized run.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use asyncmg_problems::{rhs::random_rhs, TestSet};
+use asyncmg_service::{ServiceOptions, SolveRequest, SolverService};
+use asyncmg_sparse::Csr;
+
+const TOL: f64 = 1e-6;
+const BATCH: usize = 4;
+
+/// Minimum wall-clock seconds over `reps` calls of `f`.
+fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn request(a: &Arc<Csr>, seed: u64) -> SolveRequest {
+    SolveRequest::new(a.clone(), random_rhs(a.nrows(), seed)).tolerance(TOL).t_max(100)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
+    let (sizes, reps): (&[usize], usize) = if smoke { (&[10], 2) } else { (&[16, 24, 32], 5) };
+
+    let mut cases = Vec::new();
+    for &n in sizes {
+        let a = Arc::new(TestSet::TwentySevenPt.matrix(n));
+        let mut relres_max = 0.0f64;
+        let mut check = |r: &asyncmg_service::SolveResponse| {
+            assert!(r.converged, "solve must reach relres ≤ {TOL}, got {}", r.relres);
+            relres_max = relres_max.max(r.relres);
+        };
+
+        // Cold: a fresh service per rep pays the full setup every time.
+        let cold_s = time_min(reps, || {
+            let service = SolverService::new(ServiceOptions::default());
+            let r = service.solve(request(&a, 0)).unwrap();
+            assert!(!r.cache_hit);
+            check(&r);
+        });
+
+        // Warm: one service, hierarchy built once, then timed re-solves.
+        let service = SolverService::new(ServiceOptions::default());
+        check(&service.solve(request(&a, 0)).unwrap());
+        let mut seed = 1u64;
+        let warm_s = time_min(reps, || {
+            let r = service.solve(request(&a, seed)).unwrap();
+            seed += 1;
+            assert!(r.cache_hit);
+            check(&r);
+        });
+
+        // Four sequential warm single-RHS solves...
+        let seq4_s = time_min(reps, || {
+            for s in 0..BATCH as u64 {
+                check(&service.solve(request(&a, 100 + s)).unwrap());
+            }
+        });
+        // ...against the same four coalesced into one blocked dispatch.
+        let batch4_s = time_min(reps, || {
+            let tickets: Vec<_> =
+                (0..BATCH as u64).map(|s| service.submit(request(&a, 100 + s)).unwrap()).collect();
+            service.drain();
+            for t in tickets {
+                match service.take(t).unwrap() {
+                    asyncmg_service::RequestStatus::Completed(r) => {
+                        assert_eq!(r.batch_size, BATCH);
+                        check(&r);
+                    }
+                    other => panic!("expected completion, got {other:?}"),
+                }
+            }
+        });
+
+        let warm_speedup = cold_s / warm_s;
+        let batch_speedup = seq4_s / batch4_s;
+        eprintln!(
+            "27pt n={n} ({} rows, {} nnz): cold {:.1} ms, warm {:.1} ms ({:.2}x); \
+             4 seq {:.1} ms, 4 batched {:.1} ms ({:.2}x)",
+            a.nrows(),
+            a.nnz(),
+            cold_s * 1e3,
+            warm_s * 1e3,
+            warm_speedup,
+            seq4_s * 1e3,
+            batch4_s * 1e3,
+            batch_speedup,
+        );
+        cases.push(format!(
+            concat!(
+                "    {{ \"grid\": \"27pt\", \"n\": {}, \"rows\": {}, \"nnz\": {}, ",
+                "\"cold_s\": {:.9}, \"warm_s\": {:.9}, \"warm_solves_per_s\": {:.3}, ",
+                "\"warm_speedup\": {:.3}, \"seq4_s\": {:.9}, \"batch4_s\": {:.9}, ",
+                "\"batch4_speedup\": {:.3}, \"relres_max\": {:.3e} }}"
+            ),
+            n,
+            a.nrows(),
+            a.nnz(),
+            cold_s,
+            warm_s,
+            1.0 / warm_s,
+            warm_speedup,
+            seq4_s,
+            batch4_s,
+            batch_speedup,
+            relres_max,
+        ));
+    }
+
+    println!("{{");
+    println!("  \"bench\": \"service_throughput\",");
+    println!("  \"smoke\": {smoke},");
+    println!("  \"tolerance\": {TOL:e},");
+    println!("  \"batch_width\": {BATCH},");
+    println!("  \"thresholds\": {{ \"warm_over_cold\": 3.0, \"batch4_over_seq4\": 1.5 }},");
+    println!("  \"cases\": [");
+    println!("{}", cases.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}

@@ -203,7 +203,7 @@ pub fn table_cell(r: &ToleranceResult) -> String {
 pub enum MethodCfg {
     /// Classical multiplicative multigrid, threaded ("sync Mult").
     Mult,
-    /// An additive configuration run by [`asyncmg_core::solve_async`].
+    /// An additive configuration run by [`asyncmg_core::solve_async_probed`].
     Additive(asyncmg_core::AsyncOptions),
 }
 

@@ -17,11 +17,8 @@
 use crate::setup::{CoarseSolve, MgSetup};
 use crate::workspace::Workspace;
 use asyncmg_sparse::vecops;
-use asyncmg_telemetry::{NoopProbe, Probe};
+use asyncmg_telemetry::Probe;
 use std::time::Instant;
-
-#[allow(deprecated)]
-pub use crate::workspace::CorrectionScratch;
 
 /// The additive methods of the paper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -209,21 +206,10 @@ impl SolveResult {
     }
 }
 
-/// Runs `t_max` synchronous additive V-cycles starting from `x = 0`:
+/// Runs up to `t_max` synchronous additive V-cycles starting from `x = 0`:
 /// each cycle computes `r = b − A x` once, every grid contributes its
 /// correction from the *same* residual, and the corrections are summed.
-#[deprecated(note = "use Solver")]
-pub fn solve_additive(
-    setup: &MgSetup,
-    method: AdditiveMethod,
-    b: &[f64],
-    t_max: usize,
-) -> SolveResult {
-    solve_additive_probed(setup, method, b, t_max, None, &NoopProbe)
-}
-
-/// [`solve_additive`] with tolerance-based early stopping and telemetry:
-/// each cycle reports one correction event per grid and one residual sample
+/// Each cycle reports one correction event per grid and one residual sample
 /// to `probe`, and the run ends as soon as the relative residual drops below
 /// `tol` (when given).
 pub fn solve_additive_probed<P: Probe + ?Sized>(
@@ -270,10 +256,9 @@ pub fn solve_additive_probed<P: Probe + ?Sized>(
 
 #[cfg(test)]
 mod tests {
-    // The deprecated solve_* wrappers stay covered until removed.
-    #![allow(deprecated)]
     use super::*;
     use crate::setup::MgOptions;
+    use crate::solver::{Method, SolveReport, Solver};
     use asyncmg_amg::{build_hierarchy, AmgOptions};
     use asyncmg_problems::{rhs::random_rhs, stencil::laplacian_7pt};
     use asyncmg_smoothers::SmootherKind;
@@ -284,20 +269,24 @@ mod tests {
         MgSetup::new(h, opts)
     }
 
+    fn run_additive(s: &MgSetup, method: Method, b: &[f64], t_max: usize) -> SolveReport {
+        Solver::new(s).method(method).threads(0).t_max(t_max).run(b)
+    }
+
     #[test]
     fn multadd_converges() {
         let s = setup(8, MgOptions::default());
         let b = random_rhs(s.n(), 3);
-        let res = solve_additive(&s, AdditiveMethod::Multadd, &b, 30);
-        assert!(res.final_relres() < 1e-6, "Multadd relres {} after 30 cycles", res.final_relres());
+        let res = run_additive(&s, Method::Multadd, &b, 30);
+        assert!(res.relres < 1e-6, "Multadd relres {} after 30 cycles", res.relres);
     }
 
     #[test]
     fn afacx_converges() {
         let s = setup(8, MgOptions::default());
         let b = random_rhs(s.n(), 3);
-        let res = solve_additive(&s, AdditiveMethod::Afacx, &b, 60);
-        assert!(res.final_relres() < 1e-5, "AFACx relres {}", res.final_relres());
+        let res = run_additive(&s, Method::Afacx, &b, 60);
+        assert!(res.relres < 1e-5, "AFACx relres {}", res.relres);
     }
 
     #[test]
@@ -306,13 +295,13 @@ mod tests {
         // diverges (or stagnates) — exactly why Multadd/AFACx exist.
         let s = setup(8, MgOptions::default());
         let b = random_rhs(s.n(), 3);
-        let res = solve_additive(&s, AdditiveMethod::Bpx, &b, 20);
-        let multadd = solve_additive(&s, AdditiveMethod::Multadd, &b, 20);
+        let res = run_additive(&s, Method::Bpx, &b, 20);
+        let multadd = run_additive(&s, Method::Multadd, &b, 20);
         assert!(
-            res.final_relres() > 10.0 * multadd.final_relres(),
+            res.relres > 10.0 * multadd.relres,
             "BPX {} vs Multadd {}",
-            res.final_relres(),
-            multadd.final_relres()
+            res.relres,
+            multadd.relres
         );
     }
 
@@ -326,8 +315,8 @@ mod tests {
         ] {
             let s = setup(6, MgOptions { smoother: kind, ..Default::default() });
             let b = random_rhs(s.n(), 5);
-            let res = solve_additive(&s, AdditiveMethod::Multadd, &b, 40);
-            assert!(res.final_relres() < 1e-5, "{}: {}", kind.name(), res.final_relres());
+            let res = run_additive(&s, Method::Multadd, &b, 40);
+            assert!(res.relres < 1e-5, "{}: {}", kind.name(), res.relres);
         }
     }
 
@@ -363,7 +352,7 @@ mod tests {
     fn history_is_recorded_per_cycle() {
         let s = setup(5, MgOptions::default());
         let b = random_rhs(s.n(), 4);
-        let res = solve_additive(&s, AdditiveMethod::Multadd, &b, 7);
+        let res = run_additive(&s, Method::Multadd, &b, 7);
         assert_eq!(res.history.len(), 7);
         // Broadly decreasing.
         assert!(res.history.last().unwrap() < res.history.first().unwrap());

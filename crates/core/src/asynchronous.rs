@@ -20,7 +20,7 @@
 //! # Fault injection and recovery
 //!
 //! The runtime optionally runs *defended*: a seeded
-//! [`FaultPlan`](asyncmg_threads::FaultPlan) injects stragglers, permanent
+//! [`FaultPlan`] injects stragglers, permanent
 //! team crashes, and corrupted or dropped correction writes, while
 //! [`RecoveryOptions`] arms the countermeasures — non-finite/magnitude
 //! guards on corrections with per-level additive damping and quarantine
@@ -38,7 +38,7 @@ use crate::resilience::CheckpointStore;
 use crate::setup::{CoarseSolve, MgSetup};
 use asyncmg_smoothers::{async_gs_sweep, LevelSmoother, SmootherKind};
 use asyncmg_sparse::{vecops, AtomicF64Vec, Csr};
-use asyncmg_telemetry::{FaultKind, FaultRecord, NoopProbe, Phase, Probe};
+use asyncmg_telemetry::{FaultKind, FaultRecord, Phase, Probe};
 use asyncmg_threads::{
     run_teams_sched, Clock, FaultPlan, GridTeamLayout, OsClock, OsSched, RacyVec, Sched,
     SchedPoint, SpinLock, TeamCtx,
@@ -478,15 +478,9 @@ impl<P: Probe + ?Sized> Shared<'_, P> {
     }
 }
 
-/// Solves `A x = b` with the threaded additive solver.
-#[deprecated(note = "use Solver")]
-pub fn solve_async(setup: &MgSetup, b: &[f64], opts: &AsyncOptions) -> AsyncResult {
-    solve_async_probed(setup, b, opts, &NoopProbe)
-}
-
-/// [`solve_async`] with telemetry: every correction, timed phase and monitor
-/// residual sample is reported to `probe`. With [`NoopProbe`] the hooks
-/// compile to nothing.
+/// Solves `A x = b` with the threaded additive solver. Every correction,
+/// timed phase and monitor residual sample is reported to `probe`. With
+/// [`NoopProbe`](asyncmg_telemetry::NoopProbe) the hooks compile to nothing.
 pub fn solve_async_probed<P: Probe + ?Sized>(
     setup: &MgSetup,
     b: &[f64],
@@ -1670,12 +1664,11 @@ fn residual_phase_inner<P: Probe + ?Sized>(
 
 #[cfg(test)]
 mod tests {
-    // The deprecated solve_* wrappers stay covered until removed.
-    #![allow(deprecated)]
     use super::*;
     use crate::setup::MgOptions;
     use asyncmg_amg::{build_hierarchy, AmgOptions};
     use asyncmg_problems::{rhs::random_rhs, stencil::laplacian_7pt};
+    use asyncmg_telemetry::NoopProbe;
 
     fn setup_n(n: usize) -> MgSetup {
         let a = laplacian_7pt(n, n, n);
@@ -1683,11 +1676,23 @@ mod tests {
         MgSetup::new(h, MgOptions::default())
     }
 
+    /// Test shorthand for the probed entry point with no probe.
+    fn solve_async(setup: &MgSetup, b: &[f64], opts: &AsyncOptions) -> AsyncResult {
+        solve_async_probed(setup, b, opts, &NoopProbe)
+    }
+
     #[test]
     fn sync_multadd_matches_sequential_additive() {
         let s = setup_n(6);
         let b = random_rhs(s.n(), 3);
-        let seq = crate::additive::solve_additive(&s, AdditiveMethod::Multadd, &b, 8);
+        let seq = crate::additive::solve_additive_probed(
+            &s,
+            AdditiveMethod::Multadd,
+            &b,
+            8,
+            None,
+            &NoopProbe,
+        );
         let par = solve_async(
             &s,
             &b,
@@ -1831,7 +1836,14 @@ mod tests {
     fn sync_afacx_matches_sequential() {
         let s = setup_n(6);
         let b = random_rhs(s.n(), 7);
-        let seq = crate::additive::solve_additive(&s, AdditiveMethod::Afacx, &b, 6);
+        let seq = crate::additive::solve_additive_probed(
+            &s,
+            AdditiveMethod::Afacx,
+            &b,
+            6,
+            None,
+            &NoopProbe,
+        );
         let par = solve_async(
             &s,
             &b,
@@ -1903,8 +1915,8 @@ mod tests {
     fn threaded_mult_matches_sequential_for_jacobi() {
         let s = setup_n(6);
         let b = random_rhs(s.n(), 3);
-        let seq = crate::mult::solve_mult(&s, &b, 5);
-        let par = crate::parallel_mult::solve_mult_threaded(&s, &b, 4, 5);
+        let seq = crate::mult::solve_mult_probed(&s, &b, 5, None, &NoopProbe);
+        let par = crate::parallel_mult::solve_mult_threaded_probed(&s, &b, 4, 5, None, &NoopProbe);
         assert!(
             (par.relres - seq.final_relres()).abs() < 1e-10 * seq.final_relres().max(1e-20),
             "threaded {} vs sequential {}",
@@ -1921,7 +1933,7 @@ mod tests {
         let s =
             MgSetup::new(h, MgOptions { smoother: SmootherKind::HybridJgs, ..Default::default() });
         let b = random_rhs(s.n(), 3);
-        let par = crate::parallel_mult::solve_mult_threaded(&s, &b, 4, 20);
+        let par = crate::parallel_mult::solve_mult_threaded_probed(&s, &b, 4, 20, None, &NoopProbe);
         assert!(par.relres < 1e-7, "relres {}", par.relres);
     }
 
@@ -1942,7 +1954,14 @@ mod tests {
             },
         );
         let b = random_rhs(s.n(), 5);
-        let seq = crate::additive::solve_additive(&s, AdditiveMethod::Afacx, &b, 6);
+        let seq = crate::additive::solve_additive_probed(
+            &s,
+            AdditiveMethod::Afacx,
+            &b,
+            6,
+            None,
+            &NoopProbe,
+        );
         let par = solve_async(
             &s,
             &b,
@@ -1976,8 +1995,22 @@ mod tests {
         let s1 = MgSetup::new(h.clone(), b_opts(1, 1));
         let s2 = MgSetup::new(h, b_opts(3, 3));
         let b = random_rhs(s1.n(), 8);
-        let r1 = crate::additive::solve_additive(&s1, AdditiveMethod::Afacx, &b, 15);
-        let r2 = crate::additive::solve_additive(&s2, AdditiveMethod::Afacx, &b, 15);
+        let r1 = crate::additive::solve_additive_probed(
+            &s1,
+            AdditiveMethod::Afacx,
+            &b,
+            15,
+            None,
+            &NoopProbe,
+        );
+        let r2 = crate::additive::solve_additive_probed(
+            &s2,
+            AdditiveMethod::Afacx,
+            &b,
+            15,
+            None,
+            &NoopProbe,
+        );
         assert!(
             r2.final_relres() < r1.final_relres(),
             "V(3/3,0) {} should beat V(1/1,0) {}",

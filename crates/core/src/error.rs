@@ -1,0 +1,105 @@
+//! The unified error surface of the workspace.
+//!
+//! Service callers touch every layer at once — matrix validation
+//! ([`CsrError`]), hierarchy construction ([`BuildError`]), one-shot solves
+//! ([`SolveError`]) and resilient sessions ([`SessionError`]) — so the crate
+//! exports one top-level [`Error`] with `From` impls for each, all carrying
+//! their source chains through [`std::error::Error::source`].
+
+use crate::resilience::SessionError;
+use crate::solver::SolveError;
+use asyncmg_amg::BuildError;
+use asyncmg_sparse::CsrError;
+
+/// Any error the solver stack can produce, one layer per variant.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A one-shot solve was misconfigured or given invalid data.
+    Solve(SolveError),
+    /// A resilient session failed.
+    Session(SessionError),
+    /// AMG hierarchy construction rejected the matrix or options.
+    Build(BuildError),
+    /// The matrix itself is structurally or numerically invalid.
+    Csr(CsrError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Solve(e) => write!(f, "solve failed: {e}"),
+            Error::Session(e) => write!(f, "session failed: {e}"),
+            Error::Build(e) => write!(f, "hierarchy build failed: {e}"),
+            Error::Csr(e) => write!(f, "invalid matrix: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Solve(e) => Some(e),
+            Error::Session(e) => Some(e),
+            Error::Build(e) => Some(e),
+            Error::Csr(e) => Some(e),
+        }
+    }
+}
+
+impl From<SolveError> for Error {
+    fn from(e: SolveError) -> Self {
+        Error::Solve(e)
+    }
+}
+
+impl From<SessionError> for Error {
+    fn from(e: SessionError) -> Self {
+        Error::Session(e)
+    }
+}
+
+impl From<BuildError> for Error {
+    fn from(e: BuildError) -> Self {
+        Error::Build(e)
+    }
+}
+
+impl From<CsrError> for Error {
+    fn from(e: CsrError) -> Self {
+        Error::Csr(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn from_impls_and_sources_chain() {
+        let e: Error = SolveError::RhsLength { expected: 4, got: 3 }.into();
+        assert!(matches!(e, Error::Solve(_)));
+        assert!(e.source().is_some());
+
+        let e: Error = SessionError::NoTolerance.into();
+        assert!(matches!(e, Error::Session(_)));
+        assert!(e.to_string().contains("session failed"));
+
+        let e: Error = BuildError::EmptyMatrix.into();
+        assert!(matches!(e, Error::Build(_)));
+
+        let e: Error = CsrError::RowPtrNotMonotone { row: 2 }.into();
+        assert!(matches!(e, Error::Csr(_)));
+        assert!(e.source().unwrap().to_string().contains("row 2"));
+    }
+
+    #[test]
+    fn nested_session_error_chains_to_solve_error() {
+        let inner = SolveError::NonFiniteRhs { index: 7 };
+        let e: Error = SessionError::from(inner).into();
+        // Error -> SessionError -> SolveError.
+        let s1 = e.source().unwrap();
+        assert!(s1.source().is_some(), "session error must expose its solve cause");
+    }
+}

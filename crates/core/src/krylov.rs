@@ -180,8 +180,6 @@ pub fn pcg_probed<P: Preconditioner, Pr: Probe + ?Sized>(
 
 #[cfg(test)]
 mod tests {
-    // The deprecated solve_* wrappers stay covered until removed.
-    #![allow(deprecated)]
     use super::*;
     use crate::setup::MgOptions;
     use asyncmg_amg::{build_hierarchy, AmgOptions};
@@ -234,8 +232,12 @@ mod tests {
         // preconditioner.
         let s = setup_n(8);
         let b = random_rhs(s.n(), 4);
-        let solver = crate::additive::solve_additive(&s, AdditiveMethod::Bpx, &b, 20);
-        assert!(solver.final_relres() > 1.0, "BPX-as-solver should over-correct");
+        let solver = crate::solver::Solver::new(&s)
+            .method(crate::solver::Method::Bpx)
+            .threads(0)
+            .t_max(20)
+            .run(&b);
+        assert!(solver.relres > 1.0, "BPX-as-solver should over-correct");
         let mut prec = AdditivePrec::new(&s, AdditiveMethod::Bpx);
         let res = pcg(s.a(0), &b, 1e-8, 200, &mut prec);
         assert!(res.converged, "BPX-PCG failed");

@@ -5,10 +5,11 @@
 //!
 //! * [`setup`] — [`setup::MgSetup`] bundles an AMG hierarchy (from
 //!   `asyncmg-amg`) with smoothed interpolants and per-level smoothers,
-//! * sequential solvers — [`mult::solve_mult`] (the classical V(1,1)-cycle,
-//!   Algorithm 1) and [`additive::solve_additive`] (BPX, Multadd, AFACx,
-//!   Section II), both cycling allocation-free out of a pre-sized
-//!   [`workspace::Workspace`],
+//! * sequential solvers — [`mult::solve_mult_probed`] (the classical
+//!   V(1,1)-cycle, Algorithm 1), [`additive::solve_additive_probed`] (BPX,
+//!   Multadd, AFACx, Section II) and the batched multi-RHS driver
+//!   [`batch::solve_mult_batch`], all cycling allocation-free out of
+//!   pre-sized workspaces,
 //! * [`models`] — sequential simulations of the semi-async and full-async
 //!   models (Section III, Equations 6, 7 and 10),
 //! * [`asynchronous`] / [`parallel_mult`] — the shared-memory thread-team
@@ -54,6 +55,8 @@
 
 pub mod additive;
 pub mod asynchronous;
+pub mod batch;
+pub mod error;
 pub mod krylov;
 pub mod models;
 pub mod mult;
@@ -64,23 +67,20 @@ pub mod solver;
 pub mod workspace;
 
 pub use additive::{grid_correction, solve_additive_probed, AdditiveMethod, SolveResult};
-#[allow(deprecated)]
-pub use additive::{solve_additive, CorrectionScratch};
-#[allow(deprecated)]
-pub use asynchronous::solve_async;
 pub use asynchronous::{
     solve_async_clocked, solve_async_faulted, solve_async_probed, solve_async_sched, AsyncOptions,
     AsyncResult, CheckpointHook, RecoveryOptions, ResComp, SolveOutcome, StopCriterion, WriteMode,
 };
+pub use batch::{
+    mult_vcycle_block, solve_mult_batch, solve_mult_batch_with, BatchResult, BatchSpec,
+    BlockWorkspace,
+};
+pub use error::Error;
 pub use krylov::{
     pcg, pcg_probed, AdditivePrec, CgResult, IdentityPrec, JacobiPrec, Preconditioner, VCyclePrec,
 };
 pub use models::{simulate, simulate_mean, ModelKind, ModelOptions, ModelResult};
 pub use mult::{mult_vcycle, solve_mult_probed};
-#[allow(deprecated)]
-pub use mult::{solve_mult, MultScratch};
-#[allow(deprecated)]
-pub use parallel_mult::solve_mult_threaded;
 pub use parallel_mult::{solve_mult_threaded_probed, solve_mult_threaded_sched};
 pub use resilience::{
     AttemptReport, Checkpoint, CheckpointStats, CheckpointStore, EscalationReason, RetryPolicy,
@@ -90,8 +90,10 @@ pub use setup::{CoarseSolve, MgOptions, MgSetup};
 pub use solver::{Method, SolveError, SolveReport, Solver};
 pub use workspace::Workspace;
 
-// Re-exported so downstream users can name probes and fault plans without
-// depending on the telemetry/threads crates directly.
+// Re-exported so downstream users can name probes, fault plans and the
+// wrapped error types without depending on the lower crates directly.
+pub use asyncmg_amg::BuildError;
+pub use asyncmg_sparse::CsrError;
 pub use asyncmg_telemetry::{
     FaultKind, FaultRecord, NoopProbe, Phase, Probe, SolveTrace, TelemetryProbe,
 };

@@ -4,11 +4,8 @@ use crate::additive::SolveResult;
 use crate::setup::{CoarseSolve, MgSetup};
 use crate::workspace::Workspace;
 use asyncmg_sparse::vecops;
-use asyncmg_telemetry::{NoopProbe, Probe};
+use asyncmg_telemetry::Probe;
 use std::time::Instant;
-
-#[allow(deprecated)]
-pub use crate::workspace::MultScratch;
 
 /// One multiplicative V(1,1)-cycle: updates `x` in place given the current
 /// fine-grid residual in `scratch.r[0]`. Allocation-free: every vector it
@@ -65,14 +62,9 @@ pub fn mult_vcycle(setup: &MgSetup, x: &mut [f64], scratch: &mut Workspace) {
     vecops::axpy(1.0, &scratch.e[0], x);
 }
 
-/// Runs `t_max` multiplicative V(1,1)-cycles from `x = 0`, recording the
-/// relative residual after each cycle.
-#[deprecated(note = "use Solver")]
-pub fn solve_mult(setup: &MgSetup, b: &[f64], t_max: usize) -> SolveResult {
-    solve_mult_probed(setup, b, t_max, None, &NoopProbe)
-}
-
-/// [`solve_mult`] with tolerance-based early stopping and telemetry: each
+/// Runs up to `t_max` multiplicative V(1,1)-cycles from `x = 0`, recording
+/// the relative residual after each cycle,
+/// with tolerance-based early stopping and telemetry: each
 /// cycle reports one correction event (the whole V-cycle, attributed to
 /// grid 0) and one residual sample to `probe`, and the run ends as soon as
 /// the relative residual drops below `tol` (when given).
@@ -112,10 +104,9 @@ pub fn solve_mult_probed<P: Probe + ?Sized>(
 
 #[cfg(test)]
 mod tests {
-    // The deprecated solve_* wrappers stay covered until removed.
-    #![allow(deprecated)]
     use super::*;
     use crate::setup::MgOptions;
+    use crate::solver::{Method, SolveReport, Solver};
     use asyncmg_amg::{build_hierarchy, AmgOptions};
     use asyncmg_problems::{rhs::random_rhs, stencil::laplacian_27pt, stencil::laplacian_7pt};
     use asyncmg_smoothers::SmootherKind;
@@ -126,16 +117,20 @@ mod tests {
         MgSetup::new(h, opts)
     }
 
+    fn run_mult(s: &MgSetup, b: &[f64], t_max: usize) -> SolveReport {
+        Solver::new(s).method(Method::Mult).threads(0).t_max(t_max).run(b)
+    }
+
     #[test]
     fn mult_converges_fast() {
         let s = setup_n(8, MgOptions::default());
         let b = random_rhs(s.n(), 11);
-        let res = solve_mult(&s, &b, 20);
+        let res = run_mult(&s, &b, 20);
         // Table I: sync Mult with ω-Jacobi needs ~75 cycles for 1e-9, i.e. a
         // convergence factor around 0.76; our hierarchy does a bit better.
-        assert!(res.final_relres() < 1e-4, "relres {}", res.final_relres());
-        let res40 = solve_mult(&s, &b, 40);
-        assert!(res40.final_relres() < 1e-9, "relres {}", res40.final_relres());
+        assert!(res.relres < 1e-4, "relres {}", res.relres);
+        let res40 = run_mult(&s, &b, 40);
+        assert!(res40.relres < 1e-9, "relres {}", res40.relres);
     }
 
     #[test]
@@ -148,8 +143,8 @@ mod tests {
         ] {
             let s = setup_n(6, MgOptions { smoother: kind, ..Default::default() });
             let b = random_rhs(s.n(), 2);
-            let res = solve_mult(&s, &b, 25);
-            assert!(res.final_relres() < 1e-7, "{}: {}", kind.name(), res.final_relres());
+            let res = run_mult(&s, &b, 25);
+            assert!(res.relres < 1e-7, "{}: {}", kind.name(), res.relres);
         }
     }
 
@@ -161,7 +156,7 @@ mod tests {
         for n in [6usize, 8, 10] {
             let s = setup_n(n, MgOptions::default());
             let b = random_rhs(s.n(), 7);
-            let res = solve_mult(&s, &b, 10);
+            let res = run_mult(&s, &b, 10);
             let f = (res.history[9] / res.history[4]).powf(1.0 / 5.0);
             factors.push(f);
         }
@@ -179,15 +174,15 @@ mod tests {
         let h = build_hierarchy(a, &AmgOptions::default());
         let s = MgSetup::new(h, MgOptions::default());
         let b = random_rhs(s.n(), 13);
-        let res = solve_mult(&s, &b, 20);
-        assert!(res.final_relres() < 1e-7, "relres {}", res.final_relres());
+        let res = run_mult(&s, &b, 20);
+        assert!(res.relres < 1e-7, "relres {}", res.relres);
     }
 
     #[test]
     fn zero_rhs_stays_zero() {
         let s = setup_n(5, MgOptions::default());
         let b = vec![0.0; s.n()];
-        let res = solve_mult(&s, &b, 3);
+        let res = run_mult(&s, &b, 3);
         assert!(res.x.iter().all(|&v| v == 0.0));
     }
 
@@ -198,13 +193,8 @@ mod tests {
         let s11 = MgSetup::new(h.clone(), MgOptions::default());
         let s22 = MgSetup::new(h, MgOptions { n_pre: 2, n_post: 2, ..Default::default() });
         let b = random_rhs(s11.n(), 21);
-        let r11 = solve_mult(&s11, &b, 10);
-        let r22 = solve_mult(&s22, &b, 10);
-        assert!(
-            r22.final_relres() < r11.final_relres(),
-            "V(2,2) {} should beat V(1,1) {}",
-            r22.final_relres(),
-            r11.final_relres()
-        );
+        let r11 = run_mult(&s11, &b, 10);
+        let r22 = run_mult(&s22, &b, 10);
+        assert!(r22.relres < r11.relres, "V(2,2) {} should beat V(1,1) {}", r22.relres, r11.relres);
     }
 }

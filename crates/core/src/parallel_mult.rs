@@ -10,22 +10,10 @@ use crate::asynchronous::{AsyncResult, SolveOutcome};
 use crate::setup::{CoarseSolve, MgSetup};
 use asyncmg_smoothers::{LevelSmoother, SmootherKind};
 use asyncmg_sparse::vecops;
-use asyncmg_telemetry::{NoopProbe, Probe};
+use asyncmg_telemetry::Probe;
 use asyncmg_threads::{run_teams_sched, OsSched, RacyVec, Sched};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
-
-/// Runs `t_max` threaded multiplicative V(1,1)-cycles with `n_threads`
-/// threads.
-#[deprecated(note = "use Solver")]
-pub fn solve_mult_threaded(
-    setup: &MgSetup,
-    b: &[f64],
-    n_threads: usize,
-    t_max: usize,
-) -> AsyncResult {
-    solve_mult_threaded_probed(setup, b, n_threads, t_max, None, &NoopProbe)
-}
 
 /// Per-level thread-shared work vectors of the threaded multiplicative
 /// cycle, allocated once per solve before the team starts.
@@ -54,8 +42,8 @@ impl SharedWorkspace {
     }
 }
 
-/// [`solve_mult_threaded`] with tolerance-based early stopping and
-/// telemetry. When `tol` is set (or `probe` records), the master computes
+/// Threaded multiplicative V-cycles with tolerance-based early stopping
+/// and telemetry. When `tol` is set (or `probe` records), the master computes
 /// the exact relative residual at the end of every cycle — an extra fine-
 /// grid SpMV that the plain fixed-cycle run does not pay — samples it into
 /// `probe`, and stops all threads once it is below `tol`.

@@ -10,7 +10,7 @@
 //!
 //! * [`CheckpointStore`] — best-known-iterate snapshots, fed by the
 //!   watchdog at a configurable cadence (and at quarantine events) through
-//!   a [`CheckpointHook`](crate::asynchronous::CheckpointHook), and by the
+//!   a [`CheckpointHook`], and by the
 //!   session at every attempt end. Retries warm-start from the best
 //!   checkpoint instead of from zero (rollback-to-best-known).
 //! * [`RetryPolicy`] — bounded attempts, exponential backoff between them,
@@ -26,7 +26,7 @@
 //!
 //! Every time-based decision of the session — backoff sleeps, the deadline,
 //! checkpoint timestamps — goes through the session's
-//! [`Clock`](asyncmg_threads::Clock), so a test can drive the whole retry
+//! [`Clock`], so a test can drive the whole retry
 //! schedule with a [`VirtualClock`](asyncmg_threads::VirtualClock) without
 //! sleeping wall-clock time. A session seeded with
 //! [`Solver::session_seed`](crate::Solver::session_seed) replays
@@ -70,7 +70,7 @@ pub struct Checkpoint {
 /// plus taken/restored counters.
 ///
 /// Shared between the session loop and the watchdog's
-/// [`CheckpointHook`](crate::asynchronous::CheckpointHook), so offers are
+/// [`CheckpointHook`], so offers are
 /// thread-safe; the best-so-far policy means rollback always goes to the
 /// best known state, never to an older or worse one.
 #[derive(Debug, Default)]

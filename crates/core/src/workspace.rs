@@ -8,9 +8,6 @@
 //! [`mult`](crate::mult) and [`additive`](crate::additive) perform **zero
 //! heap allocations** — every vector a cycle touches exists before the
 //! first cycle starts.
-//!
-//! The old `MultScratch` / `CorrectionScratch` names remain as deprecated
-//! aliases; both were strict subsets of this type.
 
 use crate::setup::MgSetup;
 
@@ -57,14 +54,6 @@ impl Workspace {
         self.r.len()
     }
 }
-
-/// Former name of [`Workspace`] (multiplicative-cycle scratch).
-#[deprecated(note = "use Workspace")]
-pub type MultScratch = Workspace;
-
-/// Former name of [`Workspace`] (additive-correction scratch).
-#[deprecated(note = "use Workspace")]
-pub type CorrectionScratch = Workspace;
 
 #[cfg(test)]
 mod tests {

@@ -10,52 +10,11 @@
 use asyncmg_core::{AsyncResult, SolveOutcome};
 use asyncmg_telemetry::{FaultKind, SolveTrace};
 
-/// FNV-1a, 64-bit. Small, dependency-free, and stable across platforms —
-/// exactly what a golden fingerprint needs (this is a digest for test
-/// comparisons, not a collision-resistant hash).
-pub struct Fnv(u64);
-
-impl Fnv {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-
-    /// A fresh digest.
-    pub fn new() -> Self {
-        Fnv(Self::OFFSET)
-    }
-
-    /// Folds raw bytes into the digest.
-    pub fn write_bytes(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(Self::PRIME);
-        }
-    }
-
-    /// Folds a `u64` (little-endian bytes).
-    pub fn write_u64(&mut self, v: u64) {
-        self.write_bytes(&v.to_le_bytes());
-    }
-
-    /// Folds an `f64` by bit pattern, canonicalising NaN so that the many
-    /// NaN payloads compare equal (the solvers report `NaN` for "not
-    /// computed" local residuals).
-    pub fn write_f64(&mut self, v: f64) {
-        let bits = if v.is_nan() { f64::NAN.to_bits() } else { v.to_bits() };
-        self.write_u64(bits);
-    }
-
-    /// The digest value.
-    pub fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
-impl Default for Fnv {
-    fn default() -> Self {
-        Fnv::new()
-    }
-}
+/// The FNV-1a digest engine, re-exported from `asyncmg-sparse` where it now
+/// lives so that the solver service can key its hierarchy cache on
+/// [`Csr::fingerprint`](asyncmg_sparse::Csr::fingerprint) without depending
+/// on the harness. The harness API is unchanged.
+pub use asyncmg_sparse::Fnv;
 
 /// The canonical fingerprint of one solve: bit-exact over the solution
 /// vector, the final relative residual, the residual history values,

@@ -29,9 +29,11 @@ pub mod fingerprint;
 pub mod fuzz;
 pub mod oracle;
 pub mod resilience;
+pub mod service;
 
 pub use case::{CaseRun, FaultAxis, FuzzCase, MatrixFamily};
 pub use fingerprint::{fingerprint_run, Fnv};
 pub use fuzz::{case_filter, run_fuzz, seeds_from_env, FuzzOutcome};
 pub use oracle::{Oracle, Violation};
 pub use resilience::{check_session, fingerprint_session, ResilienceAxis, SessionRun};
+pub use service::{check_service, fingerprint_service, ServiceAxis, ServiceRun};

@@ -1,0 +1,337 @@
+//! The service axis of the harness: drive a seeded request mix through a
+//! [`SolverService`] on a virtual clock and check every outcome.
+//!
+//! A [`ServiceAxis`] describes a workload shape — how many requests, over
+//! how many distinct matrices, how often a tight deadline rides along, how
+//! the submit/dispatch interleaving goes. [`ServiceAxis::run`] derives the
+//! concrete mix from a seed with splitmix64, so the whole run — every
+//! solution bit, every cache event, every rejection — is a pure function of
+//! `(axis, seed)`: the service reads time only from a [`VirtualClock`]
+//! the axis advances deterministically. [`check_service`] is the oracle; the fingerprint
+//! folds outcomes, the cache event log and the stats into one replayable
+//! hash.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use asyncmg_problems::{rhs::random_rhs, stencil::laplacian_7pt};
+use asyncmg_service::{
+    Rejection, RequestStatus, ServiceOptions, SolveRequest, SolverService, Ticket,
+};
+use asyncmg_sparse::Csr;
+use asyncmg_telemetry::{CacheEvent, ServiceStats};
+use asyncmg_threads::VirtualClock;
+
+use crate::fingerprint::Fnv;
+use crate::oracle::Violation;
+
+/// One service-workload configuration of the fuzz matrix.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceAxis {
+    /// Requests submitted over the run.
+    pub n_requests: usize,
+    /// Distinct matrices the mix draws from (a pool of anisotropic 7-point
+    /// Laplacian sizes).
+    pub n_matrices: usize,
+    /// Hierarchy-cache capacity — set below `n_matrices` to exercise
+    /// eviction.
+    pub cache_capacity: usize,
+    /// Maximum right-hand sides coalesced per dispatch.
+    pub batch_window: usize,
+    /// Every `deadline_every`-th request carries a deadline tight enough
+    /// that a seeded clock advance can expire it (0 disables deadlines).
+    pub deadline_every: usize,
+    /// Early-stopping tolerance of every request.
+    pub tolerance: f64,
+    /// Cycle budget of every request.
+    pub t_max: usize,
+}
+
+impl Default for ServiceAxis {
+    fn default() -> Self {
+        ServiceAxis {
+            n_requests: 24,
+            n_matrices: 3,
+            cache_capacity: 2,
+            batch_window: 4,
+            deadline_every: 5,
+            tolerance: 1e-6,
+            t_max: 60,
+        }
+    }
+}
+
+impl ServiceAxis {
+    /// A filterable label.
+    pub fn label(&self) -> String {
+        format!(
+            "service/r{}m{}c{}w{}",
+            self.n_requests, self.n_matrices, self.cache_capacity, self.batch_window
+        )
+    }
+
+    /// The matrix pool: small anisotropic boxes, distinct per index.
+    fn matrices(&self) -> Vec<Arc<Csr>> {
+        (0..self.n_matrices).map(|i| Arc::new(laplacian_7pt(4 + i, 4, 4))).collect()
+    }
+
+    /// Runs the seeded request mix to completion. Deterministic: same
+    /// `(self, seed)` ⇒ identical [`ServiceRun`], fingerprint included.
+    pub fn run(&self, seed: u64) -> ServiceRun {
+        let clock = Arc::new(VirtualClock::new());
+        let opts = ServiceOptions {
+            cache_capacity: self.cache_capacity,
+            batch_window: self.batch_window,
+            queue_capacity: self.n_requests.max(1),
+            ..Default::default()
+        };
+        let service = SolverService::with_clock(opts, clock.clone());
+        let mats = self.matrices();
+
+        let mut rng = Splitmix(seed);
+        let mut tickets: Vec<Ticket> = Vec::with_capacity(self.n_requests);
+        for i in 0..self.n_requests {
+            let m = &mats[(rng.next() as usize) % mats.len()];
+            let mut req = SolveRequest::new(m.clone(), random_rhs(m.nrows(), rng.next()))
+                .tolerance(self.tolerance)
+                .t_max(self.t_max);
+            if self.deadline_every > 0 && i % self.deadline_every == self.deadline_every - 1 {
+                // Tight: 1–4 ms; the clock advances 0–2 ms per step below,
+                // so some of these expire in queue and some dispatch.
+                req = req.deadline(Duration::from_millis(1 + rng.next() % 4));
+            }
+            tickets.push(service.submit(req).expect("axis sizes the queue to fit the mix"));
+
+            // Seeded interleaving: sometimes let time pass, sometimes
+            // dispatch a batch mid-stream so cache and queue states vary.
+            let step = rng.next();
+            clock.advance(Duration::from_millis(step % 3));
+            if step.is_multiple_of(4) {
+                service.process_batch();
+            }
+        }
+        service.drain();
+
+        let mut outcomes = BTreeMap::new();
+        for t in tickets {
+            let status = service.take(t).expect("every submitted ticket must resolve");
+            assert!(
+                !matches!(status, RequestStatus::Queued),
+                "drain left ticket {} queued",
+                t.id()
+            );
+            outcomes.insert(t.id(), status);
+        }
+        let events = service.cache_events();
+        let stats = service.stats();
+        let fingerprint = fingerprint_service(&outcomes, &events, &stats);
+        ServiceRun { outcomes, events, stats, fingerprint }
+    }
+}
+
+/// The outcome of one seeded service run.
+pub struct ServiceRun {
+    /// Final status per ticket id (insertion order = submission order).
+    pub outcomes: BTreeMap<u64, RequestStatus>,
+    /// The cache event log, in decision order.
+    pub events: Vec<CacheEvent>,
+    /// Final aggregate counters.
+    pub stats: ServiceStats,
+    /// Canonical hash of the whole run (see [`fingerprint_service`]).
+    pub fingerprint: u64,
+}
+
+/// The canonical fingerprint of a service run: bit-exact over every
+/// completed solution, every rejection's kind and deterministic timing
+/// fields, the ordered cache event log, and the stats counters. Everything
+/// hashed is virtual-clock-deterministic, so replaying a seed reproduces
+/// the fingerprint exactly.
+pub fn fingerprint_service(
+    outcomes: &BTreeMap<u64, RequestStatus>,
+    events: &[CacheEvent],
+    stats: &ServiceStats,
+) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(outcomes.len() as u64);
+    for (&ticket, status) in outcomes {
+        h.write_u64(ticket);
+        match status {
+            RequestStatus::Queued => h.write_bytes(b"queued"),
+            RequestStatus::Completed(r) => {
+                h.write_bytes(b"completed");
+                h.write_u64(r.x.len() as u64);
+                for &v in &r.x {
+                    h.write_f64(v);
+                }
+                h.write_f64(r.relres);
+                h.write_u64(r.converged as u64);
+                h.write_u64(r.cycles as u64);
+                h.write_u64(r.cache_hit as u64);
+                h.write_u64(r.batch_size as u64);
+            }
+            RequestStatus::Rejected(rej) => {
+                h.write_bytes(b"rejected");
+                match rej {
+                    Rejection::DeadlineExpired { deadline_ns, now_ns } => {
+                        h.write_bytes(b"expired");
+                        h.write_u64(*deadline_ns);
+                        h.write_u64(*now_ns);
+                    }
+                    Rejection::DeadlineInfeasible { deadline_ns, estimated_ns, now_ns } => {
+                        h.write_bytes(b"infeasible");
+                        h.write_u64(*deadline_ns);
+                        h.write_u64(*estimated_ns);
+                        h.write_u64(*now_ns);
+                    }
+                    Rejection::BuildFailed(_) => h.write_bytes(b"build_failed"),
+                }
+            }
+        }
+    }
+    h.write_u64(events.len() as u64);
+    for e in events {
+        h.write_bytes(e.name().as_bytes());
+        h.write_u64(e.fingerprint());
+    }
+    h.write_u64(stats.cache_hits);
+    h.write_u64(stats.cache_misses);
+    h.write_u64(stats.evictions);
+    h.write_u64(stats.batches);
+    h.write_u64(stats.batched_rhs);
+    h.write_u64(stats.completed);
+    h.write_u64(stats.rejected_deadline);
+    h.write_u64(stats.rejected_queue_full);
+    h.write_u64(stats.max_queue_depth);
+    h.finish()
+}
+
+/// The service oracle: what must hold for every axis and seed.
+///
+/// Every request resolves (no ticket left queued after drain); completed
+/// solutions are finite and, when marked converged, meet the axis
+/// tolerance; batch sizes respect the window; and the stats must account
+/// for every request and agree with the event log.
+pub fn check_service(axis: &ServiceAxis, run: &ServiceRun) -> Result<(), Violation> {
+    let fail = |reason: String| Violation { case: axis.label(), reason };
+    let mut completed = 0u64;
+    let mut rejected = 0u64;
+    for (&ticket, status) in &run.outcomes {
+        match status {
+            RequestStatus::Queued => {
+                return Err(fail(format!("ticket {ticket} still queued after drain")));
+            }
+            RequestStatus::Completed(r) => {
+                completed += 1;
+                if let Some(i) = r.x.iter().position(|v| !v.is_finite()) {
+                    return Err(fail(format!("ticket {ticket}: non-finite x[{i}]")));
+                }
+                if r.converged && r.relres > axis.tolerance {
+                    return Err(fail(format!(
+                        "ticket {ticket}: converged at relres {} above tolerance {}",
+                        r.relres, axis.tolerance
+                    )));
+                }
+                if r.batch_size == 0 || r.batch_size > axis.batch_window {
+                    return Err(fail(format!(
+                        "ticket {ticket}: batch size {} outside 1..={}",
+                        r.batch_size, axis.batch_window
+                    )));
+                }
+                if r.cycles == 0 || r.cycles > axis.t_max {
+                    return Err(fail(format!(
+                        "ticket {ticket}: {} cycles outside 1..={}",
+                        r.cycles, axis.t_max
+                    )));
+                }
+            }
+            RequestStatus::Rejected(_) => rejected += 1,
+        }
+    }
+    let s = &run.stats;
+    if s.completed != completed {
+        return Err(fail(format!(
+            "stats count {} completed, outcomes hold {completed}",
+            s.completed
+        )));
+    }
+    if s.rejected_deadline != rejected {
+        return Err(fail(format!(
+            "stats count {} deadline rejections, outcomes hold {rejected}",
+            s.rejected_deadline
+        )));
+    }
+    if completed + rejected != axis.n_requests as u64 {
+        return Err(fail(format!(
+            "{} outcomes for {} requests",
+            completed + rejected,
+            axis.n_requests
+        )));
+    }
+    if s.batched_rhs != completed {
+        return Err(fail(format!("stats batched {} rhs but completed {completed}", s.batched_rhs)));
+    }
+    if s.queue_depth != 0 {
+        return Err(fail(format!("queue depth {} after drain", s.queue_depth)));
+    }
+    let misses = run.events.iter().filter(|e| matches!(e, CacheEvent::Miss { .. })).count();
+    let evictions = run.events.iter().filter(|e| matches!(e, CacheEvent::Evict { .. })).count();
+    if s.cache_misses != misses as u64 || s.evictions != evictions as u64 {
+        return Err(fail("stats disagree with the cache event log".into()));
+    }
+    if misses - evictions > axis.cache_capacity {
+        return Err(fail(format!(
+            "{} live hierarchies exceed the capacity of {}",
+            misses - evictions,
+            axis.cache_capacity
+        )));
+    }
+    Ok(())
+}
+
+/// splitmix64 — the standard seed expander (public-domain constants), also
+/// used by the sparse kernels' test generators.
+struct Splitmix(u64);
+
+impl Splitmix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_run_passes_the_oracle() {
+        let axis = ServiceAxis::default();
+        let run = axis.run(7);
+        check_service(&axis, &run).unwrap();
+        // The mix must actually exercise the interesting paths.
+        assert!(run.stats.cache_hits > 0, "no cache hit in the mix");
+        assert!(run.stats.evictions > 0, "no eviction in the mix");
+        assert!(run.stats.batched_rhs > run.stats.batches, "no coalesced batch in the mix");
+    }
+
+    #[test]
+    fn same_seed_replays_bit_identically() {
+        let axis = ServiceAxis::default();
+        let a = axis.run(42);
+        let b = axis.run(42);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.outcomes, b.outcomes);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let axis = ServiceAxis::default();
+        assert_ne!(axis.run(1).fingerprint, axis.run(2).fingerprint);
+    }
+}

@@ -1,0 +1,165 @@
+//! The hierarchy cache: content-fingerprinted AMG setups with LRU eviction.
+//!
+//! The cache key is [`Csr::fingerprint`] — FNV-1a over the matrix shape and
+//! CSR arrays — so two structurally identical matrices share one hierarchy
+//! no matter how they were constructed. Every lookup appends a
+//! [`CacheEvent`] to a log that is a pure function of the request stream,
+//! which the harness folds into replay fingerprints.
+
+use std::collections::HashMap;
+
+use asyncmg_amg::{try_build_hierarchy, BuildError};
+use asyncmg_core::{BlockWorkspace, MgSetup};
+use asyncmg_sparse::Csr;
+use asyncmg_telemetry::CacheEvent;
+
+use crate::request::ServiceOptions;
+
+/// A cached setup plus the per-matrix state the service reuses across
+/// dispatches.
+pub(crate) struct CachedSetup {
+    /// The AMG hierarchy, interpolants and smoothers.
+    pub setup: MgSetup,
+    /// Blocked workspace, resized in place as batch widths change.
+    pub scratch: BlockWorkspace,
+    /// Exponential moving average of solve cost in nanoseconds per
+    /// (cycle × right-hand side); 0 until the first timed dispatch. Feeds
+    /// the deadline-infeasibility estimate.
+    pub ema_ns_per_cycle_rhs: f64,
+    /// LRU stamp (monotone lookup counter).
+    last_used: u64,
+}
+
+/// Fingerprint-keyed LRU cache of AMG setups.
+pub(crate) struct HierarchyCache {
+    map: HashMap<u64, CachedSetup>,
+    capacity: usize,
+    tick: u64,
+    events: Vec<CacheEvent>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl HierarchyCache {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "cache capacity must be at least 1");
+        HierarchyCache {
+            map: HashMap::new(),
+            capacity,
+            tick: 0,
+            events: Vec::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Returns the cached setup for `fingerprint`, building (and possibly
+    /// evicting) on a miss. The returned flag is `true` on a hit.
+    pub fn get_or_build(
+        &mut self,
+        fingerprint: u64,
+        a: &Csr,
+        opts: &ServiceOptions,
+    ) -> Result<(&mut CachedSetup, bool), BuildError> {
+        self.tick += 1;
+        if self.map.contains_key(&fingerprint) {
+            self.hits += 1;
+            self.events.push(CacheEvent::Hit { fingerprint });
+            let entry = self.map.get_mut(&fingerprint).unwrap();
+            entry.last_used = self.tick;
+            return Ok((entry, true));
+        }
+
+        let hierarchy = try_build_hierarchy(a.clone(), &opts.amg)?;
+        let setup = MgSetup::new(hierarchy, opts.mg);
+        let scratch = BlockWorkspace::new(&setup, 1);
+
+        if self.map.len() >= self.capacity {
+            // Deterministic LRU: the stamp is a unique monotone counter, so
+            // the minimum is unambiguous.
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&fp, _)| fp)
+                .expect("cache is non-empty at capacity");
+            self.map.remove(&victim);
+            self.evictions += 1;
+            self.events.push(CacheEvent::Evict { fingerprint: victim });
+        }
+
+        self.misses += 1;
+        self.events.push(CacheEvent::Miss { fingerprint });
+        let entry = self.map.entry(fingerprint).or_insert(CachedSetup {
+            setup,
+            scratch,
+            ema_ns_per_cycle_rhs: 0.0,
+            last_used: self.tick,
+        });
+        Ok((entry, false))
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn events(&self) -> &[CacheEvent] {
+        &self.events
+    }
+
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyncmg_problems::stencil::laplacian_7pt;
+
+    fn opts() -> ServiceOptions {
+        ServiceOptions::default()
+    }
+
+    #[test]
+    fn hit_after_miss_and_lru_eviction() {
+        let mut cache = HierarchyCache::new(2);
+        let o = opts();
+        let m1 = laplacian_7pt(4, 4, 4);
+        let m2 = laplacian_7pt(5, 4, 4);
+        let m3 = laplacian_7pt(6, 4, 4);
+        let (f1, f2, f3) = (m1.fingerprint(), m2.fingerprint(), m3.fingerprint());
+
+        assert!(!cache.get_or_build(f1, &m1, &o).unwrap().1);
+        assert!(!cache.get_or_build(f2, &m2, &o).unwrap().1);
+        assert!(cache.get_or_build(f1, &m1, &o).unwrap().1);
+        // m2 is now least recently used; inserting m3 evicts it.
+        assert!(!cache.get_or_build(f3, &m3, &o).unwrap().1);
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.get_or_build(f2, &m2, &o).unwrap().1);
+
+        assert_eq!(cache.counters(), (1, 4, 2));
+        let evicted: Vec<u64> = cache
+            .events()
+            .iter()
+            .filter(|e| matches!(e, CacheEvent::Evict { .. }))
+            .map(|e| e.fingerprint())
+            .collect();
+        assert_eq!(evicted, vec![f2, f1]);
+    }
+
+    #[test]
+    fn build_failure_surfaces_and_caches_nothing() {
+        let mut cache = HierarchyCache::new(2);
+        let bad = Csr::from_raw(2, 3, vec![0, 1, 1], vec![0], vec![1.0]);
+        let err = match cache.get_or_build(bad.fingerprint(), &bad, &opts()) {
+            Err(e) => e,
+            Ok(_) => panic!("non-square matrix must not build"),
+        };
+        assert!(matches!(err, BuildError::NotSquare { .. }));
+        assert_eq!(cache.len(), 0);
+        assert!(cache.events().is_empty());
+    }
+}

@@ -1,0 +1,264 @@
+//! Solver-as-a-service for the asyncmg workspace.
+//!
+//! [`Solver`](asyncmg_core::Solver) is a per-call builder: the caller owns
+//! the AMG setup and pays for it once per matrix, by hand. This crate
+//! inverts that ownership for long-lived processes that field many solve
+//! requests:
+//!
+//! * [`SolverService`] — the long-lived front end. It owns a
+//!   fingerprint-keyed LRU cache of AMG hierarchies (setup is the dominant
+//!   cost; repeat matrices skip it entirely), the blocked workspaces, and
+//!   the clock.
+//! * [`SolveRequest`] — a cheap description of one solve: matrix (`Arc`),
+//!   right-hand side, tolerance / cycle budget, optional deadline.
+//! * Batched dispatch — each [`SolverService::process_batch`] coalesces up
+//!   to `batch_window` queued right-hand sides that share a matrix into one
+//!   blocked multiplicative solve
+//!   ([`solve_mult_batch_with`](asyncmg_core::solve_mult_batch_with)). The
+//!   blocked kernels preserve the single-RHS accumulation order, so each
+//!   request's answer is bit-identical to a solo solve.
+//! * Admission control — requests carry deadlines on the service clock;
+//!   dispatch rejects overdue work and work the running per-matrix cost
+//!   estimate says cannot finish in time, ordering the queue by slack.
+//! * Telemetry — cache hits/misses/evictions and queue counters surface as
+//!   [`ServiceStats`](asyncmg_telemetry::ServiceStats) and an ordered
+//!   [`CacheEvent`](asyncmg_telemetry::CacheEvent) log, both deterministic
+//!   under a [`VirtualClock`](asyncmg_threads::VirtualClock).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use asyncmg_problems::{rhs::random_rhs, stencil::laplacian_7pt};
+//! use asyncmg_service::{ServiceOptions, SolveRequest, SolverService};
+//!
+//! let service = SolverService::new(ServiceOptions::default());
+//! let a = Arc::new(laplacian_7pt(8, 8, 8));
+//! let b = random_rhs(a.nrows(), 0);
+//!
+//! // First solve pays for the AMG setup...
+//! let cold = service
+//!     .solve(SolveRequest::new(a.clone(), b.clone()).tolerance(1e-8))
+//!     .unwrap();
+//! assert!(!cold.cache_hit && cold.converged);
+//! // ...the second finds the hierarchy in the cache.
+//! let warm = service.solve(SolveRequest::new(a, b).tolerance(1e-8)).unwrap();
+//! assert!(warm.cache_hit);
+//! assert_eq!(warm.x, cold.x);
+//! ```
+
+// Indexed loops over multiple parallel arrays are the house style for
+// numerical kernels; the iterator forms clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
+
+mod cache;
+mod request;
+mod service;
+
+pub use request::{
+    Rejection, RequestStatus, ServiceError, ServiceOptions, SolveRequest, SolveResponse,
+    SubmitError, Ticket,
+};
+pub use service::SolverService;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use asyncmg_core::SolveError;
+    use asyncmg_problems::{rhs::random_rhs, stencil::laplacian_7pt};
+    use asyncmg_sparse::Csr;
+    use asyncmg_telemetry::CacheEvent;
+    use asyncmg_threads::VirtualClock;
+
+    fn virtual_service(opts: ServiceOptions) -> (SolverService, Arc<VirtualClock>) {
+        let clock = Arc::new(VirtualClock::new());
+        (SolverService::with_clock(opts, clock.clone()), clock)
+    }
+
+    #[test]
+    fn submit_validates_the_request() {
+        let (service, _clock) = virtual_service(ServiceOptions::default());
+        let a = Arc::new(laplacian_7pt(4, 4, 4));
+        let n = a.nrows();
+
+        let short = SolveRequest::new(a.clone(), vec![1.0; n - 1]);
+        assert_eq!(
+            service.submit(short).unwrap_err(),
+            SubmitError::Invalid(SolveError::RhsLength { expected: n, got: n - 1 })
+        );
+
+        let mut b = vec![1.0; n];
+        b[3] = f64::NAN;
+        assert_eq!(
+            service.submit(SolveRequest::new(a.clone(), b)).unwrap_err(),
+            SubmitError::Invalid(SolveError::NonFiniteRhs { index: 3 })
+        );
+
+        let zero = SolveRequest::new(a, vec![1.0; n]).t_max(0);
+        assert!(matches!(
+            service.submit(zero).unwrap_err(),
+            SubmitError::Invalid(SolveError::InvalidOptions(_))
+        ));
+    }
+
+    #[test]
+    fn queue_capacity_is_enforced() {
+        let opts = ServiceOptions { queue_capacity: 2, ..Default::default() };
+        let (service, _clock) = virtual_service(opts);
+        let a = Arc::new(laplacian_7pt(4, 4, 4));
+        let b = random_rhs(a.nrows(), 1);
+
+        service.submit(SolveRequest::new(a.clone(), b.clone())).unwrap();
+        service.submit(SolveRequest::new(a.clone(), b.clone())).unwrap();
+        assert_eq!(
+            service.submit(SolveRequest::new(a, b)).unwrap_err(),
+            SubmitError::QueueFull { capacity: 2 }
+        );
+        let stats = service.stats();
+        assert_eq!(stats.rejected_queue_full, 1);
+        assert_eq!(stats.queue_depth, 2);
+        assert_eq!(stats.max_queue_depth, 2);
+    }
+
+    #[test]
+    fn same_matrix_requests_coalesce_into_one_batch() {
+        let (service, _clock) = virtual_service(ServiceOptions::default());
+        let a = Arc::new(laplacian_7pt(6, 6, 6));
+        let tickets: Vec<Ticket> = (0..3)
+            .map(|s| {
+                let req = SolveRequest::new(a.clone(), random_rhs(a.nrows(), s))
+                    .tolerance(1e-8)
+                    .t_max(60);
+                service.submit(req).unwrap()
+            })
+            .collect();
+
+        assert_eq!(service.process_batch(), 3);
+        for t in tickets {
+            match service.take(t).unwrap() {
+                RequestStatus::Completed(r) => {
+                    assert!(r.converged, "relres {} did not converge", r.relres);
+                    assert_eq!(r.batch_size, 3);
+                    assert!(!r.cache_hit);
+                }
+                other => panic!("expected completion, got {other:?}"),
+            }
+        }
+        let stats = service.stats();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.batched_rhs, 3);
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.queue_depth, 0);
+    }
+
+    #[test]
+    fn distinct_matrices_dispatch_separately_and_hit_on_repeat() {
+        let (service, _clock) = virtual_service(ServiceOptions::default());
+        let a1 = Arc::new(laplacian_7pt(5, 5, 5));
+        let a2 = Arc::new(laplacian_7pt(6, 5, 5));
+
+        let r1 = service.solve(SolveRequest::new(a1.clone(), random_rhs(a1.nrows(), 0))).unwrap();
+        let r2 = service.solve(SolveRequest::new(a2.clone(), random_rhs(a2.nrows(), 1))).unwrap();
+        let r3 = service.solve(SolveRequest::new(a1.clone(), random_rhs(a1.nrows(), 2))).unwrap();
+        assert!(!r1.cache_hit && !r2.cache_hit && r3.cache_hit);
+
+        let names: Vec<&str> = service.cache_events().iter().map(|e| e.name()).collect();
+        assert_eq!(names, vec!["miss", "miss", "hit"]);
+        assert_eq!(service.cached_hierarchies(), 2);
+    }
+
+    #[test]
+    fn expired_deadline_rejects_deterministically() {
+        let (service, clock) = virtual_service(ServiceOptions::default());
+        let a = Arc::new(laplacian_7pt(4, 4, 4));
+        let b = random_rhs(a.nrows(), 3);
+
+        let doomed = service
+            .submit(SolveRequest::new(a.clone(), b.clone()).deadline(Duration::from_millis(5)))
+            .unwrap();
+        let fine = service.submit(SolveRequest::new(a, b)).unwrap();
+
+        clock.advance(Duration::from_millis(6));
+        assert_eq!(service.process_batch(), 2);
+        match service.take(doomed).unwrap() {
+            RequestStatus::Rejected(Rejection::DeadlineExpired { deadline_ns, now_ns }) => {
+                assert_eq!(deadline_ns, 5_000_000);
+                assert_eq!(now_ns, 6_000_000);
+            }
+            other => panic!("expected deadline rejection, got {other:?}"),
+        }
+        assert!(matches!(service.take(fine).unwrap(), RequestStatus::Completed(_)));
+        assert_eq!(service.stats().rejected_deadline, 1);
+    }
+
+    #[test]
+    fn least_slack_request_dispatches_first() {
+        let (service, _clock) = virtual_service(ServiceOptions::default());
+        let a1 = Arc::new(laplacian_7pt(4, 4, 4));
+        let a2 = Arc::new(laplacian_7pt(5, 4, 4));
+
+        // a1 is submitted first but has no deadline; a2 is urgent.
+        let relaxed = service.submit(SolveRequest::new(a1, random_rhs(64, 0))).unwrap();
+        let urgent = service
+            .submit(SolveRequest::new(a2, random_rhs(80, 1)).deadline(Duration::from_secs(1)))
+            .unwrap();
+
+        service.process_batch();
+        assert!(matches!(service.status(urgent).unwrap(), RequestStatus::Completed(_)));
+        assert!(matches!(service.status(relaxed).unwrap(), RequestStatus::Queued));
+        service.drain();
+        assert!(matches!(service.status(relaxed).unwrap(), RequestStatus::Completed(_)));
+    }
+
+    #[test]
+    fn build_failure_rejects_the_batch() {
+        let (service, _clock) = virtual_service(ServiceOptions::default());
+        // Structurally valid CSR with a non-finite value: submit-time checks
+        // pass (they only look at the rhs), the AMG build rejects it.
+        let bad = Arc::new(Csr::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![f64::NAN, 1.0]));
+        let t = service.submit(SolveRequest::new(bad, vec![1.0, 1.0])).unwrap();
+        assert_eq!(service.process_batch(), 1);
+        assert!(matches!(
+            service.take(t).unwrap(),
+            RequestStatus::Rejected(Rejection::BuildFailed(_))
+        ));
+        assert_eq!(service.cached_hierarchies(), 0);
+    }
+
+    #[test]
+    fn batch_window_caps_coalescing() {
+        let opts = ServiceOptions { batch_window: 2, ..Default::default() };
+        let (service, _clock) = virtual_service(opts);
+        let a = Arc::new(laplacian_7pt(4, 4, 4));
+        for s in 0..3 {
+            service.submit(SolveRequest::new(a.clone(), random_rhs(a.nrows(), s))).unwrap();
+        }
+        assert_eq!(service.process_batch(), 2);
+        assert_eq!(service.process_batch(), 1);
+        let stats = service.stats();
+        assert_eq!(stats.batches, 2);
+        assert_eq!((stats.cache_misses, stats.cache_hits), (1, 1));
+    }
+
+    #[test]
+    fn cache_eviction_under_size_cap() {
+        let opts = ServiceOptions { cache_capacity: 2, ..Default::default() };
+        let (service, _clock) = virtual_service(opts);
+        let mats: Vec<Arc<Csr>> = (4..7).map(|nx| Arc::new(laplacian_7pt(nx, 4, 4))).collect();
+        for m in &mats {
+            service.solve(SolveRequest::new(m.clone(), random_rhs(m.nrows(), 0))).unwrap();
+        }
+        assert_eq!(service.cached_hierarchies(), 2);
+        let stats = service.stats();
+        assert_eq!(stats.evictions, 1);
+        let evicted: Vec<u64> = service
+            .cache_events()
+            .iter()
+            .filter(|e| matches!(e, CacheEvent::Evict { .. }))
+            .map(|e| e.fingerprint())
+            .collect();
+        assert_eq!(evicted, vec![mats[0].fingerprint()]);
+    }
+}

@@ -1,0 +1,260 @@
+//! Request/response types of the service API.
+//!
+//! A [`SolveRequest`] is a cheap *description* of one solve — the matrix (by
+//! shared reference), the right-hand side, and the stopping policy. All the
+//! heavy state (hierarchies, workspaces, the clock) lives inside the
+//! service; a request owns nothing that is expensive to drop.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use asyncmg_amg::{AmgOptions, BuildError};
+use asyncmg_core::{MgOptions, SolveError};
+use asyncmg_sparse::Csr;
+
+/// Handle to a submitted request; redeem with
+/// [`SolverService::status`](crate::SolverService::status) or
+/// [`SolverService::take`](crate::SolverService::take).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ticket(pub(crate) u64);
+
+impl Ticket {
+    /// Stable numeric id (tickets are issued in submission order).
+    pub fn id(self) -> u64 {
+        self.0
+    }
+}
+
+/// One solve, described: matrix, right-hand side, stopping policy, and an
+/// optional deadline for admission control.
+#[derive(Clone, Debug)]
+pub struct SolveRequest {
+    /// The system matrix. `Arc` so many requests (and the service's cache
+    /// key computation) share one copy.
+    pub a: Arc<Csr>,
+    /// Right-hand side (`len == a.nrows()`).
+    pub b: Vec<f64>,
+    /// Early-stopping tolerance on the relative residual (`None` runs the
+    /// full cycle budget).
+    pub tolerance: Option<f64>,
+    /// Cycle budget (must be ≥ 1).
+    pub t_max: usize,
+    /// Service-clock budget: the request is rejected once
+    /// `submit time + deadline` has passed without the solve starting, or
+    /// when the service estimates the solve cannot finish in time.
+    pub deadline: Option<Duration>,
+}
+
+impl SolveRequest {
+    /// A request with the default stopping policy (no tolerance, 50 cycles)
+    /// and no deadline.
+    pub fn new(a: Arc<Csr>, b: Vec<f64>) -> Self {
+        SolveRequest { a, b, tolerance: None, t_max: 50, deadline: None }
+    }
+
+    /// Sets the early-stopping tolerance.
+    pub fn tolerance(mut self, tol: f64) -> Self {
+        self.tolerance = Some(tol);
+        self
+    }
+
+    /// Sets the cycle budget.
+    pub fn t_max(mut self, t_max: usize) -> Self {
+        self.t_max = t_max;
+        self
+    }
+
+    /// Sets the admission deadline.
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+}
+
+/// The outcome of one completed solve.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolveResponse {
+    /// The solution.
+    pub x: Vec<f64>,
+    /// Final relative residual `‖b − A x‖ / ‖b‖`.
+    pub relres: f64,
+    /// Whether the tolerance was met (always `false` without one).
+    pub converged: bool,
+    /// V-cycles run before this request's column froze.
+    pub cycles: usize,
+    /// Relative residual after each cycle run.
+    pub history: Vec<f64>,
+    /// Whether the hierarchy came out of the cache (`false` means this
+    /// dispatch paid for the AMG setup).
+    pub cache_hit: bool,
+    /// Number of right-hand sides coalesced into the dispatch that solved
+    /// this request (1 means it ran alone).
+    pub batch_size: usize,
+}
+
+/// Why a queued request was rejected at dispatch time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Rejection {
+    /// The deadline passed before the request was dispatched.
+    DeadlineExpired {
+        /// Service-clock nanoseconds at which the deadline fell.
+        deadline_ns: u64,
+        /// Service-clock nanoseconds at the rejection.
+        now_ns: u64,
+    },
+    /// The service's running cost estimate says the solve cannot finish
+    /// before the deadline, so it is not worth starting.
+    DeadlineInfeasible {
+        /// Service-clock nanoseconds at which the deadline falls.
+        deadline_ns: u64,
+        /// Estimated solve cost in nanoseconds.
+        estimated_ns: u64,
+        /// Service-clock nanoseconds at the decision.
+        now_ns: u64,
+    },
+    /// The AMG setup for the request's matrix failed.
+    BuildFailed(BuildError),
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejection::DeadlineExpired { deadline_ns, now_ns } => {
+                write!(f, "deadline expired: due at {deadline_ns} ns, now {now_ns} ns")
+            }
+            Rejection::DeadlineInfeasible { deadline_ns, estimated_ns, now_ns } => write!(
+                f,
+                "deadline infeasible: due at {deadline_ns} ns, estimated {estimated_ns} ns \
+                 from {now_ns} ns"
+            ),
+            Rejection::BuildFailed(e) => write!(f, "hierarchy build failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Rejection {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Rejection::BuildFailed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Why a request was refused at submission time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SubmitError {
+    /// The queue is at capacity; try again after a `process_batch`.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The request itself is malformed (wrong RHS length, non-finite RHS,
+    /// zero cycle budget).
+    Invalid(SolveError),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "queue full ({capacity} requests)")
+            }
+            SubmitError::Invalid(e) => write!(f, "invalid request: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SubmitError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolveError> for SubmitError {
+    fn from(e: SolveError) -> Self {
+        SubmitError::Invalid(e)
+    }
+}
+
+/// Where a submitted request currently stands.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RequestStatus {
+    /// Still queued; a future `process_batch` will resolve it.
+    Queued,
+    /// Solved.
+    Completed(SolveResponse),
+    /// Rejected at dispatch.
+    Rejected(Rejection),
+}
+
+/// Everything the blocking [`SolverService::solve`](crate::SolverService::solve)
+/// convenience can fail with.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServiceError {
+    /// Refused at submission.
+    Submit(SubmitError),
+    /// Admitted but rejected at dispatch.
+    Rejected(Rejection),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Submit(e) => write!(f, "submit failed: {e}"),
+            ServiceError::Rejected(r) => write!(f, "request rejected: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Submit(e) => Some(e),
+            ServiceError::Rejected(r) => Some(r),
+        }
+    }
+}
+
+impl From<SubmitError> for ServiceError {
+    fn from(e: SubmitError) -> Self {
+        ServiceError::Submit(e)
+    }
+}
+
+impl From<Rejection> for ServiceError {
+    fn from(r: Rejection) -> Self {
+        ServiceError::Rejected(r)
+    }
+}
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct ServiceOptions {
+    /// Maximum number of cached hierarchies; the least recently used entry
+    /// is evicted when a build would exceed it.
+    pub cache_capacity: usize,
+    /// Maximum number of queued requests; `submit` refuses beyond it.
+    pub queue_capacity: usize,
+    /// Maximum right-hand sides coalesced into one blocked dispatch.
+    pub batch_window: usize,
+    /// AMG setup options used for every cached hierarchy.
+    pub amg: AmgOptions,
+    /// Cycle options (smoother, coarse solve, sweep counts).
+    pub mg: MgOptions,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions {
+            cache_capacity: 4,
+            queue_capacity: 64,
+            batch_window: 8,
+            amg: AmgOptions::default(),
+            mg: MgOptions::default(),
+        }
+    }
+}

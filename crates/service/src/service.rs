@@ -1,0 +1,382 @@
+//! The long-lived solver service.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, Weak};
+
+use asyncmg_core::{solve_mult_batch_with, BatchSpec, SolveError};
+use asyncmg_sparse::Csr;
+use asyncmg_telemetry::{CacheEvent, ServiceStats};
+use asyncmg_threads::{Clock, OsClock};
+
+use crate::cache::HierarchyCache;
+use crate::request::{
+    Rejection, RequestStatus, ServiceError, ServiceOptions, SolveRequest, SolveResponse,
+    SubmitError, Ticket,
+};
+
+/// A queued request after submit-time validation.
+struct Queued {
+    ticket: u64,
+    fingerprint: u64,
+    a: Arc<Csr>,
+    b: Vec<f64>,
+    spec: BatchSpec,
+    /// Absolute service-clock deadline, `u64::MAX` when none — also the
+    /// slack ordering key (smaller deadline = less slack).
+    deadline_ns: u64,
+}
+
+/// How many recently fingerprinted matrices to remember by identity.
+const FP_MEMO_CAP: usize = 8;
+
+struct Inner {
+    opts: ServiceOptions,
+    cache: HierarchyCache,
+    queue: Vec<Queued>,
+    resolved: HashMap<u64, RequestStatus>,
+    next_ticket: u64,
+    stats: ServiceStats,
+    /// Memoized content fingerprints keyed by matrix allocation identity,
+    /// so resubmitting the same `Arc<Csr>` skips rehashing the matrix.
+    fp_memo: Vec<(Weak<Csr>, u64)>,
+}
+
+impl Inner {
+    /// Content fingerprint of `a`, memoized by allocation identity. The
+    /// `Weak` guard keeps a recycled address from ever aliasing a freed
+    /// matrix: an entry only matches while its original `Arc` is alive,
+    /// and `Arc::ptr_eq` on a live upgrade pins the exact allocation.
+    /// Memoization never changes the value, only who pays for hashing.
+    fn fingerprint_of(&mut self, a: &Arc<Csr>) -> u64 {
+        self.fp_memo.retain(|(w, _)| w.strong_count() > 0);
+        for (w, fp) in &self.fp_memo {
+            if let Some(live) = w.upgrade() {
+                if Arc::ptr_eq(&live, a) {
+                    return *fp;
+                }
+            }
+        }
+        let fp = a.fingerprint();
+        if self.fp_memo.len() >= FP_MEMO_CAP {
+            self.fp_memo.remove(0);
+        }
+        self.fp_memo.push((Arc::downgrade(a), fp));
+        fp
+    }
+}
+
+/// A long-lived solver front end.
+///
+/// The service owns what [`Solver`](asyncmg_core::Solver) borrows per call:
+/// AMG hierarchies (cached by matrix content fingerprint), blocked
+/// workspaces, and the clock. Callers [`submit`](SolverService::submit)
+/// cheap [`SolveRequest`] descriptions; each
+/// [`process_batch`](SolverService::process_batch) dispatches the most
+/// urgent queued matrix, coalescing up to `batch_window` same-matrix
+/// right-hand sides into one blocked multiplicative solve. Batching is
+/// *bit-transparent*: the blocked kernels keep per-column accumulation in
+/// the exact order of the single-RHS path, so a request's solution is
+/// bit-identical no matter how many neighbours rode along.
+///
+/// Admission control is deadline-aware. A request may carry a deadline on
+/// the service clock; at dispatch the service rejects requests whose
+/// deadline has already passed, and requests it estimates (from a running
+/// per-matrix cost average) cannot finish in time. With a
+/// [`VirtualClock`](asyncmg_threads::VirtualClock) the whole pipeline is
+/// deterministic — solves take zero virtual time, so rejection depends only
+/// on explicit `advance` calls, and the cache event log and stats replay
+/// exactly.
+pub struct SolverService {
+    inner: Mutex<Inner>,
+    clock: Arc<dyn Clock + Send + Sync>,
+}
+
+impl SolverService {
+    /// A service on the OS clock.
+    pub fn new(opts: ServiceOptions) -> Self {
+        SolverService::with_clock(opts, Arc::new(OsClock::new()))
+    }
+
+    /// A service reading time (for deadlines and cost estimates) from the
+    /// given clock.
+    pub fn with_clock(opts: ServiceOptions, clock: Arc<dyn Clock + Send + Sync>) -> Self {
+        assert!(opts.batch_window >= 1, "batch window must be at least 1");
+        assert!(opts.queue_capacity >= 1, "queue capacity must be at least 1");
+        let cache = HierarchyCache::new(opts.cache_capacity);
+        SolverService {
+            inner: Mutex::new(Inner {
+                opts,
+                cache,
+                queue: Vec::new(),
+                resolved: HashMap::new(),
+                next_ticket: 0,
+                stats: ServiceStats::default(),
+                fp_memo: Vec::new(),
+            }),
+            clock,
+        }
+    }
+
+    /// Validates and enqueues a request.
+    pub fn submit(&self, req: SolveRequest) -> Result<Ticket, SubmitError> {
+        let n = req.a.nrows();
+        if req.b.len() != n {
+            return Err(SolveError::RhsLength { expected: n, got: req.b.len() }.into());
+        }
+        if let Some(i) = req.b.iter().position(|v| !v.is_finite()) {
+            return Err(SolveError::NonFiniteRhs { index: i }.into());
+        }
+        if req.t_max == 0 {
+            return Err(SolveError::InvalidOptions("t_max must be at least 1".into()).into());
+        }
+
+        let mut inner = self.inner.lock().unwrap();
+        if inner.queue.len() >= inner.opts.queue_capacity {
+            inner.stats.rejected_queue_full += 1;
+            return Err(SubmitError::QueueFull { capacity: inner.opts.queue_capacity });
+        }
+        let deadline_ns = match req.deadline {
+            Some(d) => self.clock.now_ns().saturating_add(d.as_nanos() as u64),
+            None => u64::MAX,
+        };
+        let ticket = inner.next_ticket;
+        inner.next_ticket += 1;
+        let fingerprint = inner.fingerprint_of(&req.a);
+        inner.queue.push(Queued {
+            ticket,
+            fingerprint,
+            a: req.a,
+            b: req.b,
+            spec: BatchSpec { tol: req.tolerance, t_max: req.t_max },
+            deadline_ns,
+        });
+        inner.stats.queue_depth = inner.queue.len() as u64;
+        inner.stats.max_queue_depth = inner.stats.max_queue_depth.max(inner.stats.queue_depth);
+        Ok(Ticket(ticket))
+    }
+
+    /// Dispatches one batch: expires overdue requests, picks the queued
+    /// matrix with the least slack, coalesces up to `batch_window` of its
+    /// right-hand sides, and runs one blocked solve. Returns the number of
+    /// requests resolved (completed or rejected); 0 means the queue was
+    /// empty.
+    pub fn process_batch(&self) -> usize {
+        let mut guard = self.inner.lock().unwrap();
+        let inner = &mut *guard;
+        if inner.queue.is_empty() {
+            return 0;
+        }
+        let now = self.clock.now_ns();
+        let mut resolved = 0;
+
+        // Expire requests whose deadline has already passed.
+        let mut i = 0;
+        while i < inner.queue.len() {
+            if inner.queue[i].deadline_ns <= now {
+                let q = inner.queue.remove(i);
+                inner.resolved.insert(
+                    q.ticket,
+                    RequestStatus::Rejected(Rejection::DeadlineExpired {
+                        deadline_ns: q.deadline_ns,
+                        now_ns: now,
+                    }),
+                );
+                inner.stats.rejected_deadline += 1;
+                resolved += 1;
+            } else {
+                i += 1;
+            }
+        }
+        if inner.queue.is_empty() {
+            inner.stats.queue_depth = 0;
+            return resolved;
+        }
+
+        // Least slack first; submission order breaks ties.
+        inner.queue.sort_by_key(|q| (q.deadline_ns, q.ticket));
+        let fp = inner.queue[0].fingerprint;
+        let window = inner.opts.batch_window;
+        let mut batch: Vec<Queued> = Vec::new();
+        let mut i = 0;
+        while i < inner.queue.len() && batch.len() < window {
+            if inner.queue[i].fingerprint == fp {
+                batch.push(inner.queue.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        inner.stats.queue_depth = inner.queue.len() as u64;
+
+        let (cached, hit) = match inner.cache.get_or_build(fp, &batch[0].a, &inner.opts) {
+            Ok(pair) => pair,
+            Err(e) => {
+                for q in batch {
+                    inner.resolved.insert(
+                        q.ticket,
+                        RequestStatus::Rejected(Rejection::BuildFailed(e.clone())),
+                    );
+                    resolved += 1;
+                }
+                let (h, m, ev) = inner.cache.counters();
+                inner.stats.cache_hits = h;
+                inner.stats.cache_misses = m;
+                inner.stats.evictions = ev;
+                return resolved;
+            }
+        };
+
+        // Deadline feasibility from the per-matrix cost average: a request
+        // that cannot finish its full cycle budget in its remaining slack
+        // is rejected instead of started. An estimate of 0 (no timed
+        // dispatch yet — always the case under a virtual clock) admits.
+        let ema = cached.ema_ns_per_cycle_rhs;
+        if ema > 0.0 {
+            batch.retain(|q| {
+                if q.deadline_ns == u64::MAX {
+                    return true;
+                }
+                let estimated_ns = (ema * q.spec.t_max as f64) as u64;
+                if now.saturating_add(estimated_ns) > q.deadline_ns {
+                    inner.resolved.insert(
+                        q.ticket,
+                        RequestStatus::Rejected(Rejection::DeadlineInfeasible {
+                            deadline_ns: q.deadline_ns,
+                            estimated_ns,
+                            now_ns: now,
+                        }),
+                    );
+                    inner.stats.rejected_deadline += 1;
+                    resolved += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        if batch.is_empty() {
+            let (h, m, ev) = inner.cache.counters();
+            inner.stats.cache_hits = h;
+            inner.stats.cache_misses = m;
+            inner.stats.evictions = ev;
+            return resolved;
+        }
+
+        // One blocked solve over the coalesced right-hand sides.
+        let k = batch.len();
+        let n = cached.setup.n();
+        let mut b = vec![0.0; n * k];
+        let mut specs = Vec::with_capacity(k);
+        for (c, q) in batch.iter().enumerate() {
+            b[c * n..(c + 1) * n].copy_from_slice(&q.b);
+            specs.push(q.spec);
+        }
+        cached.scratch.ensure(&cached.setup, k);
+        let t0 = self.clock.now_ns();
+        let result = solve_mult_batch_with(&cached.setup, &b, &specs, &mut cached.scratch);
+        let elapsed = self.clock.now_ns().saturating_sub(t0);
+
+        let total_cycles: usize = result.cycles.iter().sum();
+        if elapsed > 0 && total_cycles > 0 {
+            let per = elapsed as f64 / total_cycles as f64;
+            cached.ema_ns_per_cycle_rhs = if ema > 0.0 { 0.5 * ema + 0.5 * per } else { per };
+        }
+
+        for (c, q) in batch.into_iter().enumerate() {
+            let relres = result.relres[c];
+            let converged = q.spec.tol.is_some_and(|t| relres <= t);
+            inner.resolved.insert(
+                q.ticket,
+                RequestStatus::Completed(SolveResponse {
+                    x: result.x[c * n..(c + 1) * n].to_vec(),
+                    relres,
+                    converged,
+                    cycles: result.cycles[c],
+                    history: result.history[c].clone(),
+                    cache_hit: hit,
+                    batch_size: k,
+                }),
+            );
+            resolved += 1;
+        }
+        inner.stats.batches += 1;
+        inner.stats.batched_rhs += k as u64;
+        inner.stats.completed += k as u64;
+        let (h, m, ev) = inner.cache.counters();
+        inner.stats.cache_hits = h;
+        inner.stats.cache_misses = m;
+        inner.stats.evictions = ev;
+        resolved
+    }
+
+    /// Processes batches until the queue is empty; returns the number of
+    /// requests resolved.
+    pub fn drain(&self) -> usize {
+        let mut total = 0;
+        loop {
+            let n = self.process_batch();
+            if n == 0 {
+                return total;
+            }
+            total += n;
+        }
+    }
+
+    /// Where `ticket` currently stands (`None` for a ticket this service
+    /// never issued or whose result was already taken).
+    pub fn status(&self, ticket: Ticket) -> Option<RequestStatus> {
+        let inner = self.inner.lock().unwrap();
+        if let Some(s) = inner.resolved.get(&ticket.0) {
+            return Some(s.clone());
+        }
+        if inner.queue.iter().any(|q| q.ticket == ticket.0) {
+            return Some(RequestStatus::Queued);
+        }
+        None
+    }
+
+    /// Removes and returns `ticket`'s outcome. A still-queued ticket
+    /// returns `Some(Queued)` and stays queued.
+    pub fn take(&self, ticket: Ticket) -> Option<RequestStatus> {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(s) = inner.resolved.remove(&ticket.0) {
+            return Some(s);
+        }
+        if inner.queue.iter().any(|q| q.ticket == ticket.0) {
+            return Some(RequestStatus::Queued);
+        }
+        None
+    }
+
+    /// Submits `req` and processes batches until it resolves.
+    ///
+    /// Other queued requests may resolve along the way; their outcomes stay
+    /// claimable by ticket.
+    pub fn solve(&self, req: SolveRequest) -> Result<SolveResponse, ServiceError> {
+        let ticket = self.submit(req)?;
+        loop {
+            match self.take(ticket) {
+                Some(RequestStatus::Completed(r)) => return Ok(r),
+                Some(RequestStatus::Rejected(r)) => return Err(r.into()),
+                Some(RequestStatus::Queued) => {
+                    self.process_batch();
+                }
+                None => unreachable!("ticket resolved but outcome missing"),
+            }
+        }
+    }
+
+    /// Current aggregate counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.inner.lock().unwrap().stats
+    }
+
+    /// The cache event log so far, in decision order.
+    pub fn cache_events(&self) -> Vec<CacheEvent> {
+        self.inner.lock().unwrap().cache.events().to_vec()
+    }
+
+    /// Number of hierarchies currently cached.
+    pub fn cached_hierarchies(&self) -> usize {
+        self.inner.lock().unwrap().cache.len()
+    }
+}

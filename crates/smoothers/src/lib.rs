@@ -195,6 +195,99 @@ impl LevelSmoother {
         }
     }
 
+    /// Multi-RHS [`Self::apply_zero`]: one zero-guess sweep per column of the
+    /// `nrhs`-column block `r` into `e` (column-major; column `c` occupies
+    /// `[c·n, (c+1)·n)`).
+    ///
+    /// Each column relaxes in exactly the single-RHS order — the GS forward
+    /// solves share each row's `(cols, vals)` slices across columns but keep
+    /// per-column accumulators — so column `c` is bit-identical to
+    /// `apply_zero` on that column alone.
+    pub fn apply_zero_multi(&self, a: &Csr, nrhs: usize, r: &[f64], e: &mut [f64]) {
+        let n = self.weight.len();
+        debug_assert_eq!(r.len(), n * nrhs);
+        debug_assert_eq!(e.len(), n * nrhs);
+        match self.kind {
+            SmootherKind::WJacobi { .. } | SmootherKind::L1Jacobi => {
+                for c in 0..nrhs {
+                    let base = c * n;
+                    for i in 0..n {
+                        e[base + i] = self.weight[i] * r[base + i];
+                    }
+                }
+            }
+            SmootherKind::HybridJgs | SmootherKind::AsyncGs => {
+                for range in &self.blocks {
+                    let start = range.start;
+                    for i in range.clone() {
+                        let (cols, vals) = a.row(i);
+                        for c in 0..nrhs {
+                            let base = c * n;
+                            let mut acc = r[base + i];
+                            for (&j, &v) in cols.iter().zip(vals) {
+                                let ju = j as usize;
+                                if ju >= start && ju < i {
+                                    acc -= v * e[base + ju];
+                                }
+                            }
+                            e[base + i] = acc * self.weight[i];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Multi-RHS [`Self::relax`]: one in-place relaxation per column of the
+    /// `nrhs`-column blocks `b`/`x` (layout as in [`Self::apply_zero_multi`]).
+    /// `buf` must have length `n · nrhs`.
+    ///
+    /// Column `c` is bit-identical to `relax` on that column alone: the
+    /// Jacobi variants compute the full blocked residual first (per-column
+    /// `dot4` order) and then update, and the GS variants read sweep-start
+    /// values from the per-column snapshot exactly as the single-RHS kernel
+    /// does.
+    pub fn relax_multi(&self, a: &Csr, nrhs: usize, b: &[f64], x: &mut [f64], buf: &mut [f64]) {
+        let n = self.weight.len();
+        debug_assert_eq!(b.len(), n * nrhs);
+        debug_assert_eq!(x.len(), n * nrhs);
+        debug_assert_eq!(buf.len(), n * nrhs);
+        match self.kind {
+            SmootherKind::WJacobi { .. } | SmootherKind::L1Jacobi => {
+                a.residual_block(nrhs, b, x, buf);
+                for c in 0..nrhs {
+                    let base = c * n;
+                    for i in 0..n {
+                        x[base + i] += self.weight[i] * buf[base + i];
+                    }
+                }
+            }
+            SmootherKind::HybridJgs | SmootherKind::AsyncGs => {
+                buf.copy_from_slice(x);
+                for range in &self.blocks {
+                    let start = range.start;
+                    let end = range.end;
+                    for i in range.clone() {
+                        let (cols, vals) = a.row(i);
+                        for c in 0..nrhs {
+                            let base = c * n;
+                            let mut acc = b[base + i];
+                            for (&j, &v) in cols.iter().zip(vals) {
+                                let ju = j as usize;
+                                if ju >= start && ju < end && ju < i {
+                                    acc -= v * x[base + ju];
+                                } else if ju != i {
+                                    acc -= v * buf[base + ju];
+                                }
+                            }
+                            x[base + i] = acc * self.weight[i];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// `M⁻¹` diagonal weights (`ω/a_ii`, `1/Σ|a_ij|`, or `1/a_ii`).
     pub fn weights(&self) -> &[f64] {
         &self.weight
@@ -591,6 +684,79 @@ mod tests {
             }
             for i in 0..n {
                 assert!((x_seq[i] - x_par[i]).abs() < 1e-13, "{} row {i}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn apply_zero_multi_matches_per_column_bitwise() {
+        let (a, _) = test_problem();
+        let n = a.nrows();
+        let nrhs = 3;
+        let mut r = Vec::with_capacity(n * nrhs);
+        for c in 0..nrhs {
+            r.extend(asyncmg_problems::rhs::random_rhs(n, 100 + c as u64));
+        }
+        for kind in [
+            SmootherKind::WJacobi { omega: 0.9 },
+            SmootherKind::L1Jacobi,
+            SmootherKind::HybridJgs,
+            SmootherKind::AsyncGs,
+        ] {
+            let sm = LevelSmoother::new(&a, kind, 4);
+            let mut e = vec![0.0; n * nrhs];
+            sm.apply_zero_multi(&a, nrhs, &r, &mut e);
+            for c in 0..nrhs {
+                let mut solo = vec![0.0; n];
+                sm.apply_zero(&a, &r[c * n..(c + 1) * n], &mut solo);
+                for i in 0..n {
+                    assert_eq!(
+                        e[c * n + i].to_bits(),
+                        solo[i].to_bits(),
+                        "{} col {c} row {i}",
+                        kind.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relax_multi_matches_per_column_bitwise() {
+        let (a, _) = test_problem();
+        let n = a.nrows();
+        let nrhs = 4;
+        let mut b = Vec::with_capacity(n * nrhs);
+        let mut x0 = Vec::with_capacity(n * nrhs);
+        for c in 0..nrhs {
+            b.extend(asyncmg_problems::rhs::random_rhs(n, 200 + c as u64));
+            x0.extend(asyncmg_problems::rhs::random_rhs(n, 300 + c as u64));
+        }
+        for kind in [
+            SmootherKind::WJacobi { omega: 0.8 },
+            SmootherKind::L1Jacobi,
+            SmootherKind::HybridJgs,
+            SmootherKind::AsyncGs,
+        ] {
+            let sm = LevelSmoother::new(&a, kind, 3);
+            let mut x = x0.clone();
+            let mut buf = vec![0.0; n * nrhs];
+            // Two sweeps so the second starts from a multi-updated iterate.
+            sm.relax_multi(&a, nrhs, &b, &mut x, &mut buf);
+            sm.relax_multi(&a, nrhs, &b, &mut x, &mut buf);
+            for c in 0..nrhs {
+                let mut solo: Vec<f64> = x0[c * n..(c + 1) * n].to_vec();
+                let mut sbuf = vec![0.0; n];
+                sm.relax(&a, &b[c * n..(c + 1) * n], &mut solo, &mut sbuf);
+                sm.relax(&a, &b[c * n..(c + 1) * n], &mut solo, &mut sbuf);
+                for i in 0..n {
+                    assert_eq!(
+                        x[c * n + i].to_bits(),
+                        solo[i].to_bits(),
+                        "{} col {c} row {i}",
+                        kind.name()
+                    );
+                }
             }
         }
     }

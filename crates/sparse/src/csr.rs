@@ -46,6 +46,185 @@ fn dot4(vals: &[f64], cols: &[u32], x: &[f64]) -> f64 {
     (a0 + a1) + (a2 + a3) + tail
 }
 
+/// Two-column fused sparse dot: one pass over the row's nonzeros, each
+/// column keeping the exact [`dot4`] accumulation order. Fusing shares the
+/// index decode and value load across the columns, which single-column
+/// repetition pays per column.
+#[inline(always)]
+fn dot4_pair(vals: &[f64], cols: &[u32], x0: &[f64], x1: &[f64]) -> (f64, f64) {
+    let n = vals.len();
+    debug_assert_eq!(cols.len(), n);
+    debug_assert!(cols.iter().all(|&c| (c as usize) < x0.len() && (c as usize) < x1.len()));
+    let n4 = n & !3;
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let (mut b0, mut b1, mut b2, mut b3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut k = 0;
+    while k < n4 {
+        // SAFETY: `k + 3 < n4 <= n` bounds vals/cols; every stored column
+        // index is `< ncols <= x*.len()` (validated by `from_raw`, checked
+        // by the `debug_assert` above).
+        unsafe {
+            let (c0, c1, c2, c3) = (
+                *cols.get_unchecked(k) as usize,
+                *cols.get_unchecked(k + 1) as usize,
+                *cols.get_unchecked(k + 2) as usize,
+                *cols.get_unchecked(k + 3) as usize,
+            );
+            let (v0, v1, v2, v3) = (
+                *vals.get_unchecked(k),
+                *vals.get_unchecked(k + 1),
+                *vals.get_unchecked(k + 2),
+                *vals.get_unchecked(k + 3),
+            );
+            a0 += v0 * *x0.get_unchecked(c0);
+            a1 += v1 * *x0.get_unchecked(c1);
+            a2 += v2 * *x0.get_unchecked(c2);
+            a3 += v3 * *x0.get_unchecked(c3);
+            b0 += v0 * *x1.get_unchecked(c0);
+            b1 += v1 * *x1.get_unchecked(c1);
+            b2 += v2 * *x1.get_unchecked(c2);
+            b3 += v3 * *x1.get_unchecked(c3);
+        }
+        k += 4;
+    }
+    let (mut ta, mut tb) = (0.0f64, 0.0f64);
+    while k < n {
+        // SAFETY: as above, `k < n`.
+        unsafe {
+            let c = *cols.get_unchecked(k) as usize;
+            let v = *vals.get_unchecked(k);
+            ta += v * *x0.get_unchecked(c);
+            tb += v * *x1.get_unchecked(c);
+        }
+        k += 1;
+    }
+    ((a0 + a1) + (a2 + a3) + ta, (b0 + b1) + (b2 + b3) + tb)
+}
+
+/// Four-column fused sparse dot: like [`dot4_pair`] but amortising the
+/// index decode and value load over four columns (16 live accumulators —
+/// at the register budget, which is why wider fusion stops here).
+#[inline(always)]
+fn dot4_quad(
+    vals: &[f64],
+    cols: &[u32],
+    x0: &[f64],
+    x1: &[f64],
+    x2: &[f64],
+    x3: &[f64],
+) -> (f64, f64, f64, f64) {
+    let n = vals.len();
+    debug_assert_eq!(cols.len(), n);
+    debug_assert!(cols.iter().all(|&c| (c as usize) < x0.len()));
+    let n4 = n & !3;
+    let mut a = [0.0f64; 4];
+    let mut b = [0.0f64; 4];
+    let mut c_ = [0.0f64; 4];
+    let mut d = [0.0f64; 4];
+    let mut k = 0;
+    while k < n4 {
+        // SAFETY: `k + 3 < n4 <= n` bounds vals/cols; every stored column
+        // index is `< ncols <= x*.len()` (validated by `from_raw`, checked
+        // by the `debug_assert` above — all four blocks share `ncols`).
+        unsafe {
+            let (c0, c1, c2, c3) = (
+                *cols.get_unchecked(k) as usize,
+                *cols.get_unchecked(k + 1) as usize,
+                *cols.get_unchecked(k + 2) as usize,
+                *cols.get_unchecked(k + 3) as usize,
+            );
+            let (v0, v1, v2, v3) = (
+                *vals.get_unchecked(k),
+                *vals.get_unchecked(k + 1),
+                *vals.get_unchecked(k + 2),
+                *vals.get_unchecked(k + 3),
+            );
+            a[0] += v0 * *x0.get_unchecked(c0);
+            a[1] += v1 * *x0.get_unchecked(c1);
+            a[2] += v2 * *x0.get_unchecked(c2);
+            a[3] += v3 * *x0.get_unchecked(c3);
+            b[0] += v0 * *x1.get_unchecked(c0);
+            b[1] += v1 * *x1.get_unchecked(c1);
+            b[2] += v2 * *x1.get_unchecked(c2);
+            b[3] += v3 * *x1.get_unchecked(c3);
+            c_[0] += v0 * *x2.get_unchecked(c0);
+            c_[1] += v1 * *x2.get_unchecked(c1);
+            c_[2] += v2 * *x2.get_unchecked(c2);
+            c_[3] += v3 * *x2.get_unchecked(c3);
+            d[0] += v0 * *x3.get_unchecked(c0);
+            d[1] += v1 * *x3.get_unchecked(c1);
+            d[2] += v2 * *x3.get_unchecked(c2);
+            d[3] += v3 * *x3.get_unchecked(c3);
+        }
+        k += 4;
+    }
+    let mut t = [0.0f64; 4];
+    while k < n {
+        // SAFETY: as above, `k < n`.
+        unsafe {
+            let ci = *cols.get_unchecked(k) as usize;
+            let v = *vals.get_unchecked(k);
+            t[0] += v * *x0.get_unchecked(ci);
+            t[1] += v * *x1.get_unchecked(ci);
+            t[2] += v * *x2.get_unchecked(ci);
+            t[3] += v * *x3.get_unchecked(ci);
+        }
+        k += 1;
+    }
+    (
+        (a[0] + a[1]) + (a[2] + a[3]) + t[0],
+        (b[0] + b[1]) + (b[2] + b[3]) + t[1],
+        (c_[0] + c_[1]) + (c_[2] + c_[3]) + t[2],
+        (d[0] + d[1]) + (d[2] + d[3]) + t[3],
+    )
+}
+
+/// Runs the fused sparse dot over all `nrhs` columns of the column-major
+/// block `x` (stride `ncols`), writing one result per column through `out`.
+/// Columns go through [`dot4_quad`] four at a time, then [`dot4_pair`],
+/// then a [`dot4`] cleanup, so every column's sum is bit-identical to a
+/// solo [`dot4`].
+#[inline(always)]
+fn dot4_block(
+    vals: &[f64],
+    cols: &[u32],
+    nrhs: usize,
+    ncols: usize,
+    x: &[f64],
+    mut out: impl FnMut(usize, f64),
+) {
+    let mut c = 0;
+    while c + 4 <= nrhs {
+        let (r0, r1, r2, r3) = dot4_quad(
+            vals,
+            cols,
+            &x[c * ncols..(c + 1) * ncols],
+            &x[(c + 1) * ncols..(c + 2) * ncols],
+            &x[(c + 2) * ncols..(c + 3) * ncols],
+            &x[(c + 3) * ncols..(c + 4) * ncols],
+        );
+        out(c, r0);
+        out(c + 1, r1);
+        out(c + 2, r2);
+        out(c + 3, r3);
+        c += 4;
+    }
+    if c + 2 <= nrhs {
+        let (r0, r1) = dot4_pair(
+            vals,
+            cols,
+            &x[c * ncols..(c + 1) * ncols],
+            &x[(c + 1) * ncols..(c + 2) * ncols],
+        );
+        out(c, r0);
+        out(c + 1, r1);
+        c += 2;
+    }
+    if c < nrhs {
+        out(c, dot4(vals, cols, &x[c * ncols..(c + 1) * ncols]));
+    }
+}
+
 /// A structural or value defect found by [`Csr::validate`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CsrError {
@@ -383,6 +562,61 @@ impl Csr {
         }
     }
 
+    /// Multi-RHS single-row kernel: `out[c] = (A x_c)_i` for each of the
+    /// `nrhs` column vectors stored contiguously in `x` (column-major: column
+    /// `c` occupies `x[c·ncols .. (c+1)·ncols]`).
+    ///
+    /// The row's `vals`/`col_idx` slices are loaded once and reused across
+    /// all columns, but each column accumulates in exactly the [`Csr::row_dot`]
+    /// order (the shared `dot4` scheme), so column `c` of a blocked kernel is
+    /// bit-identical to a single-RHS `row_dot` against `x_c`.
+    #[inline]
+    pub fn row_dot_block(&self, i: usize, nrhs: usize, x: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.ncols * nrhs);
+        debug_assert!(out.len() >= nrhs);
+        let lo = self.row_ptr[i] as usize;
+        let hi = self.row_ptr[i + 1] as usize;
+        let (vals, cols) = (&self.vals[lo..hi], &self.col_idx[lo..hi]);
+        dot4_block(vals, cols, nrhs, self.ncols, x, |c, v| out[c] = v);
+    }
+
+    /// Blocked SpMM `Y = A X` over `nrhs` column vectors.
+    ///
+    /// `x` holds `nrhs` columns of length `ncols` back to back; `y` receives
+    /// `nrhs` columns of length `nrows` in the same layout. Column `c` of the
+    /// result is bit-identical to `spmv` applied to column `c` alone (see
+    /// [`Csr::row_dot_block`]); the blocked form only amortises the matrix
+    /// structure traversal across the columns.
+    pub fn spmv_block(&self, nrhs: usize, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols * nrhs, "x must hold nrhs columns of length ncols");
+        assert_eq!(y.len(), self.nrows * nrhs, "y must hold nrhs columns of length nrows");
+        for i in 0..self.nrows {
+            let lo = self.row_ptr[i] as usize;
+            let hi = self.row_ptr[i + 1] as usize;
+            let (vals, cols) = (&self.vals[lo..hi], &self.col_idx[lo..hi]);
+            let nrows = self.nrows;
+            dot4_block(vals, cols, nrhs, self.ncols, x, |c, v| y[c * nrows + i] = v);
+        }
+    }
+
+    /// Blocked residual `R = B − A X` over `nrhs` columns (layout as in
+    /// [`Csr::spmv_block`]). Column `c` is bit-identical to [`Csr::residual`]
+    /// on column `c` alone.
+    pub fn residual_block(&self, nrhs: usize, b: &[f64], x: &[f64], r: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols * nrhs, "x must hold nrhs columns of length ncols");
+        assert_eq!(b.len(), self.nrows * nrhs, "b must hold nrhs columns of length nrows");
+        assert_eq!(r.len(), self.nrows * nrhs, "r must hold nrhs columns of length nrows");
+        for i in 0..self.nrows {
+            let lo = self.row_ptr[i] as usize;
+            let hi = self.row_ptr[i + 1] as usize;
+            let (vals, cols) = (&self.vals[lo..hi], &self.col_idx[lo..hi]);
+            let nrows = self.nrows;
+            dot4_block(vals, cols, nrhs, self.ncols, x, |c, v| {
+                r[c * nrows + i] = b[c * nrows + i] - v;
+            });
+        }
+    }
+
     /// The transpose as a new CSR matrix (used for restriction `R = Pᵀ`).
     pub fn transpose(&self) -> Csr {
         // One array serves as both prefix sum and insertion cursor: during
@@ -589,6 +823,92 @@ mod tests {
     #[test]
     fn norm_inf_small() {
         assert_eq!(small().norm_inf(), 4.0);
+    }
+
+    /// An irregular matrix with row lengths straddling the 4-way unroll
+    /// boundary (1..=6 nonzeros per row), to exercise both the unrolled body
+    /// and the tail of `dot4` in the blocked kernels.
+    fn irregular(n: usize) -> Csr {
+        let mut c = Coo::new(n, n);
+        for i in 0..n {
+            c.push(i, i, 4.0 + (i % 3) as f64);
+            for d in 1..=(i % 6) {
+                if i >= d {
+                    c.push(i, i - d, -1.0 / (d as f64 + 0.5));
+                }
+            }
+        }
+        c.to_csr()
+    }
+
+    fn columns(n: usize, nrhs: usize) -> Vec<f64> {
+        // Deterministic, irregular values; splitmix64-style mixing.
+        let mut s = 0x9e37_79b9_7f4a_7c15u64;
+        (0..n * nrhs)
+            .map(|_| {
+                s = s.wrapping_mul(0xbf58_476d_1ce4_e5b9).wrapping_add(0x94d0_49bb_1331_11eb);
+                ((s >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn row_dot_block_matches_row_dot_bitwise() {
+        let a = irregular(23);
+        let nrhs = 5;
+        let x = columns(23, nrhs);
+        let mut out = vec![0.0; nrhs];
+        for i in 0..a.nrows() {
+            a.row_dot_block(i, nrhs, &x, &mut out);
+            for c in 0..nrhs {
+                let solo = a.row_dot(i, &x[c * 23..(c + 1) * 23]);
+                assert_eq!(out[c].to_bits(), solo.to_bits(), "row {i} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_block_matches_per_column_spmv_bitwise() {
+        let a = irregular(31);
+        let nrhs = 4;
+        let x = columns(31, nrhs);
+        let mut y = vec![0.0; 31 * nrhs];
+        a.spmv_block(nrhs, &x, &mut y);
+        for c in 0..nrhs {
+            let mut solo = vec![0.0; 31];
+            a.spmv(&x[c * 31..(c + 1) * 31], &mut solo);
+            for i in 0..31 {
+                assert_eq!(y[c * 31 + i].to_bits(), solo[i].to_bits(), "row {i} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn residual_block_matches_per_column_residual_bitwise() {
+        let a = irregular(17);
+        let nrhs = 3;
+        let x = columns(17, nrhs);
+        let b = columns(17, nrhs);
+        let mut r = vec![0.0; 17 * nrhs];
+        a.residual_block(nrhs, &b, &x, &mut r);
+        for c in 0..nrhs {
+            let mut solo = vec![0.0; 17];
+            a.residual(&b[c * 17..(c + 1) * 17], &x[c * 17..(c + 1) * 17], &mut solo);
+            for i in 0..17 {
+                assert_eq!(r[c * 17 + i].to_bits(), solo[i].to_bits(), "row {i} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_block_single_column_equals_spmv() {
+        let a = irregular(29);
+        let x = columns(29, 1);
+        let mut blocked = vec![0.0; 29];
+        let mut plain = vec![0.0; 29];
+        a.spmv_block(1, &x, &mut blocked);
+        a.spmv(&x, &mut plain);
+        assert_eq!(blocked, plain);
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Content fingerprints: a small FNV-1a digest and the canonical
+//! [`Csr`] matrix fingerprint built on it.
+//!
+//! The digest started life in `asyncmg-harness` as the engine behind run
+//! fingerprints (hashing solution bits and telemetry event streams for
+//! replay comparisons). The solver service needs the same machinery one
+//! layer lower — a hierarchy cache keys built AMG setups by the *content*
+//! of the system matrix — so [`Fnv`] lives here and the harness re-exports
+//! it.
+
+use crate::csr::Csr;
+
+/// FNV-1a, 64-bit. Small, dependency-free, and stable across platforms —
+/// exactly what a golden fingerprint or cache key needs (this is a digest
+/// for comparisons, not a collision-resistant hash).
+pub struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh digest.
+    pub fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    /// Folds raw bytes into the digest.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Folds a `u64` (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds an `f64` by bit pattern, canonicalising NaN so that the many
+    /// NaN payloads compare equal (the solvers report `NaN` for "not
+    /// computed" local residuals).
+    pub fn write_f64(&mut self, v: f64) {
+        let bits = if v.is_nan() { f64::NAN.to_bits() } else { v.to_bits() };
+        self.write_u64(bits);
+    }
+
+    /// The digest value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+/// The content fingerprint of a CSR matrix: FNV-1a over the shape and all
+/// three storage arrays (`row_ptr`, `col_idx`, and the bit patterns of
+/// `vals`).
+///
+/// Two matrices fingerprint equal iff they are structurally identical and
+/// value-identical at the bit level — which is exactly the equivalence a
+/// hierarchy cache needs, since the AMG setup is a deterministic function
+/// of those arrays.
+pub fn fingerprint_csr(a: &Csr) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(a.nrows() as u64);
+    h.write_u64(a.ncols() as u64);
+    for &p in a.row_ptr() {
+        h.write_u64(p as u64);
+    }
+    for &c in a.col_idx() {
+        h.write_u64(c as u64);
+    }
+    for &v in a.vals() {
+        h.write_f64(v);
+    }
+    h.finish()
+}
+
+impl Csr {
+    /// The content fingerprint of this matrix (see [`fingerprint_csr`]).
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint_csr(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn tridiag(n: usize) -> Csr {
+        let mut c = Coo::new(n, n);
+        for i in 0..n {
+            c.push(i, i, 2.0);
+            if i > 0 {
+                c.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                c.push(i, i + 1, -1.0);
+            }
+        }
+        c.to_csr()
+    }
+
+    #[test]
+    fn fnv_is_deterministic_and_order_sensitive() {
+        let mut a = Fnv::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+        let mut c = Fnv::new();
+        c.write_u64(1);
+        c.write_u64(2);
+        assert_eq!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn nan_payloads_canonicalise() {
+        let mut a = Fnv::new();
+        a.write_f64(f64::NAN);
+        let mut b = Fnv::new();
+        b.write_f64(f64::from_bits(f64::NAN.to_bits() | 1));
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn equal_matrices_fingerprint_equal() {
+        assert_eq!(tridiag(16).fingerprint(), tridiag(16).fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_sees_shape_and_values() {
+        let base = tridiag(16);
+        assert_ne!(base.fingerprint(), tridiag(17).fingerprint());
+        let mut bumped = tridiag(16);
+        let v = bumped.vals_mut()[0];
+        bumped.vals_mut()[0] = f64::from_bits(v.to_bits() ^ 1);
+        assert_ne!(base.fingerprint(), bumped.fingerprint());
+    }
+}

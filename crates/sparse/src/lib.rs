@@ -8,7 +8,7 @@
 //! * [`Coo`] — a coordinate-format builder used by the problem generators,
 //! * [`Csr`] — compressed sparse row storage with serial and row-range
 //!   (team-parallel) matrix-vector kernels,
-//! * [`spgemm`]/[`rap`] — sparse matrix-matrix products used for the Galerkin
+//! * [`spgemm()`]/[`rap`] — sparse matrix-matrix products used for the Galerkin
 //!   coarse-grid operators `A_{k+1} = Pᵀ A_k P` and the smoothed interpolants
 //!   `P̄ = (I − ωD⁻¹A) P`,
 //! * [`spgemm_parallel`]/[`rap_parallel`]/[`transpose_parallel`] — two-pass
@@ -30,6 +30,7 @@ pub mod atomic;
 pub mod coo;
 pub mod csr;
 pub mod dense;
+pub mod fingerprint;
 pub mod io;
 pub mod parallel;
 pub mod spgemm;
@@ -39,5 +40,6 @@ pub use atomic::AtomicF64Vec;
 pub use coo::Coo;
 pub use csr::{Csr, CsrError};
 pub use dense::{DenseLu, DenseMatrix};
+pub use fingerprint::{fingerprint_csr, Fnv};
 pub use parallel::{auto_setup_threads, rap_parallel, spgemm_parallel, transpose_parallel};
 pub use spgemm::{add_scaled, rap, spgemm};

@@ -42,7 +42,7 @@ pub fn auto_setup_threads(nnz: usize) -> usize {
 }
 
 /// Computes `C = A B` on `n_threads` threads; bit-identical to
-/// [`spgemm`](crate::spgemm::spgemm).
+/// [`spgemm`].
 ///
 /// Two fork-joins: a symbolic pass counting each output row's entries
 /// (per-thread marker arrays, disjoint per-row count writes), then — after a

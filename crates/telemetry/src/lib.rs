@@ -22,10 +22,12 @@
 
 pub mod recorder;
 pub mod ring;
+pub mod service;
 pub mod trace;
 
 pub use recorder::TelemetryProbe;
 pub use ring::EventRing;
+pub use service::{CacheEvent, ServiceStats};
 pub use trace::{
     AttemptRecord, CheckpointRecord, CorrectionRecord, GridTimeline, PhaseTotal, ResidualSample,
     SolveTrace,

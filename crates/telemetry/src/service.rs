@@ -1,0 +1,131 @@
+//! Telemetry for the long-lived solver service: hierarchy-cache events and
+//! aggregate service counters.
+//!
+//! The service (`asyncmg-service`) records one [`CacheEvent`] per cache
+//! decision and keeps running [`ServiceStats`]. Both are deterministic
+//! functions of the request stream — no timestamps — so a seeded service
+//! fuzz case replays to identical event logs and stats, and the harness can
+//! fold them into a fingerprint.
+
+/// One hierarchy-cache decision, in request order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheEvent {
+    /// A request's matrix was already cached (setup skipped).
+    Hit {
+        /// Content fingerprint of the matrix.
+        fingerprint: u64,
+    },
+    /// A request's matrix was not cached; a hierarchy was built.
+    Miss {
+        /// Content fingerprint of the matrix.
+        fingerprint: u64,
+    },
+    /// A cached hierarchy was evicted to stay under the capacity cap.
+    Evict {
+        /// Content fingerprint of the evicted matrix.
+        fingerprint: u64,
+    },
+}
+
+impl CacheEvent {
+    /// Stable lowercase name (used in JSON exports and fingerprints).
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheEvent::Hit { .. } => "hit",
+            CacheEvent::Miss { .. } => "miss",
+            CacheEvent::Evict { .. } => "evict",
+        }
+    }
+
+    /// The matrix fingerprint this event concerns.
+    pub fn fingerprint(self) -> u64 {
+        match self {
+            CacheEvent::Hit { fingerprint }
+            | CacheEvent::Miss { fingerprint }
+            | CacheEvent::Evict { fingerprint } => fingerprint,
+        }
+    }
+}
+
+/// Aggregate counters of a solver service, exported for scraping.
+///
+/// All counters are monotone over the service's lifetime except
+/// `queue_depth`, which is the current gauge value.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Batch dispatches whose matrix hit the hierarchy cache.
+    pub cache_hits: u64,
+    /// Batch dispatches whose matrix required a fresh AMG setup.
+    pub cache_misses: u64,
+    /// Hierarchies evicted under the capacity cap.
+    pub evictions: u64,
+    /// Batches dispatched (one blocked solve each).
+    pub batches: u64,
+    /// Total right-hand sides solved across all batches.
+    pub batched_rhs: u64,
+    /// Requests completed with a solve outcome.
+    pub completed: u64,
+    /// Requests rejected because their deadline had already passed or could
+    /// not be met.
+    pub rejected_deadline: u64,
+    /// Requests rejected at submission because the queue was full.
+    pub rejected_queue_full: u64,
+    /// Current number of queued (not yet dispatched) requests.
+    pub queue_depth: u64,
+    /// High-water mark of `queue_depth`.
+    pub max_queue_depth: u64,
+}
+
+impl ServiceStats {
+    /// Hierarchy-cache lookups (one per dispatched batch).
+    pub fn cache_lookups(&self) -> u64 {
+        self.cache_hits + self.cache_misses
+    }
+
+    /// JSON object (stable key order), for dashboards and bench output.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"cache_hits\": {}, \"cache_misses\": {}, \"evictions\": {}, ",
+                "\"batches\": {}, \"batched_rhs\": {}, \"completed\": {}, ",
+                "\"rejected_deadline\": {}, \"rejected_queue_full\": {}, ",
+                "\"queue_depth\": {}, \"max_queue_depth\": {}}}"
+            ),
+            self.cache_hits,
+            self.cache_misses,
+            self.evictions,
+            self.batches,
+            self.batched_rhs,
+            self.completed,
+            self.rejected_deadline,
+            self.rejected_queue_full,
+            self.queue_depth,
+            self.max_queue_depth,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_accessors() {
+        let e = CacheEvent::Hit { fingerprint: 7 };
+        assert_eq!(e.name(), "hit");
+        assert_eq!(e.fingerprint(), 7);
+        assert_eq!(CacheEvent::Miss { fingerprint: 1 }.name(), "miss");
+        assert_eq!(CacheEvent::Evict { fingerprint: 2 }.name(), "evict");
+    }
+
+    #[test]
+    fn stats_json_is_balanced_and_complete() {
+        let s =
+            ServiceStats { cache_hits: 3, cache_misses: 2, queue_depth: 1, ..Default::default() };
+        let j = s.to_json();
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.contains("\"cache_hits\": 3"));
+        assert!(j.contains("\"queue_depth\": 1"));
+        assert_eq!(s.cache_lookups(), 5);
+    }
+}

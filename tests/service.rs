@@ -1,0 +1,169 @@
+//! Workspace-level integration tests of the solver service (the PR-6
+//! acceptance scenarios): batching is bit-transparent under concurrency,
+//! the hierarchy cache evicts under its cap, and deadline admission is
+//! deterministic on a virtual clock.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use asyncmg_amg::{build_hierarchy, AmgOptions};
+use asyncmg_core::{MgOptions, MgSetup, NoopProbe};
+use asyncmg_problems::{rhs::random_rhs, stencil::laplacian_7pt};
+use asyncmg_service::{Rejection, RequestStatus, ServiceOptions, SolveRequest, SolverService};
+use asyncmg_sparse::Csr;
+use asyncmg_threads::VirtualClock;
+use proptest::prelude::*;
+
+/// The reference: the sequential single-RHS multiplicative solver on a
+/// setup built with the same (default) options the service uses.
+fn solo_solve(a: &Csr, b: &[f64], t_max: usize, tol: f64) -> Vec<f64> {
+    let setup =
+        MgSetup::new(build_hierarchy(a.clone(), &AmgOptions::default()), MgOptions::default());
+    asyncmg_core::solve_mult_probed(&setup, b, t_max, Some(tol), &NoopProbe).x
+}
+
+/// The headline acceptance scenario: many threads hammer one service with
+/// same-matrix requests; every answer must be bit-identical to a solo
+/// solve of that request, no matter which thread's `process_batch`
+/// dispatched it or how many neighbours were coalesced in.
+#[test]
+fn concurrent_same_matrix_requests_match_solo_solves_bitwise() {
+    let a = Arc::new(laplacian_7pt(6, 6, 6));
+    let service = Arc::new(SolverService::new(ServiceOptions::default()));
+    let n_threads = 4;
+
+    let handles: Vec<_> = (0..n_threads)
+        .map(|t| {
+            let a = a.clone();
+            let service = service.clone();
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                for s in 0..3u64 {
+                    let seed = t * 10 + s;
+                    let b = random_rhs(a.nrows(), seed);
+                    let req = SolveRequest::new(a.clone(), b.clone()).tolerance(1e-8).t_max(60);
+                    let r = service.solve(req).expect("solve must succeed");
+                    got.push((seed, b, r));
+                }
+                got
+            })
+        })
+        .collect();
+
+    for h in handles {
+        for (seed, b, r) in h.join().unwrap() {
+            assert!(r.converged, "seed {seed} did not converge (relres {})", r.relres);
+            let reference = solo_solve(&a, &b, 60, 1e-8);
+            assert_eq!(r.x, reference, "seed {seed}: batched x diverged from solo solve");
+        }
+    }
+
+    let stats = service.stats();
+    assert_eq!(stats.completed, 12);
+    assert_eq!(stats.cache_misses, 1, "one matrix must build exactly once");
+    assert!(stats.cache_hits >= 1);
+}
+
+#[test]
+fn cache_evicts_oldest_hierarchy_under_size_cap() {
+    let opts = ServiceOptions { cache_capacity: 2, ..Default::default() };
+    let service = SolverService::new(opts);
+    let mats: Vec<Arc<Csr>> = (4..8).map(|nx| Arc::new(laplacian_7pt(nx, 4, 4))).collect();
+
+    for m in &mats {
+        let r = service.solve(SolveRequest::new(m.clone(), random_rhs(m.nrows(), 1))).unwrap();
+        assert!(!r.cache_hit, "distinct matrices must all miss");
+    }
+    assert_eq!(service.cached_hierarchies(), 2);
+    assert_eq!(service.stats().evictions, 2);
+
+    // The two oldest were evicted: re-solving them misses again, the two
+    // youngest still hit.
+    assert!(
+        !service
+            .solve(SolveRequest::new(mats[0].clone(), random_rhs(mats[0].nrows(), 2)))
+            .unwrap()
+            .cache_hit
+    );
+    assert!(
+        service
+            .solve(SolveRequest::new(mats[3].clone(), random_rhs(mats[3].nrows(), 2)))
+            .unwrap()
+            .cache_hit
+    );
+}
+
+/// Deadline admission on a virtual clock is exact: a request expires if and
+/// only if the clock was advanced past its deadline, with the rejection
+/// carrying the precise virtual timestamps.
+#[test]
+fn deadline_miss_rejection_is_deterministic_under_virtual_clock() {
+    for _replay in 0..3 {
+        let clock = Arc::new(VirtualClock::new());
+        let service = SolverService::with_clock(ServiceOptions::default(), clock.clone());
+        let a = Arc::new(laplacian_7pt(5, 5, 5));
+        let b = random_rhs(a.nrows(), 9);
+
+        clock.advance(Duration::from_millis(10));
+        let tight = service
+            .submit(SolveRequest::new(a.clone(), b.clone()).deadline(Duration::from_millis(2)))
+            .unwrap();
+        let loose = service
+            .submit(SolveRequest::new(a.clone(), b.clone()).deadline(Duration::from_secs(1)))
+            .unwrap();
+
+        clock.advance(Duration::from_millis(3));
+        service.drain();
+
+        match service.take(tight).unwrap() {
+            RequestStatus::Rejected(Rejection::DeadlineExpired { deadline_ns, now_ns }) => {
+                assert_eq!(deadline_ns, 12_000_000);
+                assert_eq!(now_ns, 13_000_000);
+            }
+            other => panic!("expected a deadline rejection, got {other:?}"),
+        }
+        match service.take(loose).unwrap() {
+            RequestStatus::Completed(r) => assert!(r.relres.is_finite()),
+            other => panic!("expected completion, got {other:?}"),
+        }
+        assert_eq!(service.stats().rejected_deadline, 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any batch of same-matrix requests: each coalesced answer is
+    /// bit-identical to solving that right-hand side alone, for any batch
+    /// width and heterogeneous cycle budgets.
+    #[test]
+    fn batched_multi_rhs_matches_per_rhs_bitwise(
+        nrhs in 1usize..5,
+        rhs_seed in 0u64..1000,
+        t_max in 3usize..12,
+    ) {
+        let a = Arc::new(laplacian_7pt(5, 4, 4));
+        let service = SolverService::new(ServiceOptions::default());
+
+        let mut submitted = Vec::new();
+        for c in 0..nrhs {
+            let b = random_rhs(a.nrows(), rhs_seed + c as u64);
+            // Heterogeneous budgets: column c runs t_max + c cycles.
+            let req = SolveRequest::new(a.clone(), b.clone())
+                .tolerance(1e-10)
+                .t_max(t_max + c);
+            submitted.push((service.submit(req).unwrap(), b, t_max + c));
+        }
+        service.drain();
+
+        for (ticket, b, budget) in submitted {
+            let r = match service.take(ticket).unwrap() {
+                RequestStatus::Completed(r) => r,
+                other => panic!("expected completion, got {other:?}"),
+            };
+            prop_assert_eq!(r.batch_size, nrhs);
+            let reference = solo_solve(&a, &b, budget, 1e-10);
+            prop_assert_eq!(r.x, reference);
+        }
+    }
+}

@@ -77,10 +77,10 @@ fn tolerance_respects_t_max_cap() {
     assert!(report.grid_corrections.iter().all(|&c| c <= 5), "{:?}", report.grid_corrections);
 }
 
-/// The builder's async path and the legacy entry point produce results of
-/// the same quality on the same problem.
+/// The builder's async path and the direct probed entry point produce
+/// results of the same quality on the same problem.
 #[test]
-fn solver_matches_legacy_async_entry_point() {
+fn solver_matches_direct_async_entry_point() {
     let setup = setup_7pt(10);
     let b = random_rhs(setup.n(), 3);
 
@@ -89,28 +89,26 @@ fn solver_matches_legacy_async_entry_point() {
     let mut opts = AsyncOptions::default();
     opts.t_max = 30;
     opts.n_threads = 4;
-    #[allow(deprecated)]
-    let legacy = asyncmg_core::solve_async(&setup, &b, &opts);
+    let direct = solve_async_probed(&setup, &b, &opts, &NoopProbe);
 
     // Asynchronous runs are not bitwise reproducible; both must converge to
     // the same order of magnitude.
-    assert!(report.relres < 1e-3 && legacy.relres < 1e-3);
-    let ratio = (report.relres / legacy.relres).max(legacy.relres / report.relres);
-    assert!(ratio < 1e3, "solver {} vs legacy {}", report.relres, legacy.relres);
-    assert_eq!(report.grid_corrections.len(), legacy.grid_corrections.len());
+    assert!(report.relres < 1e-3 && direct.relres < 1e-3);
+    let ratio = (report.relres / direct.relres).max(direct.relres / report.relres);
+    assert!(ratio < 1e3, "solver {} vs direct {}", report.relres, direct.relres);
+    assert_eq!(report.grid_corrections.len(), direct.grid_corrections.len());
 }
 
-/// Sequential paths through the builder agree exactly with the legacy
-/// functions (same deterministic arithmetic).
+/// Sequential paths through the builder agree exactly with the direct
+/// sequential driver (same deterministic arithmetic).
 #[test]
-fn solver_matches_legacy_sequential_mult_exactly() {
+fn solver_matches_direct_sequential_mult_exactly() {
     let setup = setup_7pt(8);
     let b = random_rhs(setup.n(), 4);
     let report = Solver::new(&setup).method(Method::Mult).t_max(10).run(&b);
-    #[allow(deprecated)]
-    let legacy = asyncmg_core::solve_mult(&setup, &b, 10);
-    assert_eq!(report.x, legacy.x);
-    assert_eq!(report.relres, legacy.final_relres());
+    let direct = asyncmg_core::solve_mult_probed(&setup, &b, 10, None, &NoopProbe);
+    assert_eq!(report.x, direct.x);
+    assert_eq!(report.relres, direct.final_relres());
 }
 
 /// `NoopProbe` must not meaningfully slow the async solver. Wall-clock

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Snapshot the workspace's public API surface.
+#
+# Emits every `pub fn|struct|enum|trait|type|const|mod|use` line under
+# crates/*/src (crate-relative path + normalized declaration), sorted, to
+# stdout. The committed snapshot lives at docs/api_surface.txt; CI diffs a
+# fresh run against it so any surface change must arrive with a matching
+# snapshot update:
+#
+#   tools/api_surface.sh > docs/api_surface.txt
+#
+# This is a line-oriented approximation, not a semantic one (cargo-public-api
+# needs network): bodies, generics spanning lines, and macro-generated items
+# are out of scope. It still pins the names — which is what the v1 stability
+# promise is about.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+grep -rnE '^[[:space:]]*pub (fn|struct|enum|trait|type|const|mod|use) ' \
+    crates/*/src --include='*.rs' |
+    # Drop test modules' items and strip line numbers + trailing bodies.
+    grep -v '/tests\.rs:' |
+    sed -E 's/:[0-9]+:/: /; s/^[[:space:]]*//; s/[[:space:]]*\{.*$//; s/[[:space:]]+/ /g' |
+    LC_ALL=C sort
