@@ -4,7 +4,8 @@ use crate::coarsen::{aggressive_coarsen, coarsen, n_coarse, Coarsening};
 use crate::interp::{build_interpolation, Interpolation};
 use crate::strength::classical_strength_funcs;
 use asyncmg_sparse::{
-    auto_setup_threads, rap_parallel, transpose_parallel, Csr, CsrError, DenseLu,
+    auto_setup_threads, calibrate, rap_parallel, transpose_parallel, Bsr, Csr, CsrError, DenseLu,
+    Kernel, KernelSelect,
 };
 use asyncmg_telemetry::{NoopProbe, Phase, Probe};
 use asyncmg_threads::chunk_range;
@@ -25,13 +26,48 @@ pub struct Level {
     /// Cached main diagonal of `a`: smoothers reuse it instead of searching
     /// the matrix again on every solve.
     pub diag: Vec<f64>,
+    /// Blocked twin of `a`, installed when the level's pattern is fully
+    /// block-dense (see [`Level::install_bsr`]). Kernel dispatch through
+    /// [`Level::op`] prefers it; results are bit-identical either way.
+    pub bsr: Option<Bsr>,
 }
 
 impl Level {
     /// A level with its diagonal cache built from `a`.
     pub fn new(a: Csr, p: Option<Csr>, r: Option<Csr>) -> Self {
         let diag = a.diag();
-        Level { a, p, r, diag }
+        Level { a, p, r, diag, bsr: None }
+    }
+
+    /// Attempts to install a blocked (`b×b` BSR) twin of this level's
+    /// operator, returning whether it was installed.
+    ///
+    /// Installation requires the conversion to add **zero fill-in** — a
+    /// fully block-dense pattern, as produced by the elasticity assembly.
+    /// That restriction is what makes the blocked kernels unconditionally
+    /// bit-identical to the CSR ones: with fill, the inserted zeros would
+    /// shift the `dot4` lane assignment of subsequent entries. Block size 1
+    /// is declined (it is plain CSR with extra indirection).
+    pub fn install_bsr(&mut self, b: usize) -> bool {
+        if b < 2 {
+            return false;
+        }
+        match Bsr::from_csr(&self.a, b) {
+            Ok(bsr) if bsr.fill() == 0 => {
+                self.bsr = Some(bsr);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The kernel handle solve loops should dispatch through: the blocked
+    /// twin when installed, the CSR operator otherwise.
+    pub fn op(&self) -> Kernel<'_> {
+        match &self.bsr {
+            Some(bsr) => Kernel::Bsr { csr: &self.a, bsr },
+            None => Kernel::Csr(&self.a),
+        }
     }
 }
 
@@ -76,6 +112,12 @@ pub struct AmgOptions {
     /// hardware; `1` forces serial. Any value produces bit-identical
     /// operators — the parallel kernels reproduce the serial results exactly.
     pub setup_threads: usize,
+    /// Which kernel layer executes the per-level hot loops. `Auto` installs
+    /// blocked (BSR) operators on levels where `num_functions`-sized blocks
+    /// apply with zero fill-in and the host calibration (when cached) judges
+    /// them profitable; `Csr`/`Bsr` force the choice. Results are
+    /// bit-identical across all settings.
+    pub kernel: KernelSelect,
 }
 
 impl Default for AmgOptions {
@@ -91,6 +133,7 @@ impl Default for AmgOptions {
             seed: 0xA5A5,
             num_functions: 1,
             setup_threads: 0,
+            kernel: KernelSelect::Auto,
         }
     }
 }
@@ -299,6 +342,18 @@ pub fn build_hierarchy_probed<P: Probe + ?Sized>(
     }
     let coarse_lu = DenseLu::factor(&current);
     levels.push(Level::new(current, None, None));
+    let want_bsr = match opts.kernel {
+        KernelSelect::Csr => false,
+        KernelSelect::Bsr => true,
+        KernelSelect::Auto => calibrate::get().map(|c| c.use_bsr).unwrap_or(true),
+    };
+    if want_bsr && opts.num_functions > 1 {
+        for level in &mut levels {
+            // Installs only where the pattern is fully block-dense (fill-free),
+            // so dispatching through the blocked kernels stays bit-identical.
+            level.install_bsr(opts.num_functions);
+        }
+    }
     Hierarchy::new(levels, coarse_lu)
 }
 
@@ -341,6 +396,44 @@ mod tests {
             plain.levels[1].a.nrows()
         );
         assert!(agg.operator_complexity() < plain.operator_complexity());
+    }
+
+    #[test]
+    fn elasticity_installs_blocked_kernel_and_stays_bitwise() {
+        // The elasticity assembly stores every 3×3 block entry (including
+        // exact zeros) and eliminates clamped nodes whole, so the fine level
+        // is fully block-dense and must convert fill-free.
+        let a = asyncmg_problems::TestSet::Elasticity.matrix(6);
+        let opts = AmgOptions { num_functions: 3, ..AmgOptions::default() };
+        let h = build_hierarchy(a, &opts);
+        let fine = &h.levels[0];
+        assert!(fine.bsr.is_some(), "fine elasticity level should install BSR");
+        assert_eq!(fine.bsr.as_ref().unwrap().fill(), 0);
+        assert_eq!(fine.op().label(), "bsr");
+        // Dispatching through the kernel handle is bit-identical to CSR.
+        let n = fine.a.nrows();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 13) as f64 / 13.0 - 0.5).collect();
+        let (mut yc, mut yk) = (vec![0.0; n], vec![0.0; n]);
+        fine.a.spmv(&x, &mut yc);
+        fine.op().spmv(&x, &mut yk);
+        for i in 0..n {
+            assert_eq!(yk[i].to_bits(), yc[i].to_bits(), "row {i}");
+        }
+        // Forcing CSR leaves every level unblocked.
+        let a2 = asyncmg_problems::TestSet::Elasticity.matrix(6);
+        let h2 = build_hierarchy(
+            a2,
+            &AmgOptions { num_functions: 3, kernel: KernelSelect::Csr, ..AmgOptions::default() },
+        );
+        assert!(h2.levels.iter().all(|l| l.bsr.is_none()));
+        assert_eq!(h2.levels[0].op().label(), "csr");
+    }
+
+    #[test]
+    fn scalar_problems_stay_unblocked() {
+        let a = laplacian_7pt(6, 6, 6);
+        let h = build_hierarchy(a, &AmgOptions::default());
+        assert!(h.levels.iter().all(|l| l.bsr.is_none()));
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! Host calibration pass: measure this machine's kernel crossovers and
+//! write the cache that drives `KernelSelect::Auto` and
+//! `auto_setup_threads`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p asyncmg-bench --bin calibrate           # measure + save
+//! cargo run --release -p asyncmg-bench --bin calibrate -- --show # print cache, no measurement
+//! ```
+//!
+//! The cache lives at `$ASYNCMG_CALIBRATION_FILE`, else
+//! `$XDG_CACHE_HOME/asyncmg/calibration.json` (see
+//! `asyncmg_sparse::calibrate::cache_path`). A cached file whose host
+//! fingerprint no longer matches is ignored by the library and replaced
+//! here on the next measurement run.
+
+use asyncmg_sparse::calibrate::{cache_path, Calibration};
+
+fn main() {
+    let show_only = std::env::args().any(|arg| arg == "--show");
+    let path = cache_path();
+
+    if show_only {
+        match Calibration::load() {
+            Some(c) => {
+                eprintln!(
+                    "calibration cache at {}",
+                    path.as_deref().map_or("<none>".into(), |p| p.display().to_string())
+                );
+                print!("{}", c.to_json());
+            }
+            None => {
+                eprintln!(
+                    "no valid calibration cached (path: {}); run without --show to measure",
+                    path.as_deref().map_or("<none>".into(), |p| p.display().to_string())
+                );
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if path.is_none() {
+        eprintln!("warning: no cache directory resolvable; measuring without saving");
+    }
+    eprintln!("measuring kernel crossovers (a few hundred ms)...");
+    let c = Calibration::measure();
+    if c.fingerprint.nproc == 1 {
+        eprintln!(
+            "warning: single-core host — parallel setup kernels cannot win here; \
+             max_setup_threads calibrated to {}",
+            c.max_setup_threads
+        );
+    }
+    match c.save() {
+        Ok(()) => eprintln!(
+            "saved to {}",
+            path.as_deref().map_or("<none>".into(), |p| p.display().to_string())
+        ),
+        Err(e) => eprintln!("warning: could not save calibration cache: {e}"),
+    }
+    print!("{}", c.to_json());
+}

@@ -85,10 +85,10 @@ pub fn grid_correction(
             } else if method == AdditiveMethod::Multadd {
                 // Λ_k = symmetrized smoother (paper Section II.B.1).
                 let (ck, ek, bk) = (&scratch.r[k], &mut scratch.e[k], &mut scratch.buf[k]);
-                setup.smoothers[k].multadd_lambda(setup.a(k), ck, ek, bk);
+                setup.smoothers[k].multadd_lambda_op(setup.op(k), ck, ek, bk);
             } else {
                 // BPX: one plain smoother application.
-                setup.smoothers[k].apply_zero(setup.a(k), &scratch.r[k], &mut scratch.e[k]);
+                setup.smoothers[k].apply_zero_op(setup.op(k), &scratch.r[k], &mut scratch.e[k]);
             }
         }
         AdditiveMethod::Afacx => {
@@ -120,7 +120,7 @@ pub fn grid_correction(
                 // g = r_k − A_k P e_{k+1}; e_k = smooth-from-zero on g.
                 let (e_head, e_tail) = scratch.e.split_at_mut(k + 1);
                 setup.p(k).spmv(&e_tail[0], &mut scratch.buf2[k]);
-                setup.a(k).spmv(&scratch.buf2[k], &mut scratch.buf[k]);
+                setup.op(k).spmv(&scratch.buf2[k], &mut scratch.buf[k]);
                 for i in 0..scratch.buf[k].len() {
                     scratch.buf[k][i] = scratch.r[k][i] - scratch.buf[k][i];
                 }
@@ -184,9 +184,9 @@ fn smooth_zero_sweeps_inner(
     e: &mut [f64],
     buf: &mut [f64],
 ) {
-    setup.smoothers[k].apply_zero(setup.a(k), r, e);
+    setup.smoothers[k].apply_zero_op(setup.op(k), r, e);
     for _ in 1..sweeps {
-        setup.smoothers[k].relax(setup.a(k), r, e, buf);
+        setup.smoothers[k].relax_op(setup.op(k), r, e, buf);
     }
 }
 
@@ -232,7 +232,7 @@ pub fn solve_additive_probed<P: Probe + ?Sized>(
     let mut history = Vec::with_capacity(t_max);
     let epoch = Instant::now();
     for cycle in 0..t_max {
-        setup.a(0).residual(b, &x, &mut r);
+        setup.op(0).residual(b, &x, &mut r);
         for k in 0..setup.n_levels() {
             grid_correction(setup, method, k, &r, &mut corr, &mut scratch);
             vecops::axpy(1.0, &corr, &mut x);
@@ -241,7 +241,7 @@ pub fn solve_additive_probed<P: Probe + ?Sized>(
                 probe.correction(0, k, cycle, t_ns, f64::NAN);
             }
         }
-        setup.a(0).residual(b, &x, &mut r);
+        setup.op(0).residual(b, &x, &mut r);
         let rel = if nb > 0.0 { vecops::norm2(&r) / nb } else { vecops::norm2(&r) };
         history.push(rel);
         if probe.enabled() {

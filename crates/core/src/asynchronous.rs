@@ -703,7 +703,7 @@ fn solve_async_impl<P: Probe + ?Sized>(
 
     let x = shared.x.to_vec();
     let mut r = vec![0.0; n];
-    setup.a(0).residual(b, &x, &mut r);
+    setup.op(0).residual(b, &x, &mut r);
     let relres = if nb > 0.0 { vecops::norm2(&r) / nb } else { vecops::norm2(&r) };
     if probe.enabled() {
         // Close the residual trace with the exact post-run value, so every

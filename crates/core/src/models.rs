@@ -195,7 +195,7 @@ pub fn simulate(
                 grid_correction(setup, method, k, &read, &mut corr, &mut scratch);
             } else {
                 // B_k(x) = correction from the residual b − A x_read.
-                setup.a(0).residual(b, &read, &mut rbuf);
+                setup.op(0).residual(b, &read, &mut rbuf);
                 grid_correction(setup, method, k, &rbuf, &mut corr, &mut scratch);
             }
             vecops::axpy(1.0, &corr, &mut sum);
@@ -205,7 +205,7 @@ pub fn simulate(
         t += 1;
         if residual_based {
             // r ← r − A Σ corrections; x tracks the accumulated corrections.
-            setup.a(0).spmv(&sum, &mut rbuf);
+            setup.op(0).spmv(&sum, &mut rbuf);
             for i in 0..n {
                 r[i] -= rbuf[i];
                 x[i] += sum[i];
@@ -225,7 +225,7 @@ pub fn simulate(
             vecops::norm2(&r)
         }
     } else {
-        setup.a(0).residual(b, &x, &mut rbuf);
+        setup.op(0).residual(b, &x, &mut rbuf);
         if nb > 0.0 {
             vecops::norm2(&rbuf) / nb
         } else {

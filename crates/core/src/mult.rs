@@ -20,12 +20,12 @@ pub fn mult_vcycle(setup: &MgSetup, x: &mut [f64], scratch: &mut Workspace) {
         let buf = &mut scratch.buf[k];
         // Pre-smoothing from zero initial guess: e_k = M_k⁻¹ r_k
         // (plus any extra sweeps for a V(s₁,s₂)-cycle).
-        setup.smoothers[k].apply_zero(setup.a(k), rk, ek);
+        setup.smoothers[k].apply_zero_op(setup.op(k), rk, ek);
         for _ in 1..setup.opts.n_pre {
-            setup.smoothers[k].relax(setup.a(k), rk, ek, buf);
+            setup.smoothers[k].relax_op(setup.op(k), rk, ek, buf);
         }
         // r_{k+1} = Rᵀ (r_k − A_k e_k).
-        setup.a(k).spmv(ek, buf);
+        setup.op(k).spmv(ek, buf);
         for i in 0..buf.len() {
             buf[i] = rk[i] - buf[i];
         }
@@ -39,10 +39,10 @@ pub fn mult_vcycle(setup: &MgSetup, x: &mut [f64], scratch: &mut Workspace) {
                 CoarseSolve::Smooth { sweeps } => sweeps,
                 CoarseSolve::Exact => 2,
             };
-            setup.smoothers[ell].apply_zero(setup.a(ell), &scratch.r[ell], &mut scratch.e[ell]);
+            setup.smoothers[ell].apply_zero_op(setup.op(ell), &scratch.r[ell], &mut scratch.e[ell]);
             for _ in 1..sweeps {
                 let (r, e, buf) = (&scratch.r[ell], &mut scratch.e[ell], &mut scratch.buf[ell]);
-                setup.smoothers[ell].relax(setup.a(ell), r, e, buf);
+                setup.smoothers[ell].relax_op(setup.op(ell), r, e, buf);
             }
         }
     }
@@ -56,7 +56,7 @@ pub fn mult_vcycle(setup: &MgSetup, x: &mut [f64], scratch: &mut Workspace) {
         }
         // Post-smoothing: e_k ← e_k + M_k⁻¹ (r_k − A_k e_k).
         for _ in 0..setup.opts.n_post.max(1) {
-            setup.smoothers[k].relax(setup.a(k), &scratch.r[k], ek, &mut scratch.buf[k]);
+            setup.smoothers[k].relax_op(setup.op(k), &scratch.r[k], ek, &mut scratch.buf[k]);
         }
     }
     vecops::axpy(1.0, &scratch.e[0], x);
@@ -84,9 +84,9 @@ pub fn solve_mult_probed<P: Probe + ?Sized>(
     let mut history = Vec::with_capacity(t_max);
     let epoch = Instant::now();
     for cycle in 0..t_max {
-        setup.a(0).residual(b, &x, &mut scratch.r[0]);
+        setup.op(0).residual(b, &x, &mut scratch.r[0]);
         mult_vcycle(setup, &mut x, &mut scratch);
-        setup.a(0).residual(b, &x, &mut scratch.res);
+        setup.op(0).residual(b, &x, &mut scratch.res);
         let rel =
             if nb > 0.0 { vecops::norm2(&scratch.res) / nb } else { vecops::norm2(&scratch.res) };
         history.push(rel);
@@ -176,6 +176,40 @@ mod tests {
         let b = random_rhs(s.n(), 13);
         let res = run_mult(&s, &b, 20);
         assert!(res.relres < 1e-7, "relres {}", res.relres);
+    }
+
+    #[test]
+    fn blocked_kernel_solve_is_bit_identical_to_csr() {
+        // The whole point of the kernel layer: switching Csr ↔ Bsr must not
+        // change a single bit of the solve.
+        use asyncmg_problems::elasticity::elasticity_beam;
+        use asyncmg_sparse::KernelSelect;
+        let a = elasticity_beam(4, 2, 2, [4.0, 1.0, 1.0], Default::default());
+        let b = random_rhs(a.nrows(), 5);
+        let mut runs = Vec::new();
+        for kernel in [KernelSelect::Csr, KernelSelect::Bsr] {
+            let aopts = AmgOptions { num_functions: 3, kernel, ..AmgOptions::default() };
+            let h = build_hierarchy(a.clone(), &aopts);
+            // Elasticity needs the paper's damped settings (ω = 0.5 territory);
+            // ℓ1-Jacobi gives guaranteed monotone decay on SPD systems.
+            let mopts = MgOptions {
+                smoother: SmootherKind::L1Jacobi,
+                interp_omega: 0.5,
+                ..Default::default()
+            };
+            let s = MgSetup::new(h, mopts);
+            if kernel == KernelSelect::Bsr {
+                assert_eq!(s.op(0).label(), "bsr", "fine elasticity level should be blocked");
+            }
+            runs.push(run_mult(&s, &b, 8));
+        }
+        // Scalar AMG on elasticity converges slowly (~0.94/cycle, see
+        // bench/table1); just confirm the blocked run makes real progress.
+        assert!(runs[1].relres.is_finite() && runs[1].relres < 0.9, "relres {}", runs[1].relres);
+        for (u, v) in runs[0].x.iter().zip(&runs[1].x) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+        assert_eq!(runs[0].history, runs[1].history);
     }
 
     #[test]

@@ -98,19 +98,19 @@ pub fn solve_mult_threaded_sched<P: Probe + ?Sized>(
                 let chunk = parts[0][ctx.rank].clone();
                 let dst = unsafe { r[0].slice_mut(chunk.clone()) };
                 for (off, i) in chunk.enumerate() {
-                    dst[off] = b[i] - setup.a(0).row_dot(i, xs);
+                    dst[off] = b[i] - setup.op(0).row_dot(i, xs);
                 }
             }
             ctx.barrier();
             // Downward sweep.
             for k in 0..ell {
-                let a_k = setup.a(k);
+                let a_k = setup.op(k);
                 // Pre-smooth from zero: e_k = Λ r_k (rank's block).
                 {
                     let rk = unsafe { r[k].as_slice() };
                     let range = rank_block(&smoothers[k], ctx.rank);
                     let dst = unsafe { e[k].slice_mut(range.clone()) };
-                    smoothers[k].apply_zero_range(a_k, rk, dst, range);
+                    smoothers[k].apply_zero_range_op(a_k, rk, dst, range);
                 }
                 ctx.barrier();
                 // buf = r_k − A e_k.
@@ -150,13 +150,13 @@ pub fn solve_mult_threaded_sched<P: Probe + ?Sized>(
                     let rl = unsafe { r[ell].as_slice() };
                     let range = rank_block(&smoothers[ell], ctx.rank);
                     let dst = unsafe { e[ell].slice_mut(range.clone()) };
-                    smoothers[ell].apply_zero_range(setup.a(ell), rl, dst, range);
+                    smoothers[ell].apply_zero_range_op(setup.op(ell), rl, dst, range);
                     ctx.barrier();
                 }
             }
             // Upward sweep.
             for k in (0..ell).rev() {
-                let a_k = setup.a(k);
+                let a_k = setup.op(k);
                 // e_k += P e_{k+1} and snapshot into old.
                 {
                     let src = unsafe { e[k + 1].as_slice() };
@@ -177,7 +177,7 @@ pub fn solve_mult_threaded_sched<P: Probe + ?Sized>(
                     let snap = unsafe { old[k].as_slice() };
                     let range = rank_block(&smoothers[k], ctx.rank);
                     let dst = unsafe { e[k].slice_mut(range.clone()) };
-                    smoothers[k].relax_range(a_k, rk, dst, snap, range);
+                    smoothers[k].relax_range_op(a_k, rk, dst, snap, range);
                 }
                 ctx.barrier();
             }
@@ -201,7 +201,7 @@ pub fn solve_mult_threaded_sched<P: Probe + ?Sized>(
                     let xs = unsafe { x.as_slice() };
                     let mut sum = 0.0;
                     for i in 0..n {
-                        let v = b[i] - setup.a(0).row_dot(i, xs);
+                        let v = b[i] - setup.op(0).row_dot(i, xs);
                         sum += v * v;
                     }
                     let rel = sum.sqrt() / nb_safe;
@@ -225,7 +225,7 @@ pub fn solve_mult_threaded_sched<P: Probe + ?Sized>(
 
     let xv = unsafe { x.as_slice().to_vec() };
     let mut res = vec![0.0; n];
-    setup.a(0).residual(b, &xv, &mut res);
+    setup.op(0).residual(b, &xv, &mut res);
     let relres = if nb > 0.0 { vecops::norm2(&res) / nb } else { vecops::norm2(&res) };
     let cycles = cycles_done.load(Ordering::Acquire);
     // The cycle is fully barriered, so the stop flag is only ever raised by

@@ -2,7 +2,7 @@
 
 use asyncmg_amg::{smoothed_interpolants, Hierarchy, InterpSmoothing};
 use asyncmg_smoothers::{LevelSmoother, SmootherKind};
-use asyncmg_sparse::Csr;
+use asyncmg_sparse::{Csr, Kernel};
 
 /// How the coarsest-grid equations `A_ℓ e = r_ℓ` are solved.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -119,6 +119,14 @@ impl MgSetup {
     /// The operator on level `k`.
     pub fn a(&self, k: usize) -> &Csr {
         &self.hierarchy.levels[k].a
+    }
+
+    /// The kernel handle for level `k`: blocked (BSR) when the hierarchy
+    /// installed a block twin on that level, plain CSR otherwise. All kernel
+    /// results are bit-identical across the two, so solvers may dispatch
+    /// freely through this handle.
+    pub fn op(&self, k: usize) -> Kernel<'_> {
+        self.hierarchy.levels[k].op()
     }
 
     /// Plain prolongation `P_{k+1}^k`.

@@ -6,9 +6,11 @@ use asyncmg_core::{
     solve_async_faulted, AdditiveMethod, AsyncOptions, AsyncResult, MgOptions, MgSetup,
     RecoveryOptions, ResComp, StopCriterion, WriteMode,
 };
+use asyncmg_problems::elasticity::elasticity_beam;
 use asyncmg_problems::rhs::random_rhs;
 use asyncmg_problems::stencil::{laplacian_27pt, laplacian_7pt};
 use asyncmg_smoothers::SmootherKind;
+use asyncmg_sparse::{simd, KernelSelect};
 use asyncmg_telemetry::TelemetryProbe;
 use asyncmg_threads::{Corruption, Fault, FaultPlan, ReadDelay, VirtualSched};
 
@@ -19,6 +21,9 @@ pub enum MatrixFamily {
     SevenPt(usize),
     /// 27-point Laplacian on an `n³` grid.
     TwentySevenPt(usize),
+    /// Elasticity cantilever beam, `n × 2 × 2` elements (3 dofs per node —
+    /// the natural home of the blocked kernel axis).
+    Elasticity(usize),
 }
 
 impl MatrixFamily {
@@ -26,6 +31,17 @@ impl MatrixFamily {
         match *self {
             MatrixFamily::SevenPt(n) => laplacian_7pt(n, n, n),
             MatrixFamily::TwentySevenPt(n) => laplacian_27pt(n, n, n),
+            MatrixFamily::Elasticity(n) => {
+                elasticity_beam(n, 2, 2, [n as f64, 1.0, 1.0], Default::default())
+            }
+        }
+    }
+
+    /// Interleaved unknowns per node (BoomerAMG's `num_functions`).
+    pub fn num_functions(&self) -> usize {
+        match *self {
+            MatrixFamily::Elasticity(_) => 3,
+            _ => 1,
         }
     }
 
@@ -33,6 +49,7 @@ impl MatrixFamily {
         match *self {
             MatrixFamily::SevenPt(n) => format!("7pt{n}"),
             MatrixFamily::TwentySevenPt(n) => format!("27pt{n}"),
+            MatrixFamily::Elasticity(n) => format!("elast{n}"),
         }
     }
 }
@@ -101,6 +118,65 @@ impl FaultAxis {
     }
 }
 
+/// The kernel axis of the fuzz matrix: which operator representation the
+/// hierarchy uses and whether the SIMD dot paths are forced on or off.
+///
+/// Every kernel layer promises bit-identical results, so the oracle demands
+/// that *all* axis values of a case produce the same run fingerprint — a
+/// kernel choice that perturbs a single bit anywhere is a harness failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelAxis {
+    /// Auto selection (calibration-driven kernels, SIMD auto-detected).
+    Auto,
+    /// Scalar CSR kernels, SIMD disabled.
+    CsrScalar,
+    /// CSR kernels with the SIMD dot paths forced on.
+    CsrSimd,
+    /// Blocked BSR kernels, SIMD disabled.
+    BsrScalar,
+    /// Blocked BSR kernels with the SIMD dot paths forced on.
+    BsrSimd,
+}
+
+impl KernelAxis {
+    /// All axes, `Auto` first (the order test matrices iterate in).
+    pub const ALL: [KernelAxis; 5] = [
+        KernelAxis::Auto,
+        KernelAxis::CsrScalar,
+        KernelAxis::CsrSimd,
+        KernelAxis::BsrScalar,
+        KernelAxis::BsrSimd,
+    ];
+
+    /// The kernel selection this axis pins in [`asyncmg_amg::AmgOptions`].
+    pub fn select(self) -> KernelSelect {
+        match self {
+            KernelAxis::Auto => KernelSelect::Auto,
+            KernelAxis::CsrScalar | KernelAxis::CsrSimd => KernelSelect::Csr,
+            KernelAxis::BsrScalar | KernelAxis::BsrSimd => KernelSelect::Bsr,
+        }
+    }
+
+    /// The SIMD mode this axis pins process-wide for the run.
+    pub fn simd_mode(self) -> simd::SimdMode {
+        match self {
+            KernelAxis::Auto => simd::SimdMode::Auto,
+            KernelAxis::CsrScalar | KernelAxis::BsrScalar => simd::SimdMode::Off,
+            KernelAxis::CsrSimd | KernelAxis::BsrSimd => simd::SimdMode::Force,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            KernelAxis::Auto => "",
+            KernelAxis::CsrScalar => "/csr-scalar",
+            KernelAxis::CsrSimd => "/csr-simd",
+            KernelAxis::BsrScalar => "/bsr-scalar",
+            KernelAxis::BsrSimd => "/bsr-simd",
+        }
+    }
+}
+
 /// One solver configuration of the fuzz matrix. Every field that affects
 /// the execution is explicit, so a case plus a scheduler seed identifies a
 /// run completely.
@@ -129,6 +205,9 @@ pub struct FuzzCase {
     pub delay: Option<ReadDelay>,
     /// Fault-injection axis (a non-`None` axis arms defended recovery).
     pub fault: FaultAxis,
+    /// Kernel axis (operator representation × SIMD mode). Must never change
+    /// the fingerprint.
+    pub kernel: KernelAxis,
 }
 
 impl FuzzCase {
@@ -149,6 +228,7 @@ impl FuzzCase {
             rhs_seed: 3,
             delay: None,
             fault: FaultAxis::None,
+            kernel: KernelAxis::Auto,
         }
     }
 
@@ -176,15 +256,21 @@ impl FuzzCase {
         };
         let delay = if self.delay.is_some() { "/delay" } else { "" };
         format!(
-            "{}/{method}/{smoother}/{write}/{res}{delay}{}",
+            "{}/{method}/{smoother}/{write}/{res}{delay}{}{}",
             self.family.label(),
-            self.fault.label()
+            self.fault.label(),
+            self.kernel.label()
         )
     }
 
     pub(crate) fn setup(&self) -> MgSetup {
         let a = self.family.build();
-        let h = build_hierarchy(a, &AmgOptions::default());
+        let aopts = AmgOptions {
+            num_functions: self.family.num_functions(),
+            kernel: self.kernel.select(),
+            ..AmgOptions::default()
+        };
+        let h = build_hierarchy(a, &aopts);
         let mut opts = MgOptions::default();
         opts.smoother = self.smoother;
         MgSetup::new(h, opts)
@@ -214,6 +300,11 @@ impl FuzzCase {
     /// deterministic function of `(self, sched_seed)` up to wall-clock
     /// timestamps, which the fingerprint excludes.
     pub fn run(&self, sched_seed: u64) -> CaseRun {
+        // Pin the process-wide SIMD mode for this run. All modes are
+        // bit-identical by construction, so a concurrent run under another
+        // mode cannot change any result — the pin only controls which
+        // implementation executes.
+        simd::set_mode(self.kernel.simd_mode());
         let setup = self.setup();
         let b = random_rhs(setup.n(), self.rhs_seed);
         let opts = self.async_opts();

@@ -31,7 +31,7 @@ pub mod oracle;
 pub mod resilience;
 pub mod service;
 
-pub use case::{CaseRun, FaultAxis, FuzzCase, MatrixFamily};
+pub use case::{CaseRun, FaultAxis, FuzzCase, KernelAxis, MatrixFamily};
 pub use fingerprint::{fingerprint_run, Fnv};
 pub use fuzz::{case_filter, run_fuzz, seeds_from_env, FuzzOutcome};
 pub use oracle::{Oracle, Violation};

@@ -95,15 +95,19 @@ pub fn assemble_elasticity(mesh: &HexMesh, materials: BeamMaterials, clamp: bool
                     for dj in 0..3 {
                         let Some(rj) = free[3 * vj + dj] else { continue };
                         let v = ke[(3 * li + di) * 24 + (3 * lj + dj)];
-                        if v != 0.0 {
-                            coo.push(ri, rj, v);
-                        }
+                        // Exact zeros are stored on purpose: keeping every
+                        // component pair of every adjacent node pair makes
+                        // the assembled pattern fully 3×3 block-dense (nodes
+                        // are eliminated whole, dofs stay interleaved), the
+                        // natural BSR structure the blocked kernel layer
+                        // relies on.
+                        coo.push(ri, rj, v);
                     }
                 }
             }
         }
     }
-    coo.to_csr().drop_small(1e-14)
+    coo.to_csr()
 }
 
 /// The 24×24 stiffness matrix of an axis-aligned hexahedral element of size

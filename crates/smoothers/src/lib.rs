@@ -23,7 +23,7 @@
 
 pub mod chaotic;
 
-use asyncmg_sparse::{AtomicF64Vec, Csr};
+use asyncmg_sparse::{AtomicF64Vec, Csr, Kernel};
 use asyncmg_threads::chunk_range;
 
 /// Smoother selection, with parameters.
@@ -114,6 +114,13 @@ impl LevelSmoother {
 
     /// One sweep from a zero initial guess: `e = Λ r` (sequential).
     pub fn apply_zero(&self, a: &Csr, r: &[f64], e: &mut [f64]) {
+        self.apply_zero_op(Kernel::Csr(a), r, e);
+    }
+
+    /// [`Self::apply_zero`] through a [`Kernel`] handle. The Gauss-Seidel
+    /// variants always sweep the scalar CSR rows (their forward solves are
+    /// inherently row-serial); results are bit-identical either way.
+    pub fn apply_zero_op(&self, a: Kernel<'_>, r: &[f64], e: &mut [f64]) {
         match self.kind {
             SmootherKind::WJacobi { .. } | SmootherKind::L1Jacobi => {
                 for i in 0..r.len() {
@@ -122,7 +129,7 @@ impl LevelSmoother {
             }
             SmootherKind::HybridJgs | SmootherKind::AsyncGs => {
                 for b in 0..self.blocks.len() {
-                    self.apply_zero_block(a, r, e, b);
+                    self.apply_zero_block(a.csr(), r, e, b);
                 }
             }
         }
@@ -162,6 +169,14 @@ impl LevelSmoother {
     /// sweep-start iterate (hybrid JGS, where off-block values are read from
     /// the start of the sweep, modelling concurrent block execution).
     pub fn relax(&self, a: &Csr, b: &[f64], x: &mut [f64], buf: &mut [f64]) {
+        self.relax_op(Kernel::Csr(a), b, x, buf);
+    }
+
+    /// [`Self::relax`] through a [`Kernel`] handle: the Jacobi variants'
+    /// residual SpMV dispatches to the blocked kernel when one is installed
+    /// (bit-identical by construction); the Gauss-Seidel sweeps stay on the
+    /// scalar CSR rows.
+    pub fn relax_op(&self, a: Kernel<'_>, b: &[f64], x: &mut [f64], buf: &mut [f64]) {
         match self.kind {
             SmootherKind::WJacobi { .. } | SmootherKind::L1Jacobi => {
                 a.residual(b, x, buf);
@@ -170,6 +185,7 @@ impl LevelSmoother {
                 }
             }
             SmootherKind::HybridJgs | SmootherKind::AsyncGs => {
+                let a = a.csr();
                 buf.copy_from_slice(x);
                 for range in &self.blocks {
                     let start = range.start;
@@ -298,6 +314,20 @@ impl LevelSmoother {
         self.m_diag(i)
     }
 
+    /// [`Self::apply_zero_range`] through a [`Kernel`] handle. Both branches
+    /// are row-local (diagonal scaling or a block-triangular solve), so this
+    /// always runs on the scalar CSR rows; it exists so kernel-dispatching
+    /// callers need not unwrap the handle themselves.
+    pub fn apply_zero_range_op(
+        &self,
+        a: Kernel<'_>,
+        r: &[f64],
+        e_block: &mut [f64],
+        range: std::ops::Range<usize>,
+    ) {
+        self.apply_zero_range(a.csr(), r, e_block, range);
+    }
+
     /// Team-parallel variant of [`Self::apply_zero_block`] writing into the
     /// caller's *block-local* slice `e_block` (`e_block.len() == range.len()`,
     /// holding rows `range`). For the GS variants, `range` must be one of the
@@ -345,6 +375,20 @@ impl LevelSmoother {
         x_old: &[f64],
         range: std::ops::Range<usize>,
     ) {
+        self.relax_range_op(Kernel::Csr(a), b, x_block, x_old, range);
+    }
+
+    /// [`Self::relax_range`] through a [`Kernel`] handle: the Jacobi
+    /// variants' per-row products dispatch to the blocked kernel when one is
+    /// installed (bit-identical); the Gauss-Seidel sweeps stay on CSR rows.
+    pub fn relax_range_op(
+        &self,
+        a: Kernel<'_>,
+        b: &[f64],
+        x_block: &mut [f64],
+        x_old: &[f64],
+        range: std::ops::Range<usize>,
+    ) {
         debug_assert_eq!(x_block.len(), range.len());
         let start = range.start;
         let end = range.end;
@@ -356,6 +400,7 @@ impl LevelSmoother {
                 }
             }
             SmootherKind::HybridJgs | SmootherKind::AsyncGs => {
+                let a = a.csr();
                 for i in range {
                     let (cols, vals) = a.row(i);
                     let mut acc = b[i];
@@ -379,6 +424,12 @@ impl LevelSmoother {
     ///
     /// `buf` must have length `n`.
     pub fn multadd_lambda(&self, a: &Csr, r: &[f64], y: &mut [f64], buf: &mut [f64]) {
+        self.multadd_lambda_op(Kernel::Csr(a), r, y, buf);
+    }
+
+    /// [`Self::multadd_lambda`] through a [`Kernel`] handle (the interior
+    /// `A t` product dispatches to the blocked kernel when installed).
+    pub fn multadd_lambda_op(&self, a: Kernel<'_>, r: &[f64], y: &mut [f64], buf: &mut [f64]) {
         match self.kind {
             SmootherKind::WJacobi { .. } | SmootherKind::L1Jacobi => {
                 // t = M⁻¹ r.
@@ -397,7 +448,7 @@ impl LevelSmoother {
                 }
             }
             SmootherKind::HybridJgs | SmootherKind::AsyncGs => {
-                self.apply_zero(a, r, y);
+                self.apply_zero_op(a, r, y);
             }
         }
     }

@@ -5,46 +5,15 @@
 //! the OpenMP `parallel for` loops in the paper's Algorithms 3–5.
 
 use crate::atomic::AtomicF64Vec;
-
-/// Shared sparse dot kernel `Σ_k vals[k] · x[col[k]]` with four independent
-/// accumulators (hides the FMA latency chain) and `get_unchecked` indexing.
-///
-/// Every row-dot kernel of [`Csr`] — serial, ranged and atomic — funnels
-/// through this accumulation order, so sequential and thread-team solves stay
-/// comparable at round-off level regardless of how rows are partitioned.
-#[inline(always)]
-fn dot4(vals: &[f64], cols: &[u32], x: &[f64]) -> f64 {
-    let n = vals.len();
-    debug_assert_eq!(cols.len(), n);
-    debug_assert!(cols.iter().all(|&c| (c as usize) < x.len()));
-    let n4 = n & !3;
-    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-    let mut k = 0;
-    while k < n4 {
-        // SAFETY: `k + 3 < n4 <= n` bounds vals/cols; every stored column
-        // index is `< ncols <= x.len()` (validated by `from_raw`, checked by
-        // the `debug_assert` above).
-        unsafe {
-            a0 += *vals.get_unchecked(k) * *x.get_unchecked(*cols.get_unchecked(k) as usize);
-            a1 +=
-                *vals.get_unchecked(k + 1) * *x.get_unchecked(*cols.get_unchecked(k + 1) as usize);
-            a2 +=
-                *vals.get_unchecked(k + 2) * *x.get_unchecked(*cols.get_unchecked(k + 2) as usize);
-            a3 +=
-                *vals.get_unchecked(k + 3) * *x.get_unchecked(*cols.get_unchecked(k + 3) as usize);
-        }
-        k += 4;
-    }
-    let mut tail = 0.0f64;
-    while k < n {
-        // SAFETY: as above, `k < n`.
-        unsafe {
-            tail += *vals.get_unchecked(k) * *x.get_unchecked(*cols.get_unchecked(k) as usize);
-        }
-        k += 1;
-    }
-    (a0 + a1) + (a2 + a3) + tail
-}
+// The shared sparse dot kernel `Σ_k vals[k] · x[col[k]]` lives in the `simd`
+// module (scalar reference + bit-identical AVX2/NEON paths). Every row-dot
+// kernel of [`Csr`] — serial, ranged and atomic — funnels through its
+// accumulation order, so sequential and thread-team solves stay comparable at
+// round-off level regardless of how rows are partitioned or which instruction
+// set executes them.
+use crate::simd::dot4;
+use crate::stencil::{StencilPlan, StencilStats};
+use std::sync::OnceLock;
 
 /// Two-column fused sparse dot: one pass over the row's nonzeros, each
 /// column keeping the exact [`dot4`] accumulation order. Fusing shares the
@@ -302,13 +271,41 @@ impl std::error::Error for CsrError {}
 ///
 /// Column indices are `u32` (half the memory of `usize` indices, the usual
 /// HPC choice); columns are sorted within each row.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Debug)]
 pub struct Csr {
     nrows: usize,
     ncols: usize,
     row_ptr: Vec<u32>,
     col_idx: Vec<u32>,
     vals: Vec<f64>,
+    /// Lazily built across-row SIMD plan (see [`crate::stencil`]): `None`
+    /// inside means "checked, not stencil-structured". Purely a kernel
+    /// cache — cloning resets it, equality ignores it, and the `&mut`
+    /// accessors drop it so a stale repack can never be applied.
+    plan: OnceLock<Option<Box<StencilPlan>>>,
+}
+
+impl Clone for Csr {
+    fn clone(&self) -> Self {
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr: self.row_ptr.clone(),
+            col_idx: self.col_idx.clone(),
+            vals: self.vals.clone(),
+            plan: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Csr {
+    fn eq(&self, other: &Self) -> bool {
+        self.nrows == other.nrows
+            && self.ncols == other.ncols
+            && self.row_ptr == other.row_ptr
+            && self.col_idx == other.col_idx
+            && self.vals == other.vals
+    }
 }
 
 impl Csr {
@@ -341,7 +338,7 @@ impl Csr {
                 }
             }
         }
-        Csr { nrows, ncols, row_ptr, col_idx, vals }
+        Csr { nrows, ncols, row_ptr, col_idx, vals, plan: OnceLock::new() }
     }
 
     /// Full structural and value validation, independent of build profile.
@@ -390,12 +387,66 @@ impl Csr {
         Ok(())
     }
 
+    /// Builds a CSR matrix from raw parts whose rows may be unsorted,
+    /// normalising with [`Csr::sort_rows`] before returning. Use this for
+    /// externally produced arrays (foreign libraries, file formats that do
+    /// not guarantee ordering); [`Csr::from_raw`] requires sorted rows.
+    ///
+    /// # Panics
+    /// Panics if the array shapes are inconsistent.
+    pub fn from_unsorted_raw(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<u32>,
+        col_idx: Vec<u32>,
+        vals: Vec<f64>,
+    ) -> Self {
+        assert_eq!(row_ptr.len(), nrows + 1);
+        assert_eq!(col_idx.len(), vals.len());
+        assert_eq!(*row_ptr.last().unwrap() as usize, col_idx.len());
+        let mut a = Csr { nrows, ncols, row_ptr, col_idx, vals, plan: OnceLock::new() };
+        a.sort_rows();
+        a
+    }
+
+    /// Sorts each row's entries by column index, in place.
+    ///
+    /// Every kernel in this crate — and the BSR conversion in
+    /// [`crate::bsr`] — assumes sorted columns; matrices built by [`Coo`]
+    /// (crate::coo::Coo) already are, but externally imported raw arrays may
+    /// not be. This normaliser makes them so. Duplicate columns are left
+    /// adjacent (their order preserved) and still rejected by
+    /// [`Csr::validate`]; merge duplicates through a [`Coo`] round trip
+    /// instead.
+    pub fn sort_rows(&mut self) {
+        self.plan.take();
+        let mut perm: Vec<u32> = Vec::new();
+        let mut scratch_c: Vec<u32> = Vec::new();
+        let mut scratch_v: Vec<f64> = Vec::new();
+        for i in 0..self.nrows {
+            let (lo, hi) = (self.row_ptr[i] as usize, self.row_ptr[i + 1] as usize);
+            let cols = &self.col_idx[lo..hi];
+            if cols.windows(2).all(|w| w[0] <= w[1]) {
+                continue;
+            }
+            perm.clear();
+            perm.extend(0..(hi - lo) as u32);
+            perm.sort_by_key(|&k| cols[k as usize]);
+            scratch_c.clear();
+            scratch_v.clear();
+            scratch_c.extend(perm.iter().map(|&k| self.col_idx[lo + k as usize]));
+            scratch_v.extend(perm.iter().map(|&k| self.vals[lo + k as usize]));
+            self.col_idx[lo..hi].copy_from_slice(&scratch_c);
+            self.vals[lo..hi].copy_from_slice(&scratch_v);
+        }
+    }
+
     /// The `n × n` identity matrix.
     pub fn identity(n: usize) -> Self {
         let row_ptr = (0..=n as u32).collect();
         let col_idx = (0..n as u32).collect();
         let vals = vec![1.0; n];
-        Csr { nrows: n, ncols: n, row_ptr, col_idx, vals }
+        Csr { nrows: n, ncols: n, row_ptr, col_idx, vals, plan: OnceLock::new() }
     }
 
     /// A diagonal matrix with the given diagonal.
@@ -403,7 +454,7 @@ impl Csr {
         let n = diag.len();
         let row_ptr = (0..=n as u32).collect();
         let col_idx = (0..n as u32).collect();
-        Csr { nrows: n, ncols: n, row_ptr, col_idx, vals: diag.to_vec() }
+        Csr { nrows: n, ncols: n, row_ptr, col_idx, vals: diag.to_vec(), plan: OnceLock::new() }
     }
 
     /// Number of rows.
@@ -445,7 +496,27 @@ impl Csr {
     /// Mutable access to the value array (structure is fixed).
     #[inline]
     pub fn vals_mut(&mut self) -> &mut [f64] {
+        self.plan.take();
         &mut self.vals
+    }
+
+    /// The cached stencil plan when one applies: built on first use by the
+    /// SIMD SpMV path, `None` while SIMD is off/unsupported or when the
+    /// matrix lacks run structure (see [`crate::stencil`]).
+    #[inline]
+    fn stencil_plan(&self) -> Option<&StencilPlan> {
+        if !crate::simd::active() {
+            return None;
+        }
+        self.plan.get_or_init(|| StencilPlan::build(self).map(Box::new)).as_deref()
+    }
+
+    /// Summary of the across-row SIMD plan for this matrix, or `None` when
+    /// no plan applies (SIMD off or unsupported, or the matrix is not
+    /// stencil-structured). Benchmarks and tests use this to report which
+    /// kernel actually ran.
+    pub fn stencil_stats(&self) -> Option<StencilStats> {
+        self.stencil_plan().map(|p| p.stats())
     }
 
     /// Column indices and values of row `i`.
@@ -497,9 +568,21 @@ impl Csr {
     }
 
     /// `y[rows] = (A x)[rows]` — the row-range kernel used by thread teams.
+    ///
+    /// When SIMD is active and the matrix is stencil-structured, this runs
+    /// the across-row plan of [`crate::stencil`]; each row's result is
+    /// bit-identical to the scalar per-row path regardless of the range
+    /// partitioning.
     pub fn spmv_rows(&self, rows: std::ops::Range<usize>, x: &[f64], y: &mut [f64]) {
         debug_assert_eq!(x.len(), self.ncols);
         debug_assert_eq!(y.len(), self.nrows);
+        if let Some(plan) = self.stencil_plan() {
+            // The vector kernels read/write through raw pointers; check the
+            // slice contract in release builds too before entering them.
+            assert!(rows.end <= self.nrows && x.len() >= self.ncols && y.len() >= self.nrows);
+            plan.spmv_rows(self, rows, x, y);
+            return;
+        }
         for i in rows {
             y[i] = self.row_dot(i, x);
         }
@@ -544,7 +627,24 @@ impl Csr {
     }
 
     /// `r[rows] = (b − A x)[rows]` — residual kernel.
+    ///
+    /// Stencil-planned like [`Csr::spmv_rows`]: the dots land in `r` first,
+    /// then `r[i] = b[i] − r[i]` — the same `b[i] − dot` each scalar row
+    /// computes, so the result stays bit-identical.
     pub fn residual_rows(&self, rows: std::ops::Range<usize>, b: &[f64], x: &[f64], r: &mut [f64]) {
+        if let Some(plan) = self.stencil_plan() {
+            assert!(
+                rows.end <= self.nrows
+                    && x.len() >= self.ncols
+                    && r.len() >= self.nrows
+                    && b.len() >= self.nrows
+            );
+            plan.spmv_rows(self, rows.clone(), x, r);
+            for i in rows {
+                r[i] = b[i] - r[i];
+            }
+            return;
+        }
         for i in rows {
             r[i] = b[i] - self.row_dot(i, x);
         }
@@ -649,7 +749,7 @@ impl Csr {
         row_ptr[0] = 0;
         // Rows of the transpose are produced in increasing original-row
         // order, so columns are already sorted.
-        Csr { nrows: self.ncols, ncols: self.nrows, row_ptr, col_idx, vals }
+        Csr { nrows: self.ncols, ncols: self.nrows, row_ptr, col_idx, vals, plan: OnceLock::new() }
     }
 
     /// Whether the matrix is numerically symmetric to tolerance `tol`.
@@ -683,6 +783,7 @@ impl Csr {
     /// Scales row `i` by `s[i]` in place (`A ← diag(s) A`).
     pub fn scale_rows(&mut self, s: &[f64]) {
         assert_eq!(s.len(), self.nrows);
+        self.plan.take();
         for i in 0..self.nrows {
             let lo = self.row_ptr[i] as usize;
             let hi = self.row_ptr[i + 1] as usize;
@@ -719,7 +820,7 @@ impl Csr {
             }
             row_ptr[i + 1] = col_idx.len() as u32;
         }
-        Csr { nrows: self.nrows, ncols: self.ncols, row_ptr, col_idx, vals }
+        Csr { nrows: self.nrows, ncols: self.ncols, row_ptr, col_idx, vals, plan: OnceLock::new() }
     }
 }
 
@@ -766,6 +867,30 @@ mod tests {
         for i in 0..3 {
             assert!((r[i] - (b[i] - ax[i])).abs() < 1e-15);
         }
+    }
+
+    #[test]
+    fn sort_rows_normalises_unsorted_input() {
+        let a = Csr::from_unsorted_raw(
+            2,
+            4,
+            vec![0, 3, 5],
+            vec![3, 0, 2, 1, 0],
+            vec![30.0, 0.5, 20.0, 11.0, 10.0],
+        );
+        assert!(a.validate().is_ok());
+        assert_eq!(a.row(0), (&[0u32, 2, 3][..], &[0.5, 20.0, 30.0][..]));
+        assert_eq!(a.row(1), (&[0u32, 1][..], &[10.0, 11.0][..]));
+        // Already-sorted rows are untouched (fast path).
+        let mut b = a.clone();
+        b.sort_rows();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sort_rows_keeps_duplicates_for_validate() {
+        let a = Csr::from_unsorted_raw(1, 3, vec![0, 3], vec![2, 1, 2], vec![1.0, 2.0, 3.0]);
+        assert!(matches!(a.validate(), Err(CsrError::ColsNotSorted { row: 0 })));
     }
 
     #[test]
@@ -952,6 +1077,7 @@ mod tests {
             row_ptr: vec![0, 1, 2],
             col_idx: vec![0, 5],
             vals: vec![1.0, 1.0],
+            plan: OnceLock::new(),
         };
         assert_eq!(a.validate(), Err(CsrError::ColOutOfRange { row: 1, col: 5, ncols: 2 }));
 
@@ -961,10 +1087,18 @@ mod tests {
             row_ptr: vec![0, 2, 2],
             col_idx: vec![1, 0],
             vals: vec![1.0, 1.0],
+            plan: OnceLock::new(),
         };
         assert_eq!(a.validate(), Err(CsrError::ColsNotSorted { row: 0 }));
 
-        let a = Csr { nrows: 1, ncols: 1, row_ptr: vec![0, 2], col_idx: vec![0], vals: vec![1.0] };
+        let a = Csr {
+            nrows: 1,
+            ncols: 1,
+            row_ptr: vec![0, 2],
+            col_idx: vec![0],
+            vals: vec![1.0],
+            plan: OnceLock::new(),
+        };
         assert!(matches!(a.validate(), Err(CsrError::NnzMismatch { .. })));
     }
 }

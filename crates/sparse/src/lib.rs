@@ -27,19 +27,28 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod atomic;
+pub mod bsr;
+pub mod calibrate;
 pub mod coo;
 pub mod csr;
 pub mod dense;
 pub mod fingerprint;
 pub mod io;
+pub mod kernel;
 pub mod parallel;
+pub mod simd;
 pub mod spgemm;
+pub mod stencil;
 pub mod vecops;
 
 pub use atomic::AtomicF64Vec;
+pub use bsr::Bsr;
+pub use calibrate::{Calibration, HostFingerprint};
 pub use coo::Coo;
 pub use csr::{Csr, CsrError};
 pub use dense::{DenseLu, DenseMatrix};
 pub use fingerprint::{fingerprint_csr, Fnv};
+pub use kernel::{Kernel, KernelSelect};
 pub use parallel::{auto_setup_threads, rap_parallel, spgemm_parallel, transpose_parallel};
 pub use spgemm::{add_scaled, rap, spgemm};
+pub use stencil::StencilStats;

@@ -35,10 +35,18 @@ use asyncmg_threads::{run_teams, RacyBuf};
 /// Small matrices (the coarse grids of a hierarchy) stay serial: forking a
 /// team costs more than the multiply. The threshold is deliberately
 /// conservative — a 27-point 3-D operator crosses it around a `20³` grid.
+/// When a host calibration is cached ([`crate::calibrate`]), its measured
+/// serial/parallel crossover and team-size cap replace the built-in
+/// defaults; calibrated values are clamped so the small-stays-serial and
+/// ≤ 8-thread invariants hold regardless of cache contents.
 pub fn auto_setup_threads(nnz: usize) -> usize {
     const MIN_NNZ_PER_THREAD: usize = 64 * 1024;
+    let (min_per, cap) = match crate::calibrate::get() {
+        Some(c) => (c.min_nnz_per_thread.max(1), c.max_setup_threads.max(1)),
+        None => (MIN_NNZ_PER_THREAD, 8),
+    };
     let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    hw.min(8).min(nnz / MIN_NNZ_PER_THREAD).max(1)
+    hw.min(8).min(cap).min(nnz / min_per).max(1)
 }
 
 /// Computes `C = A B` on `n_threads` threads; bit-identical to

@@ -1,0 +1,425 @@
+//! SIMD execution of the shared sparse-dot kernel `dot4`.
+//!
+//! Every row-oriented kernel in this crate accumulates through one scheme:
+//! four independent lanes over the row's nonzeros (entry `k` lands in lane
+//! `k mod 4`), combined as `(a0 + a1) + (a2 + a3) + tail`, where `tail` sums
+//! the last `n mod 4` entries (see [`dot4_scalar`]). That scheme maps exactly
+//! onto a 4-wide `f64` vector register, so the explicit-lane SIMD paths below
+//! are **bit-identical** to the scalar loop: lane `j` performs the same
+//! multiplies and adds in the same order, and the horizontal reduction uses
+//! the same parenthesisation. No FMA is used anywhere — fusing the multiply
+//! and add would change the rounding and break the bit-identity contract the
+//! deterministic-replay harness depends on.
+//!
+//! Paths:
+//! * **x86_64** — AVX2: one 4×u32 column load, one gathered 4×f64 `x` load,
+//!   one 4×f64 value load, vector multiply + add per four nonzeros
+//!   (runtime-detected via `is_x86_feature_detected!`).
+//! * **aarch64** — NEON (baseline on AArch64): two 2×f64 value loads and two
+//!   2-element `x` gathers per four nonzeros, lanes `(a0,a1)`/`(a2,a3)`.
+//! * **everything else** — the scalar unrolled loop.
+//!
+//! Selection is process-global: the `ASYNCMG_SIMD` environment variable
+//! (`off`/`0`/`scalar` disables, `force`/`on`/`1` forces, anything else
+//! auto-detects) read once at first use, overridable at runtime with
+//! [`set_mode`] (a test/bench/calibration knob). Because the SIMD paths are
+//! bit-identical, switching modes never changes any numerical result — only
+//! which instructions produce it.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How [`dot4`] picks between the scalar and SIMD implementations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimdMode {
+    /// Use SIMD when the CPU supports it (the default).
+    Auto,
+    /// Use SIMD whenever the CPU supports it, even if a calibration pass
+    /// judged it unprofitable. Falls back to scalar on unsupporting hardware
+    /// (the instructions cannot be executed there).
+    Force,
+    /// Always use the scalar loop.
+    Off,
+}
+
+// 0 = unresolved (read env on first use), then 1/2/3 = Auto/Force/Off.
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+fn mode_from_env() -> u8 {
+    match std::env::var("ASYNCMG_SIMD").ok().as_deref() {
+        Some("off") | Some("0") | Some("scalar") => 3,
+        Some("force") | Some("on") | Some("1") => 2,
+        _ => 1,
+    }
+}
+
+/// Overrides the SIMD mode for this process (tests, benches and the
+/// calibration pass use this; production code normally leaves the
+/// environment-derived default alone). Numerical results are unaffected —
+/// the SIMD paths are bit-identical to the scalar one.
+pub fn set_mode(mode: SimdMode) {
+    let v = match mode {
+        SimdMode::Auto => 1,
+        SimdMode::Force => 2,
+        SimdMode::Off => 3,
+    };
+    MODE.store(v, Ordering::Relaxed);
+}
+
+/// The currently selected [`SimdMode`].
+pub fn mode() -> SimdMode {
+    match resolve_mode() {
+        2 => SimdMode::Force,
+        3 => SimdMode::Off,
+        _ => SimdMode::Auto,
+    }
+}
+
+#[inline]
+fn resolve_mode() -> u8 {
+    let m = MODE.load(Ordering::Relaxed);
+    if m != 0 {
+        return m;
+    }
+    let m = mode_from_env();
+    // A racing set_mode wins: only replace the unresolved sentinel.
+    let _ = MODE.compare_exchange(0, m, Ordering::Relaxed, Ordering::Relaxed);
+    MODE.load(Ordering::Relaxed)
+}
+
+/// Whether the vector path is supported by this CPU.
+#[inline]
+pub fn supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Cached by std after the first query.
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        true // NEON is part of the AArch64 baseline.
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        false
+    }
+}
+
+/// Whether [`dot4`] currently dispatches to the SIMD path.
+#[inline]
+pub fn active() -> bool {
+    match resolve_mode() {
+        3 => false,
+        _ => supported(),
+    }
+}
+
+/// Whether the widened AVX-512 variants of the blocked and stencil kernels
+/// can run on this CPU. They need masked loads/stores and two-source
+/// permutes on 256-bit vectors in addition to the 512-bit foundation:
+/// `avx512f` + `avx512vl`.
+#[inline]
+pub fn avx512_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Cached by std after the first query.
+        std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The instruction set [`dot4`] would use right now, for host fingerprints
+/// and bench reports: `"avx512"`, `"avx2"`, `"neon"` or `"scalar"`.
+pub fn feature_name() -> &'static str {
+    if !active() {
+        return "scalar";
+    }
+    capability_name()
+}
+
+/// The best vector capability this CPU *has*, independent of the current
+/// mode: what [`feature_name`] would report with SIMD enabled. Host
+/// fingerprints in bench reports use this so a scalar-mode measurement still
+/// records what the machine supports.
+pub fn capability_name() -> &'static str {
+    if !supported() {
+        return "scalar";
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx512_supported() {
+            "avx512"
+        } else {
+            "avx2"
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        "neon"
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        "scalar"
+    }
+}
+
+/// The scalar reference implementation: four independent accumulators
+/// (hides the FMA latency chain) with `get_unchecked` indexing, entry `k`
+/// in lane `k mod 4`, the last `n mod 4` entries in a separate `tail`
+/// accumulator, combined as `(a0 + a1) + (a2 + a3) + tail`.
+///
+/// This is the kernel every SIMD path must reproduce bit for bit.
+#[inline(always)]
+pub fn dot4_scalar(vals: &[f64], cols: &[u32], x: &[f64]) -> f64 {
+    let n = vals.len();
+    debug_assert_eq!(cols.len(), n);
+    debug_assert!(cols.iter().all(|&c| (c as usize) < x.len()));
+    let n4 = n & !3;
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut k = 0;
+    while k < n4 {
+        // SAFETY: `k + 3 < n4 <= n` bounds vals/cols; every stored column
+        // index is `< ncols <= x.len()` (validated by `Csr::from_raw`,
+        // checked by the `debug_assert` above).
+        unsafe {
+            a0 += *vals.get_unchecked(k) * *x.get_unchecked(*cols.get_unchecked(k) as usize);
+            a1 +=
+                *vals.get_unchecked(k + 1) * *x.get_unchecked(*cols.get_unchecked(k + 1) as usize);
+            a2 +=
+                *vals.get_unchecked(k + 2) * *x.get_unchecked(*cols.get_unchecked(k + 2) as usize);
+            a3 +=
+                *vals.get_unchecked(k + 3) * *x.get_unchecked(*cols.get_unchecked(k + 3) as usize);
+        }
+        k += 4;
+    }
+    let mut tail = 0.0f64;
+    while k < n {
+        // SAFETY: as above, `k < n`.
+        unsafe {
+            tail += *vals.get_unchecked(k) * *x.get_unchecked(*cols.get_unchecked(k) as usize);
+        }
+        k += 1;
+    }
+    (a0 + a1) + (a2 + a3) + tail
+}
+
+/// AVX2 lane-exact `dot4`: per four nonzeros, one 128-bit column load, one
+/// gathered `x` vector, one value vector, `mul` + `add` (no FMA). The vector
+/// accumulator's lane `j` is exactly the scalar `a_j`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot4_avx2(vals: &[f64], cols: &[u32], x: &[f64]) -> f64 {
+    use core::arch::x86_64::*;
+    let n = vals.len();
+    let n4 = n & !3;
+    let mut acc = _mm256_setzero_pd();
+    let mut k = 0;
+    while k < n4 {
+        // SAFETY: `k + 3 < n4 <= n` bounds the 128-bit column load and the
+        // 256-bit value load; every column index is `< x.len()` (validated
+        // by `Csr::from_raw`), bounding the gather.
+        let idx = _mm_loadu_si128(cols.as_ptr().add(k) as *const __m128i);
+        let xv = _mm256_i32gather_pd::<8>(x.as_ptr(), idx);
+        let vv = _mm256_loadu_pd(vals.as_ptr().add(k));
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(vv, xv));
+        k += 4;
+    }
+    let mut lanes = [0.0f64; 4];
+    _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+    let mut tail = 0.0f64;
+    while k < n {
+        // SAFETY: `k < n`; column in range as above.
+        tail += *vals.get_unchecked(k) * *x.get_unchecked(*cols.get_unchecked(k) as usize);
+        k += 1;
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
+}
+
+/// NEON lane-exact `dot4`: lanes `(a0, a1)` and `(a2, a3)` live in two
+/// 2×f64 vectors; `x` is gathered with scalar loads (AArch64 has no vector
+/// gather), values load contiguously, `mul` + `add` (no FMA).
+#[cfg(target_arch = "aarch64")]
+unsafe fn dot4_neon(vals: &[f64], cols: &[u32], x: &[f64]) -> f64 {
+    use core::arch::aarch64::*;
+    let n = vals.len();
+    let n4 = n & !3;
+    let mut acc01 = vdupq_n_f64(0.0);
+    let mut acc23 = vdupq_n_f64(0.0);
+    let mut k = 0;
+    while k < n4 {
+        // SAFETY: `k + 3 < n4 <= n` bounds vals/cols; every column index is
+        // `< x.len()` (validated by `Csr::from_raw`).
+        let x01 = [
+            *x.get_unchecked(*cols.get_unchecked(k) as usize),
+            *x.get_unchecked(*cols.get_unchecked(k + 1) as usize),
+        ];
+        let x23 = [
+            *x.get_unchecked(*cols.get_unchecked(k + 2) as usize),
+            *x.get_unchecked(*cols.get_unchecked(k + 3) as usize),
+        ];
+        let v01 = vld1q_f64(vals.as_ptr().add(k));
+        let v23 = vld1q_f64(vals.as_ptr().add(k + 2));
+        acc01 = vaddq_f64(acc01, vmulq_f64(v01, vld1q_f64(x01.as_ptr())));
+        acc23 = vaddq_f64(acc23, vmulq_f64(v23, vld1q_f64(x23.as_ptr())));
+        k += 4;
+    }
+    let a0 = vgetq_lane_f64::<0>(acc01);
+    let a1 = vgetq_lane_f64::<1>(acc01);
+    let a2 = vgetq_lane_f64::<0>(acc23);
+    let a3 = vgetq_lane_f64::<1>(acc23);
+    let mut tail = 0.0f64;
+    while k < n {
+        // SAFETY: `k < n`; column in range as above.
+        tail += *vals.get_unchecked(k) * *x.get_unchecked(*cols.get_unchecked(k) as usize);
+        k += 1;
+    }
+    (a0 + a1) + (a2 + a3) + tail
+}
+
+/// Shared sparse dot kernel `Σ_k vals[k] · x[col[k]]`, dispatching to the
+/// active SIMD path ([`active`]) or the scalar loop. All paths are
+/// bit-identical; see the module docs.
+#[inline(always)]
+pub fn dot4(vals: &[f64], cols: &[u32], x: &[f64]) -> f64 {
+    debug_assert_eq!(cols.len(), vals.len());
+    debug_assert!(cols.iter().all(|&c| (c as usize) < x.len()));
+    #[cfg(target_arch = "x86_64")]
+    {
+        if active() {
+            // SAFETY: `active()` implies AVX2 is available; slice lengths
+            // and column ranges checked by the debug_asserts above and
+            // guaranteed by `Csr::from_raw` for matrix-derived calls.
+            return unsafe { dot4_avx2(vals, cols, x) };
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if active() {
+            // SAFETY: NEON is baseline on AArch64; bounds as above.
+            return unsafe { dot4_neon(vals, cols, x) };
+        }
+    }
+    dot4_scalar(vals, cols, x)
+}
+
+/// Serialises tests that mutate or assert on the process-global SIMD mode
+/// (the test harness runs tests concurrently; results are mode-independent
+/// by bit-identity, but assertions *about the mode itself* are not).
+#[cfg(test)]
+pub(crate) fn test_mode_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random values (splitmix64-style mixing).
+    fn mixed(n: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed ^ 0x9e37_79b9_7f4a_7c15;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(0xbf58_476d_1ce4_e5b9).wrapping_add(0x94d0_49bb_1331_11eb);
+                ((s >> 11) as f64) / ((1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn cols_mod(n: usize, xlen: usize, seed: u64) -> Vec<u32> {
+        let mut s = seed ^ 0x5851_f42d_4c95_7f2d;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(0xbf58_476d_1ce4_e5b9).wrapping_add(0x94d0_49bb_1331_11eb);
+                ((s >> 33) as usize % xlen) as u32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn simd_matches_scalar_at_every_lane_remainder() {
+        let _guard = test_mode_lock();
+        // Lengths covering remainders 0..=7 twice, plus degenerate cases.
+        let x = mixed(97, 1);
+        for n in [0usize, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 31, 64, 100] {
+            let vals = mixed(n, 2 + n as u64);
+            let cols = cols_mod(n, x.len(), 3 + n as u64);
+            let scalar = dot4_scalar(&vals, &cols, &x);
+            set_mode(SimdMode::Force);
+            let forced = dot4(&vals, &cols, &x);
+            set_mode(SimdMode::Auto);
+            let auto = dot4(&vals, &cols, &x);
+            set_mode(SimdMode::Off);
+            let off = dot4(&vals, &cols, &x);
+            set_mode(SimdMode::Auto);
+            assert_eq!(forced.to_bits(), scalar.to_bits(), "force, n={n}");
+            assert_eq!(auto.to_bits(), scalar.to_bits(), "auto, n={n}");
+            assert_eq!(off.to_bits(), scalar.to_bits(), "off, n={n}");
+        }
+    }
+
+    #[test]
+    fn mode_knob_round_trips() {
+        let _guard = test_mode_lock();
+        set_mode(SimdMode::Off);
+        assert_eq!(mode(), SimdMode::Off);
+        assert!(!active());
+        set_mode(SimdMode::Force);
+        assert_eq!(mode(), SimdMode::Force);
+        set_mode(SimdMode::Auto);
+        assert_eq!(mode(), SimdMode::Auto);
+        assert_eq!(active(), supported());
+    }
+
+    #[test]
+    fn feature_name_is_consistent() {
+        let _guard = test_mode_lock();
+        set_mode(SimdMode::Off);
+        assert_eq!(feature_name(), "scalar");
+        set_mode(SimdMode::Auto);
+        if supported() {
+            assert_ne!(feature_name(), "scalar");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        // Satellite: SIMD dot4 bit-identical to the scalar fallback at every
+        // lane remainder 0..=7 (lengths 4·blocks + rem cover each remainder
+        // class with and without a full vector body), on random values,
+        // random gather patterns and every mode.
+        #[test]
+        fn dot4_bit_identical_across_modes(
+            rem in 0usize..8,
+            blocks in 0usize..6,
+            xlen in 1usize..64,
+            seed in 0u64..1_000_000,
+        ) {
+            let _guard = super::test_mode_lock();
+            let n = blocks * 4 + rem;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let x: Vec<f64> = (0..xlen).map(|_| rng.gen_range(-1e3..1e3)).collect();
+            let vals: Vec<f64> = (0..n).map(|_| rng.gen_range(-1e3..1e3)).collect();
+            let cols: Vec<u32> = (0..n).map(|_| rng.gen_range(0..xlen) as u32).collect();
+            let reference = dot4_scalar(&vals, &cols, &x);
+            for m in [SimdMode::Force, SimdMode::Off, SimdMode::Auto] {
+                set_mode(m);
+                let got = dot4(&vals, &cols, &x);
+                set_mode(SimdMode::Auto);
+                prop_assert_eq!(got.to_bits(), reference.to_bits());
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Kernel-axis bit-identity: every value of [`KernelAxis`] — scalar CSR,
+//! SIMD CSR, scalar BSR, SIMD BSR, and auto — must replay the *same*
+//! schedule-seeded run with a bit-identical fingerprint and solution.
+//!
+//! This is the end-to-end teeth behind the kernel layer's contract: the
+//! blocked and SIMD kernels are restructurings of the exact `dot4`
+//! accumulation order, never reassociations, so swapping them can never
+//! move a single bit anywhere in a solve.
+
+use asyncmg_harness::{FuzzCase, KernelAxis, MatrixFamily};
+use asyncmg_smoothers::SmootherKind;
+
+/// Families crossed with the kernel axis: a scalar stencil (where the BSR
+/// selection is a structural no-op) and elasticity (where `Bsr` actually
+/// installs 3×3 blocked operators on the hierarchy).
+fn families() -> [MatrixFamily; 2] {
+    [MatrixFamily::SevenPt(6), MatrixFamily::Elasticity(4)]
+}
+
+#[test]
+fn kernel_axis_never_changes_the_fingerprint() {
+    for family in families() {
+        let mut base = FuzzCase::base();
+        base.family = family;
+        // ℓ1-Jacobi exercises the dispatched residual path in the smoother.
+        base.smoother = SmootherKind::L1Jacobi;
+        for seed in [0u64, 7] {
+            let mut reference: Option<(u64, Vec<u64>, String)> = None;
+            for kernel in KernelAxis::ALL {
+                let mut c = base;
+                c.kernel = kernel;
+                let run = c.run(seed);
+                assert!(run.result.relres.is_finite(), "{} seed {seed}", c.label());
+                let bits: Vec<u64> = run.result.x.iter().map(|v| v.to_bits()).collect();
+                match &reference {
+                    None => reference = Some((run.fingerprint, bits, c.label())),
+                    Some((fp, ref_bits, ref_label)) => {
+                        assert_eq!(
+                            run.fingerprint,
+                            *fp,
+                            "fingerprint of {} (seed {seed}) diverged from {}",
+                            c.label(),
+                            ref_label
+                        );
+                        assert_eq!(
+                            &bits,
+                            ref_bits,
+                            "solution bits of {} (seed {seed}) diverged from {}",
+                            c.label(),
+                            ref_label
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn kernel_axis_labels_are_distinct_and_filterable() {
+    let mut labels = Vec::new();
+    for kernel in KernelAxis::ALL {
+        let mut c = FuzzCase::base();
+        c.kernel = kernel;
+        labels.push(c.label());
+    }
+    // `Auto` is the unsuffixed base label; every forced axis appends its own
+    // distinct suffix, so `HARNESS_CASE` substring filters can pin one.
+    assert_eq!(labels.len(), 5);
+    for (i, l) in labels.iter().enumerate() {
+        for (j, m) in labels.iter().enumerate() {
+            if i < j {
+                assert_ne!(l, m);
+            }
+        }
+    }
+    assert!(labels[3].ends_with("/bsr-scalar"), "{}", labels[3]);
+}

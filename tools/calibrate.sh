@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Measure this host's kernel crossovers and write the calibration cache
+# that drives KernelSelect::Auto and auto_setup_threads.
+#
+#   tools/calibrate.sh            # measure + save
+#   tools/calibrate.sh --show     # print the cache without measuring
+#
+# See docs/performance.md ("Kernel selection and host calibration").
+set -eu
+cd "$(dirname "$0")/.."
+exec cargo run --release -p asyncmg-bench --bin calibrate -- "$@"
