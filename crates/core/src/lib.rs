@@ -80,14 +80,14 @@ pub use krylov::{
     pcg, pcg_probed, AdditivePrec, CgResult, IdentityPrec, JacobiPrec, Preconditioner, VCyclePrec,
 };
 pub use models::{simulate, simulate_mean, ModelKind, ModelOptions, ModelResult};
-pub use mult::{mult_vcycle, solve_mult_probed};
+pub use mult::{coarse_correction, mult_vcycle, solve_mult_probed};
 pub use parallel_mult::{solve_mult_threaded_probed, solve_mult_threaded_sched};
 pub use resilience::{
     AttemptReport, Checkpoint, CheckpointStats, CheckpointStore, EscalationReason, RetryPolicy,
     Rung, SessionError, SessionReport,
 };
 pub use setup::{CoarseSolve, MgOptions, MgSetup};
-pub use solver::{Method, SolveError, SolveReport, Solver};
+pub use solver::{Method, SolveError, SolveReport, Solver, SolverConfig};
 pub use workspace::Workspace;
 
 // Re-exported so downstream users can name probes, fault plans and the

@@ -11,9 +11,37 @@ use std::time::Instant;
 /// fine-grid residual in `scratch.r[0]`. Allocation-free: every vector it
 /// touches lives in the pre-sized [`Workspace`].
 pub fn mult_vcycle(setup: &MgSetup, x: &mut [f64], scratch: &mut Workspace) {
+    subcycle(setup, 0, scratch);
+    vecops::axpy(1.0, &scratch.e[0], x);
+}
+
+/// The coarse-grid half of a multiplicative cycle, for callers that own the
+/// fine level themselves (the sharded hub): restricts the fine-grid
+/// residual `r_fine`, runs the V-cycle over levels `1..`, and prolongates
+/// the level-1 correction into `c_fine` (overwritten). Returns `false`
+/// without touching `c_fine` when the hierarchy has no coarse level.
+pub fn coarse_correction(
+    setup: &MgSetup,
+    r_fine: &[f64],
+    c_fine: &mut [f64],
+    scratch: &mut Workspace,
+) -> bool {
+    if setup.n_levels() < 2 {
+        return false;
+    }
+    setup.r(0).spmv(r_fine, &mut scratch.r[1]);
+    subcycle(setup, 1, scratch);
+    setup.p(0).spmv(&scratch.e[1], c_fine);
+    true
+}
+
+/// The V-cycle over levels `top..`: consumes the residual in
+/// `scratch.r[top]` and leaves the correction in `scratch.e[top]`.
+/// `mult_vcycle` is `subcycle(0)` plus the fine-grid update.
+fn subcycle(setup: &MgSetup, top: usize, scratch: &mut Workspace) {
     let ell = setup.n_levels() - 1;
     // Downward sweep: pre-smooth and restrict.
-    for k in 0..ell {
+    for k in top..ell {
         let (r_head, r_tail) = scratch.r.split_at_mut(k + 1);
         let rk = &r_head[k];
         let ek = &mut scratch.e[k];
@@ -47,7 +75,7 @@ pub fn mult_vcycle(setup: &MgSetup, x: &mut [f64], scratch: &mut Workspace) {
         }
     }
     // Upward sweep: prolongate and post-smooth.
-    for k in (0..ell).rev() {
+    for k in (top..ell).rev() {
         let (e_head, e_tail) = scratch.e.split_at_mut(k + 1);
         let ek = &mut e_head[k];
         setup.p(k).spmv(&e_tail[0], &mut scratch.buf[k]);
@@ -59,7 +87,6 @@ pub fn mult_vcycle(setup: &MgSetup, x: &mut [f64], scratch: &mut Workspace) {
             setup.smoothers[k].relax_op(setup.op(k), &scratch.r[k], ek, &mut scratch.buf[k]);
         }
     }
-    vecops::axpy(1.0, &scratch.e[0], x);
 }
 
 /// Runs up to `t_max` multiplicative V(1,1)-cycles from `x = 0`, recording

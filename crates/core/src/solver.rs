@@ -146,6 +146,22 @@ impl std::fmt::Display for SolveError {
 
 impl std::error::Error for SolveError {}
 
+/// A read-only snapshot of the scalar knobs of a [`Solver`], for extension
+/// layers that build on the builder from outside this crate (the sharded
+/// execution model of `asyncmg-shard` reads one to seed its own options).
+#[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
+pub struct SolverConfig {
+    /// Selected multigrid method.
+    pub method: Method,
+    /// Configured thread count (`0` = sequential).
+    pub threads: usize,
+    /// Correction / cycle budget.
+    pub t_max: usize,
+    /// Tolerance, when one was set.
+    pub tolerance: Option<f64>,
+}
+
 /// Builder-style front-end over all solvers in this crate.
 ///
 /// Defaults: [`Method::Multadd`], 4 threads, 20 corrections per grid, no
@@ -199,6 +215,28 @@ impl<'a> Solver<'a> {
             clock: None,
             ladder: &Rung::LADDER,
         }
+    }
+
+    /// The setup this solver was built over, with the builder's lifetime
+    /// (extension-layer hook: lets `asyncmg-shard` re-target the same
+    /// hierarchy).
+    pub fn setup_ref(&self) -> &'a MgSetup {
+        self.setup
+    }
+
+    /// Snapshot of the scalar configuration (extension-layer hook).
+    pub fn config(&self) -> SolverConfig {
+        SolverConfig {
+            method: self.method,
+            threads: self.threads,
+            t_max: self.t_max,
+            tolerance: self.tolerance,
+        }
+    }
+
+    /// The injected fault plan, if any (extension-layer hook).
+    pub fn plan_ref(&self) -> Option<&'a FaultPlan> {
+        self.plan
     }
 
     /// Selects the multigrid method.

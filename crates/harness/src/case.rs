@@ -27,7 +27,7 @@ pub enum MatrixFamily {
 }
 
 impl MatrixFamily {
-    fn build(&self) -> asyncmg_sparse::Csr {
+    pub(crate) fn build(&self) -> asyncmg_sparse::Csr {
         match *self {
             MatrixFamily::SevenPt(n) => laplacian_7pt(n, n, n),
             MatrixFamily::TwentySevenPt(n) => laplacian_27pt(n, n, n),
@@ -45,7 +45,7 @@ impl MatrixFamily {
         }
     }
 
-    fn label(&self) -> String {
+    pub(crate) fn label(&self) -> String {
         match *self {
             MatrixFamily::SevenPt(n) => format!("7pt{n}"),
             MatrixFamily::TwentySevenPt(n) => format!("27pt{n}"),
@@ -107,7 +107,7 @@ impl FaultAxis {
         }
     }
 
-    fn label(self) -> &'static str {
+    pub(crate) fn label(self) -> &'static str {
         match self {
             FaultAxis::None => "",
             FaultAxis::Straggler => "/straggler",

@@ -20,6 +20,10 @@
 //! * [`run_fuzz`] — the seeded fuzz loop: N seeds × M cases, shrinking any
 //!   failure to the smallest failing seed and printing a one-line
 //!   `HARNESS_SEED=… HARNESS_CASE=…` reproduction command.
+//! * [`ShardAxis`] — the sharded execution model's fuzz axis: shard count ×
+//!   seeded transport profile (delay/reorder/drop) × fault plan, with
+//!   [`fingerprint_sharded`] replay hashing and the conservation-aware
+//!   [`check_sharded`] oracle.
 //!
 //! Reproducing a failure is a matter of re-exporting the environment
 //! variables from the failure message; see `docs/testing.md`.
@@ -30,6 +34,7 @@ pub mod fuzz;
 pub mod oracle;
 pub mod resilience;
 pub mod service;
+pub mod shard;
 
 pub use case::{CaseRun, FaultAxis, FuzzCase, KernelAxis, MatrixFamily};
 pub use fingerprint::{fingerprint_run, Fnv};
@@ -37,3 +42,4 @@ pub use fuzz::{case_filter, run_fuzz, seeds_from_env, FuzzOutcome};
 pub use oracle::{Oracle, Violation};
 pub use resilience::{check_session, fingerprint_session, ResilienceAxis, SessionRun};
 pub use service::{check_service, fingerprint_service, ServiceAxis, ServiceRun};
+pub use shard::{check_sharded, fingerprint_sharded, NetAxis, ShardAxis, ShardRun};

@@ -1,0 +1,154 @@
+//! The production transport: a matrix of lock-free SPSC rings.
+//!
+//! Every ordered rank pair `(from, to)` owns one
+//! [`SpscRing`]; rank `from`'s worker thread is
+//! the ring's only producer and rank `to`'s its only consumer, which is
+//! exactly the SPSC contract. Receives round-robin over the receiver's
+//! incoming rings so no sender can starve another. Nothing ever blocks: a
+//! full ring rejects the push and the message is counted as overflowed —
+//! [`InProcChannel::for_epochs`] sizes the rings so that cannot happen
+//! within a solve's epoch budget.
+
+use crate::msg::Msg;
+use crate::transport::{RankCounters, Transport, TransportStats};
+use asyncmg_threads::SpscRing;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Shared-memory message fabric over lock-free SPSC rings.
+pub struct InProcChannel {
+    n: usize,
+    /// `rings[from * n + to]`.
+    rings: Vec<SpscRing<Msg>>,
+    /// Round-robin scan position per receiving rank.
+    cursor: Vec<AtomicUsize>,
+    sent: Vec<AtomicU64>,
+    delivered: Vec<AtomicU64>,
+    overflowed: Vec<AtomicU64>,
+}
+
+impl InProcChannel {
+    /// A fabric over `n_ranks` ranks with ring capacity `capacity` per
+    /// ordered pair.
+    pub fn new(n_ranks: usize, capacity: usize) -> Self {
+        assert!(n_ranks > 0);
+        InProcChannel {
+            n: n_ranks,
+            rings: (0..n_ranks * n_ranks).map(|_| SpscRing::with_capacity(capacity)).collect(),
+            cursor: (0..n_ranks).map(|_| AtomicUsize::new(0)).collect(),
+            sent: (0..n_ranks).map(|_| AtomicU64::new(0)).collect(),
+            delivered: (0..n_ranks).map(|_| AtomicU64::new(0)).collect(),
+            overflowed: (0..n_ranks).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// A fabric sized for a solve of `t_max` epochs: a shard sends at most
+    /// two messages per epoch to any one peer (residual + partial norm to
+    /// the hub) plus one terminal control message, so `2 t_max + 8` slots
+    /// per pair make overflow impossible within the budget.
+    pub fn for_epochs(n_ranks: usize, t_max: usize) -> Self {
+        Self::new(n_ranks, 2 * t_max + 8)
+    }
+}
+
+impl Transport for InProcChannel {
+    fn n_ranks(&self) -> usize {
+        self.n
+    }
+
+    fn send(&self, from: usize, to: usize, msg: Msg) {
+        self.sent[from].fetch_add(1, Ordering::Relaxed);
+        if self.rings[from * self.n + to].push(msg).is_err() {
+            self.overflowed[to].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn try_recv(&self, rank: usize) -> Option<Msg> {
+        let start = self.cursor[rank].load(Ordering::Relaxed);
+        for k in 0..self.n {
+            let from = (start + k) % self.n;
+            if let Some(msg) = self.rings[from * self.n + rank].pop() {
+                self.cursor[rank].store((from + 1) % self.n, Ordering::Relaxed);
+                self.delivered[rank].fetch_add(1, Ordering::Relaxed);
+                return Some(msg);
+            }
+        }
+        None
+    }
+
+    fn stats(&self) -> TransportStats {
+        TransportStats {
+            per_rank: (0..self.n)
+                .map(|r| RankCounters {
+                    sent: self.sent[r].load(Ordering::Relaxed),
+                    delivered: self.delivered[r].load(Ordering::Relaxed),
+                    dropped: 0,
+                    overflowed: self.overflowed[r].load(Ordering::Relaxed),
+                })
+                .collect(),
+            pending: self.rings.iter().map(|r| r.len() as u64).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_point_to_point_in_order() {
+        let net = InProcChannel::new(3, 8);
+        net.send(0, 2, Msg::PartialNorm { from: 0, epoch: 0, sumsq: 1.0 });
+        net.send(0, 2, Msg::PartialNorm { from: 0, epoch: 1, sumsq: 2.0 });
+        net.send(1, 2, Msg::Done { from: 1 });
+        let mut got = Vec::new();
+        while let Some(m) = net.try_recv(2) {
+            got.push(m);
+        }
+        assert_eq!(got.len(), 3);
+        // Per-pair FIFO: rank 0's two norms arrive in epoch order.
+        let epochs: Vec<u64> = got
+            .iter()
+            .filter_map(|m| match m {
+                Msg::PartialNorm { epoch, .. } => Some(*epoch),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(epochs, vec![0, 1]);
+        assert!(net.try_recv(2).is_none());
+        let stats = net.stats();
+        assert_eq!(stats.total_sent(), 3);
+        assert_eq!(stats.total_delivered(), 3);
+        assert_eq!(stats.pending, 0);
+        assert!(stats.conserved());
+    }
+
+    #[test]
+    fn round_robin_does_not_starve_any_sender() {
+        let net = InProcChannel::new(3, 32);
+        for epoch in 0..10u64 {
+            net.send(0, 2, Msg::PartialNorm { from: 0, epoch, sumsq: 0.0 });
+            net.send(1, 2, Msg::PartialNorm { from: 1, epoch, sumsq: 0.0 });
+        }
+        // The first four receives must include both senders.
+        let mut senders = Vec::new();
+        for _ in 0..4 {
+            if let Some(Msg::PartialNorm { from, .. }) = net.try_recv(2) {
+                senders.push(from);
+            }
+        }
+        assert!(senders.contains(&0) && senders.contains(&1), "{senders:?}");
+    }
+
+    #[test]
+    fn overflow_is_counted_never_blocking() {
+        let net = InProcChannel::new(2, 2);
+        for _ in 0..5 {
+            net.send(0, 1, Msg::Stop);
+        }
+        let stats = net.stats();
+        assert_eq!(stats.total_sent(), 5);
+        assert_eq!(stats.per_rank[1].overflowed, 3);
+        assert_eq!(stats.pending, 2);
+        assert!(stats.conserved());
+    }
+}

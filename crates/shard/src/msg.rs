@@ -1,0 +1,109 @@
+//! The message vocabulary of the sharded execution model.
+//!
+//! Every byte that crosses a shard boundary is one of these variants. Data
+//! messages (halo values, residual segments, partial norms, corrections,
+//! completed norms) may be delayed, reordered or dropped by a lossy
+//! [`Transport`](crate::Transport); the two *control* messages — [`Msg::Stop`]
+//! and [`Msg::Done`] — are the liveness backbone and are never dropped
+//! (a real network backend would carry them over a reliable channel).
+
+/// One message between shard ranks. Ranks `0..S` are shard workers; rank
+/// `S` is the hub (coarse solver + norm reducer).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg {
+    /// Boundary values a neighbour needs: `vals[i]` is the sender's iterate
+    /// at the `i`-th ghost index of the `(from, to)` pair's
+    /// [`ShardMap::ghost_indices`](crate::ShardMap::ghost_indices) list.
+    Halo {
+        /// Sending shard.
+        from: u32,
+        /// Sender's epoch when the values were gathered.
+        epoch: u64,
+        /// Iterate values in ghost-index order.
+        vals: Vec<f64>,
+    },
+    /// A shard's residual segment for the hub's assembled fine-grid
+    /// residual.
+    Residual {
+        /// Sending shard.
+        from: u32,
+        /// Sender's epoch when the segment was computed.
+        epoch: u64,
+        /// Number of hub corrections the sender had applied by then (the
+        /// hub's overshoot guard).
+        corr_seen: u64,
+        /// The shard's own rows of `b − A x`.
+        vals: Vec<f64>,
+    },
+    /// One shard's contribution to the epoch's residual norm (the
+    /// never-blocking reduction: the hub combines `S` of these per epoch).
+    PartialNorm {
+        /// Sending shard.
+        from: u32,
+        /// Epoch the partial sum belongs to.
+        epoch: u64,
+        /// `Σ r_i²` over the shard's own rows.
+        sumsq: f64,
+    },
+    /// Coarse-grid correction restricted to the destination shard's rows
+    /// (hub → shard).
+    Correction {
+        /// Hub cycle that produced the correction.
+        cycle: u64,
+        /// Correction values for the destination's own rows, damping
+        /// already applied.
+        vals: Vec<f64>,
+    },
+    /// A reduction completed: the global relative residual of `epoch` is
+    /// known (hub → shards, the AMReX-style `comm_complete` broadcast).
+    NormComplete {
+        /// Epoch the reduction covers. Strictly increasing per receiver.
+        epoch: u64,
+        /// Published global relative residual.
+        relres: f64,
+    },
+    /// Tolerance reached — finish up (hub → shards). Control: never
+    /// dropped.
+    Stop,
+    /// A shard finished (budget, stop request, or injected crash). Control:
+    /// never dropped.
+    Done {
+        /// The finished shard.
+        from: u32,
+    },
+}
+
+impl Msg {
+    /// `true` for the control messages a transport must deliver reliably.
+    pub fn is_control(&self) -> bool {
+        matches!(self, Msg::Stop | Msg::Done { .. })
+    }
+
+    /// Stable lowercase kind name (diagnostics and fingerprints).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Msg::Halo { .. } => "halo",
+            Msg::Residual { .. } => "residual",
+            Msg::PartialNorm { .. } => "partial_norm",
+            Msg::Correction { .. } => "correction",
+            Msg::NormComplete { .. } => "norm_complete",
+            Msg::Stop => "stop",
+            Msg::Done { .. } => "done",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_classification() {
+        assert!(Msg::Stop.is_control());
+        assert!(Msg::Done { from: 3 }.is_control());
+        assert!(!Msg::Halo { from: 0, epoch: 0, vals: vec![] }.is_control());
+        assert!(!Msg::NormComplete { epoch: 0, relres: 1.0 }.is_control());
+        assert_eq!(Msg::Stop.kind_name(), "stop");
+        assert_eq!(Msg::PartialNorm { from: 0, epoch: 1, sumsq: 2.0 }.kind_name(), "partial_norm");
+    }
+}

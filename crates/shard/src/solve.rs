@@ -1,0 +1,475 @@
+//! The sharded solve: shard workers, the hub, and the result type.
+//!
+//! Execution model (see `docs/sharding.md`):
+//!
+//! * `S` *shard workers*, ranks `0..S`, each own one contiguous row range
+//!   of the fine grid (from `Hierarchy::partitions`). Per epoch a shard
+//!   drains its inbox (halo values, coarse corrections, stop requests),
+//!   smooths its own rows against its local snapshot, computes its residual
+//!   segment, and fires halo values at its neighbours plus a residual
+//!   segment and a partial norm at the hub. Nothing ever blocks: missing
+//!   messages just mean this epoch smooths against slightly stale ghosts —
+//!   the asynchronous model of the paper, recast over messages.
+//! * One *hub*, rank `S`, assembles residual segments, runs the coarse
+//!   half of the multiplicative cycle (`coarse_correction`) when every live
+//!   shard has contributed a residual fresher than the last correction —
+//!   and has acknowledged that correction (or run two epochs past it, the
+//!   lost-correction valve) so corrections are never compounded from stale
+//!   data — and broadcasts per-shard correction segments. It also runs the
+//!   never-blocking norm reduction ([`NormReducer`]) and broadcasts
+//!   `NormComplete`/`Stop`.
+//!
+//! Faults compose at the send boundary: a `FaultPlan`'s stragglers stall a
+//! shard's epoch loop, crashes end it early (the shard still emits its
+//! `Done`, standing in for a failure detector), corruption garbles the
+//! first outgoing data value of the epoch (receiver-side finiteness guards
+//! reject the message and log `GuardTripped`), and drop faults suppress the
+//! epoch's outgoing data wholesale — identically over any transport.
+
+use crate::halo::ShardMap;
+use crate::msg::Msg;
+use crate::reduce::{NormReducer, Reduction};
+use crate::transport::{Transport, TransportStats};
+use asyncmg_core::{coarse_correction, MgSetup, SolveOutcome, Workspace};
+use asyncmg_sparse::vecops;
+use asyncmg_telemetry::{FaultKind, FaultRecord, Probe, SolveTrace};
+use asyncmg_threads::{run_teams_sched, FaultPlan, RacyVec, Sched, SchedPoint, TeamCtx};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Knobs of a sharded solve.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardOptions {
+    /// Number of shard workers (the hub adds one more rank).
+    pub n_shards: usize,
+    /// Epoch budget per shard.
+    pub t_max: usize,
+    /// Stop once a completed reduction falls below this relative residual.
+    pub tolerance: Option<f64>,
+    /// Smoothing sweeps per epoch.
+    pub sweeps: usize,
+    /// Damping applied to coarse corrections before they are sent.
+    pub damping: f64,
+}
+
+impl Default for ShardOptions {
+    fn default() -> Self {
+        ShardOptions { n_shards: 2, t_max: 60, tolerance: None, sweeps: 1, damping: 1.0 }
+    }
+}
+
+/// The outcome of a sharded solve.
+#[derive(Clone, Debug)]
+pub struct ShardResult {
+    /// The assembled approximation.
+    pub x: Vec<f64>,
+    /// Exact relative residual, recomputed after the run.
+    pub relres: f64,
+    /// Whether the hub's reduction observed the tolerance met and broadcast
+    /// `Stop` (release/acquire: schedule-independent).
+    pub stopped_on_tolerance: bool,
+    /// Structured outcome (faults degrade, non-finite results fault).
+    pub outcome: SolveOutcome,
+    /// Injected faults and guard trips, in occurrence order.
+    pub faults: Vec<FaultRecord>,
+    /// Epochs each shard completed.
+    pub shard_epochs: Vec<u64>,
+    /// Coarse-correction cycles the hub performed.
+    pub hub_cycles: u64,
+    /// Completed norm reductions, in publication order (strictly
+    /// increasing epochs).
+    pub reductions: Vec<Reduction>,
+    /// Transport counter snapshot after the run (quiescent, so
+    /// [`TransportStats::conserved`] must hold).
+    pub stats: TransportStats,
+    /// Wall-clock solve time.
+    pub elapsed: Duration,
+    /// Telemetry, when the caller ran with a recording probe (filled by
+    /// [`Sharded::run`](crate::Sharded::run), `None` from the raw entry
+    /// point).
+    pub trace: Option<SolveTrace>,
+}
+
+/// Everything the workers share, borrowed for the duration of the team
+/// scope.
+struct Shared<'a> {
+    setup: &'a MgSetup,
+    b: &'a [f64],
+    opts: &'a ShardOptions,
+    map: &'a ShardMap,
+    transport: &'a dyn Transport,
+    plan: Option<&'a FaultPlan>,
+    out: &'a RacyVec,
+    stop_flag: &'a AtomicBool,
+    faults: &'a Mutex<Vec<FaultRecord>>,
+    reductions: &'a Mutex<Vec<Reduction>>,
+    shard_epochs: &'a [AtomicU64],
+    hub_cycles: &'a AtomicU64,
+    norm_b: f64,
+    epoch_clock: Instant,
+}
+
+impl Shared<'_> {
+    fn now(&self) -> u64 {
+        self.epoch_clock.elapsed().as_nanos() as u64
+    }
+
+    fn log_fault<P: Probe + ?Sized>(&self, probe: &P, kind: FaultKind) {
+        let t_ns = self.now();
+        self.faults.lock().unwrap().push(FaultRecord { t_ns, kind });
+        if probe.enabled() {
+            probe.fault(t_ns, kind);
+        }
+    }
+}
+
+/// Runs a sharded solve under an explicit transport and scheduler — the
+/// deterministic entry point ([`Sharded`](crate::Sharded) wraps it with
+/// production defaults). `transport` must connect `opts.n_shards + 1` ranks
+/// (rank `S` is the hub).
+pub fn solve_sharded_sched<P: Probe + ?Sized>(
+    setup: &MgSetup,
+    b: &[f64],
+    opts: &ShardOptions,
+    transport: &dyn Transport,
+    sched: &dyn Sched,
+    plan: Option<&FaultPlan>,
+    probe: &P,
+) -> ShardResult {
+    let n = setup.n();
+    let s_count = opts.n_shards;
+    assert_eq!(b.len(), n, "rhs length");
+    assert!(s_count >= 1, "at least one shard");
+    assert!(s_count <= n, "more shards than rows");
+    assert_eq!(transport.n_ranks(), s_count + 1, "transport must connect n_shards + 1 ranks");
+
+    // Row layout from the hierarchy's partition cache (level 0).
+    let ranges = setup.hierarchy.partitions(s_count)[0].clone();
+    let map = ShardMap::new(setup.a(0), ranges);
+
+    let out = RacyVec::zeros(n);
+    let stop_flag = AtomicBool::new(false);
+    let faults = Mutex::new(Vec::new());
+    let reductions = Mutex::new(Vec::new());
+    let shard_epochs: Vec<AtomicU64> = (0..s_count).map(|_| AtomicU64::new(0)).collect();
+    let hub_cycles = AtomicU64::new(0);
+    let start = Instant::now();
+    let norm_b = vecops::norm2(b);
+
+    let shared = Shared {
+        setup,
+        b,
+        opts,
+        map: &map,
+        transport,
+        plan,
+        out: &out,
+        stop_flag: &stop_flag,
+        faults: &faults,
+        reductions: &reductions,
+        shard_epochs: &shard_epochs,
+        hub_cycles: &hub_cycles,
+        norm_b,
+        epoch_clock: start,
+    };
+
+    let team_sizes = vec![1usize; s_count + 1];
+    run_teams_sched(&team_sizes, sched, |ctx| {
+        if ctx.team_id < s_count {
+            shard_worker(&shared, probe, &ctx, ctx.team_id);
+        } else {
+            hub_worker(&shared, probe, &ctx);
+        }
+    });
+
+    // Quiescent now: assemble and measure exactly. `shared` borrows `out`
+    // and the fault/reduction logs; moving it out of scope releases them.
+    #[allow(clippy::drop_non_drop)]
+    drop(shared);
+    let mut out = out;
+    let x = out.as_mut_slice().to_vec();
+    let mut r = vec![0.0; n];
+    setup.a(0).residual(b, &x, &mut r);
+    let norm = vecops::norm2(&r);
+    let relres = if norm_b > 0.0 { norm / norm_b } else { norm };
+    let stopped_on_tolerance = stop_flag.load(Ordering::Acquire);
+    let faults = faults.into_inner().unwrap();
+    let finite = relres.is_finite() && x.iter().all(|v| v.is_finite());
+    let hit_tol = stopped_on_tolerance || opts.tolerance.is_some_and(|t| relres < t);
+    let outcome = if !finite {
+        SolveOutcome::Faulted
+    } else if !faults.is_empty() {
+        SolveOutcome::Degraded
+    } else if hit_tol {
+        SolveOutcome::Converged
+    } else {
+        SolveOutcome::MaxIterations
+    };
+    ShardResult {
+        x,
+        relres,
+        stopped_on_tolerance,
+        outcome,
+        faults,
+        shard_epochs: shard_epochs.iter().map(|e| e.load(Ordering::Acquire)).collect(),
+        hub_cycles: hub_cycles.load(Ordering::Acquire),
+        reductions: reductions.into_inner().unwrap(),
+        stats: transport.stats(),
+        elapsed: start.elapsed(),
+        trace: None,
+    }
+}
+
+/// One shard's epoch loop.
+fn shard_worker<P: Probe + ?Sized>(cx: &Shared<'_>, probe: &P, team: &TeamCtx<'_>, s: usize) {
+    let rs = cx.map.range(s);
+    let hub = cx.map.n_shards();
+    let a = cx.setup.a(0);
+    let smoother = &cx.setup.smoothers[0];
+    let neighbors = cx.map.neighbors_out(s);
+    let n = cx.b.len();
+
+    // Full-length local iterate: authoritative on own rows, halo-refreshed
+    // ghosts elsewhere (never read outside own rows' sparsity).
+    let mut x = vec![0.0; n];
+    let mut block = vec![0.0; rs.len()];
+    let mut r = vec![0.0; n];
+    let mut wire = Vec::new();
+    let mut corr_seen: u64 = 0;
+    let mut epochs_done: u64 = 0;
+
+    'epochs: for e in 0..cx.opts.t_max as u64 {
+        team.sched_point(SchedPoint::Yield);
+        if let Some(plan) = cx.plan {
+            let steps = plan.stall_steps(s, e);
+            if steps > 0 {
+                cx.log_fault(probe, FaultKind::Straggler { worker: s as u32, steps });
+                for _ in 0..steps {
+                    team.sched_point(SchedPoint::Yield);
+                }
+            }
+            if plan.team_crashed(s, e) {
+                cx.log_fault(probe, FaultKind::TeamCrash { team: s as u32 });
+                break 'epochs;
+            }
+        }
+
+        // Drain the inbox: halo ghosts, coarse corrections, stop requests.
+        while let Some(msg) = cx.transport.try_recv(s) {
+            team.sched_point(SchedPoint::RacyRead);
+            match msg {
+                Msg::Halo { from, vals, .. } => {
+                    let ok = vals.iter().all(|v| v.is_finite())
+                        && cx.map.scatter(from as usize, s, &vals, &mut x);
+                    if !ok {
+                        cx.log_fault(probe, FaultKind::GuardTripped { grid: from });
+                    }
+                }
+                Msg::Correction { cycle, vals } => {
+                    if vals.len() == rs.len() && vals.iter().all(|v| v.is_finite()) {
+                        for (xi, v) in x[rs.clone()].iter_mut().zip(&vals) {
+                            *xi += v;
+                        }
+                        corr_seen = corr_seen.max(cycle + 1);
+                    } else {
+                        cx.log_fault(probe, FaultKind::GuardTripped { grid: s as u32 });
+                    }
+                }
+                Msg::Stop => break 'epochs,
+                // `NormComplete` is informational to a shard; the remaining
+                // variants are hub-bound and never addressed here.
+                _ => {}
+            }
+        }
+
+        // Smooth own rows against the local snapshot.
+        for _ in 0..cx.opts.sweeps.max(1) {
+            smoother.relax_range(a, cx.b, &mut block, &x, rs.clone());
+            x[rs.clone()].copy_from_slice(&block);
+        }
+
+        // Own residual segment and its squared norm.
+        a.residual_rows(rs.clone(), cx.b, &x, &mut r);
+        let sumsq = vecops::sumsq_rows(rs.clone(), &r);
+
+        // Outgoing data — suppressed wholesale by a drop fault (node loss).
+        if cx.plan.is_some_and(|p| p.drops_write(s, e)) {
+            cx.log_fault(probe, FaultKind::WriteDropped { grid: s as u32 });
+        } else {
+            let mut corrupt = cx.plan.and_then(|p| p.corruption(s, e));
+            for &t in &neighbors {
+                cx.map.gather(s, t, &x, &mut wire);
+                if let Some(kind) = corrupt.take() {
+                    wire[0] = cx.plan.unwrap().corrupt_value(kind, wire[0], s, e);
+                    cx.log_fault(probe, FaultKind::WriteCorrupted { grid: s as u32 });
+                }
+                let vals = wire.clone();
+                cx.transport.send(s, t, Msg::Halo { from: s as u32, epoch: e, vals });
+                team.sched_point(SchedPoint::RacyWrite);
+            }
+            let mut seg = r[rs.clone()].to_vec();
+            if let Some(kind) = corrupt.take() {
+                seg[0] = cx.plan.unwrap().corrupt_value(kind, seg[0], s, e);
+                cx.log_fault(probe, FaultKind::WriteCorrupted { grid: s as u32 });
+            }
+            cx.transport.send(
+                s,
+                hub,
+                Msg::Residual { from: s as u32, epoch: e, corr_seen, vals: seg },
+            );
+            cx.transport.send(s, hub, Msg::PartialNorm { from: s as u32, epoch: e, sumsq });
+            team.sched_point(SchedPoint::RacyWrite);
+        }
+
+        epochs_done = e + 1;
+        if probe.enabled() {
+            probe.correction(team.global_rank, s, e as usize, cx.now(), sumsq.sqrt());
+        }
+    }
+
+    // Terminal control: the shard's own failure detector stand-in — even a
+    // crashed shard's `Done` reaches the hub so the run always terminates.
+    cx.transport.send(s, hub, Msg::Done { from: s as u32 });
+    // Publish the owned segment of the solution (disjoint ranges; the join
+    // provides the release/acquire edge).
+    unsafe { cx.out.slice_mut(rs.clone()) }.copy_from_slice(&x[rs]);
+    cx.shard_epochs[s].store(epochs_done, Ordering::Release);
+}
+
+/// The hub: residual assembly, coarse cycles, the norm reduction, and
+/// termination.
+fn hub_worker<P: Probe + ?Sized>(cx: &Shared<'_>, probe: &P, team: &TeamCtx<'_>) {
+    let s_count = cx.map.n_shards();
+    let hub = s_count;
+    let n = cx.b.len();
+    let has_coarse = cx.setup.n_levels() > 1;
+    let tol = cx.opts.tolerance;
+
+    let mut r_asm = vec![0.0; n];
+    let mut c = vec![0.0; n];
+    let mut ws = Workspace::new(cx.setup);
+    let mut have: Vec<Option<u64>> = vec![None; s_count];
+    let mut used: Vec<Option<u64>> = vec![None; s_count];
+    let mut acks: Vec<u64> = vec![0; s_count];
+    let mut live = vec![true; s_count];
+    let mut done = 0usize;
+    let mut reducer = NormReducer::new(s_count, cx.norm_b);
+    let mut cycles: u64 = 0;
+    let mut stop_sent = false;
+
+    while done < s_count {
+        team.sched_point(SchedPoint::Yield);
+        while let Some(msg) = cx.transport.try_recv(hub) {
+            team.sched_point(SchedPoint::RacyRead);
+            match msg {
+                Msg::Residual { from, epoch, corr_seen, vals } => {
+                    let f = from as usize;
+                    let rs = cx.map.range(f);
+                    if vals.len() == rs.len() && vals.iter().all(|v| v.is_finite()) {
+                        // Reordering can deliver an older segment after a
+                        // newer one; keep only the freshest.
+                        if have[f].is_none_or(|h| epoch > h) {
+                            r_asm[rs].copy_from_slice(&vals);
+                            have[f] = Some(epoch);
+                        }
+                        acks[f] = acks[f].max(corr_seen);
+                    } else {
+                        cx.log_fault(probe, FaultKind::GuardTripped { grid: from });
+                    }
+                }
+                Msg::PartialNorm { epoch, sumsq, .. } if sumsq.is_finite() => {
+                    reducer.offer(epoch, sumsq);
+                }
+                Msg::Done { from } => {
+                    let f = from as usize;
+                    if live[f] {
+                        live[f] = false;
+                        done += 1;
+                    }
+                }
+                // Halo/Correction/NormComplete/Stop are never hub-bound;
+                // non-finite partial norms are discarded.
+                _ => {}
+            }
+        }
+
+        // Publish every newly completed reduction (strictly increasing
+        // epochs), broadcast it, and stop on tolerance.
+        while let Some(red) = reducer.try_complete() {
+            cx.reductions.lock().unwrap().push(red);
+            if probe.enabled() {
+                probe.residual_sample(cx.now(), red.relres);
+            }
+            for (t, _) in live.iter().enumerate().filter(|(_, &l)| l) {
+                let m = Msg::NormComplete { epoch: red.epoch, relres: red.relres };
+                cx.transport.send(hub, t, m);
+            }
+            if !stop_sent && tol.is_some_and(|t| red.relres < t) {
+                cx.stop_flag.store(true, Ordering::Release);
+                stop_sent = true;
+                for (t, _) in live.iter().enumerate().filter(|(_, &l)| l) {
+                    cx.transport.send(hub, t, Msg::Stop);
+                }
+            }
+        }
+        if stop_sent || !has_coarse || live.iter().all(|&l| !l) {
+            continue;
+        }
+
+        // Correct only from residuals that fully reflect the previous
+        // correction — *including through halos*. A residual sent one epoch
+        // after a correction still carries pre-correction ghost values in
+        // its cross-shard terms, and correcting the same smooth error twice
+        // is exactly the overshoot that destabilises a hot hub. Two epochs
+        // suffice: one for every neighbour to apply the correction and send
+        // halos, one to smooth against the corrected ghosts.
+        let fresh = (0..s_count).all(|t| {
+            !live[t]
+                || match (have[t], used[t]) {
+                    (Some(h), Some(u)) => h >= u + 2,
+                    (Some(_), None) => true,
+                    (None, _) => false,
+                }
+        });
+        if !fresh {
+            continue;
+        }
+        // …and the previous correction was seen by everyone (else wait two
+        // more epochs — after that, assume the correction was lost in a
+        // lossy fabric and move on rather than stall forever).
+        let acked = (0..s_count).all(|t| !live[t] || acks[t] >= cycles);
+        let patient = (0..s_count).all(|t| {
+            !live[t]
+                || match (have[t], used[t]) {
+                    (Some(h), Some(u)) => h >= u + 4,
+                    (Some(h), None) => h >= 1,
+                    (None, _) => false,
+                }
+        });
+        if !(acked || patient) {
+            continue;
+        }
+
+        if coarse_correction(cx.setup, &r_asm, &mut c, &mut ws) {
+            for (t, _) in live.iter().enumerate().filter(|(_, &l)| l) {
+                let rs = cx.map.range(t);
+                let vals: Vec<f64> = c[rs].iter().map(|&v| v * cx.opts.damping).collect();
+                cx.transport.send(hub, t, Msg::Correction { cycle: cycles, vals });
+            }
+            team.sched_point(SchedPoint::RacyWrite);
+            used.copy_from_slice(&have);
+            cycles += 1;
+            if probe.enabled() {
+                probe.correction(
+                    team.global_rank,
+                    s_count,
+                    (cycles - 1) as usize,
+                    cx.now(),
+                    f64::NAN,
+                );
+            }
+        }
+    }
+    cx.hub_cycles.store(cycles, Ordering::Release);
+}

@@ -1,0 +1,206 @@
+//! The ergonomic entry point: [`Solver::sharded`](ShardedExt::sharded).
+//!
+//! [`Sharded`] is a configured sharded solve, built from a core
+//! [`Solver`]'s snapshot ([`SolverConfig`](asyncmg_core::SolverConfig)) so
+//! tolerance, budget and fault
+//! plan carry over. Defaults are production-grade — [`InProcChannel`] sized
+//! for the epoch budget, [`OsSched`] — and both the transport and the
+//! scheduler can be overridden for deterministic testing
+//! ([`VirtualTransport`](crate::VirtualTransport) +
+//! [`VirtualSched`](asyncmg_threads::VirtualSched)).
+
+use crate::inproc::InProcChannel;
+use crate::solve::{solve_sharded_sched, ShardOptions, ShardResult};
+use crate::transport::Transport;
+use asyncmg_core::{MgSetup, SolveError, Solver};
+use asyncmg_telemetry::{NoopProbe, ReductionRecord, TelemetryProbe};
+use asyncmg_threads::{FaultPlan, OsSched, Sched};
+
+/// Extends the core [`Solver`] builder with a sharded execution model.
+pub trait ShardedExt<'a> {
+    /// A sharded solve over `n_shards` shard workers plus one hub rank,
+    /// inheriting the solver's epoch budget, tolerance and fault plan.
+    fn sharded(&self, n_shards: usize) -> Sharded<'a>;
+}
+
+impl<'a> ShardedExt<'a> for Solver<'a> {
+    fn sharded(&self, n_shards: usize) -> Sharded<'a> {
+        let cfg = self.config();
+        Sharded {
+            setup: self.setup_ref(),
+            opts: ShardOptions {
+                n_shards,
+                t_max: cfg.t_max,
+                tolerance: cfg.tolerance,
+                ..ShardOptions::default()
+            },
+            plan: self.plan_ref(),
+            collect_trace: false,
+            transport: None,
+            sched: None,
+        }
+    }
+}
+
+/// A configured sharded solve. Construct via
+/// [`Solver::sharded`](ShardedExt::sharded), adjust with the builder
+/// methods, then [`run`](Sharded::run) or [`try_run`](Sharded::try_run).
+pub struct Sharded<'a> {
+    setup: &'a MgSetup,
+    opts: ShardOptions,
+    plan: Option<&'a FaultPlan>,
+    collect_trace: bool,
+    transport: Option<&'a dyn Transport>,
+    sched: Option<&'a dyn Sched>,
+}
+
+impl<'a> Sharded<'a> {
+    /// Sets the epoch budget per shard.
+    pub fn t_max(mut self, t_max: usize) -> Self {
+        self.opts.t_max = t_max;
+        self
+    }
+
+    /// Sets (or clears) the stopping tolerance on the reduced relative
+    /// residual.
+    pub fn tolerance(mut self, tol: Option<f64>) -> Self {
+        self.opts.tolerance = tol;
+        self
+    }
+
+    /// Sets the smoothing sweeps per epoch.
+    pub fn sweeps(mut self, sweeps: usize) -> Self {
+        self.opts.sweeps = sweeps;
+        self
+    }
+
+    /// Sets the damping factor applied to coarse corrections.
+    pub fn damping(mut self, damping: f64) -> Self {
+        self.opts.damping = damping;
+        self
+    }
+
+    /// Installs (or clears) a fault plan; faults compose at the shard's
+    /// send boundary, independent of the transport.
+    pub fn fault_plan(mut self, plan: Option<&'a FaultPlan>) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Overrides the transport. Must connect `n_shards + 1` ranks.
+    pub fn transport(mut self, transport: &'a dyn Transport) -> Self {
+        self.transport = Some(transport);
+        self
+    }
+
+    /// Overrides the scheduler (e.g. a seeded
+    /// [`VirtualSched`](asyncmg_threads::VirtualSched) for bit-identical
+    /// replay).
+    pub fn sched(mut self, sched: &'a dyn Sched) -> Self {
+        self.sched = Some(sched);
+        self
+    }
+
+    /// Records telemetry: the result's `trace` carries per-rank message
+    /// statistics and the published reductions (schema `asyncmg-trace-v3`).
+    pub fn with_trace(mut self) -> Self {
+        self.collect_trace = true;
+        self
+    }
+
+    /// Validates the configuration and runs the sharded solve.
+    pub fn try_run(&self, b: &[f64]) -> Result<ShardResult, SolveError> {
+        let n = self.setup.n();
+        if b.len() != n {
+            return Err(SolveError::RhsLength { expected: n, got: b.len() });
+        }
+        if let Some(index) = b.iter().position(|v| !v.is_finite()) {
+            return Err(SolveError::NonFiniteRhs { index });
+        }
+        let o = &self.opts;
+        if o.n_shards == 0 {
+            return Err(SolveError::InvalidOptions("n_shards must be at least 1".into()));
+        }
+        if o.n_shards > n {
+            return Err(SolveError::InvalidOptions(format!(
+                "n_shards {} exceeds the fine-grid dimension {n}",
+                o.n_shards
+            )));
+        }
+        if o.t_max == 0 {
+            return Err(SolveError::InvalidOptions("t_max must be positive".into()));
+        }
+        if o.sweeps == 0 {
+            return Err(SolveError::InvalidOptions("sweeps must be at least 1".into()));
+        }
+        if let Some(t) = o.tolerance {
+            if !t.is_finite() || t <= 0.0 {
+                return Err(SolveError::InvalidOptions(format!("tolerance {t} must be positive")));
+            }
+        }
+        if !(o.damping > 0.0 && o.damping <= 2.0) {
+            return Err(SolveError::InvalidOptions(format!(
+                "damping {} outside (0, 2]",
+                o.damping
+            )));
+        }
+        let ranks = o.n_shards + 1;
+        if let Some(t) = self.transport {
+            if t.n_ranks() != ranks {
+                return Err(SolveError::InvalidOptions(format!(
+                    "transport connects {} ranks but the solve needs {ranks}",
+                    t.n_ranks()
+                )));
+            }
+        }
+
+        let default_net;
+        let transport: &dyn Transport = match self.transport {
+            Some(t) => t,
+            None => {
+                default_net = InProcChannel::for_epochs(ranks, o.t_max);
+                &default_net
+            }
+        };
+        let default_sched;
+        let sched: &dyn Sched = match self.sched {
+            Some(s) => s,
+            None => {
+                default_sched = OsSched::for_teams(&vec![1; ranks]);
+                &default_sched
+            }
+        };
+
+        let mut result = if self.collect_trace {
+            let mut probe = TelemetryProbe::with_threads(ranks);
+            let mut result =
+                solve_sharded_sched(self.setup, b, o, transport, sched, self.plan, &probe);
+            let mut trace = probe.take_trace();
+            trace.messages = result.stats.to_telemetry();
+            trace.reductions = result
+                .reductions
+                .iter()
+                .map(|r| ReductionRecord {
+                    epoch: r.epoch,
+                    relres: r.relres,
+                    parts: r.parts,
+                    t_ns: 0,
+                })
+                .collect();
+            result.trace = Some(trace);
+            result
+        } else {
+            solve_sharded_sched(self.setup, b, o, transport, sched, self.plan, &NoopProbe)
+        };
+        result.x.shrink_to_fit();
+        Ok(result)
+    }
+
+    /// [`Self::try_run`], panicking on configuration errors.
+    pub fn run(&self, b: &[f64]) -> ShardResult {
+        match self.try_run(b) {
+            Ok(r) => r,
+            Err(e) => panic!("sharded solve misconfigured: {e}"),
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! The transport abstraction: how shard ranks exchange [`Msg`]s.
+//!
+//! The solver never touches shared vectors across shard boundaries — every
+//! inter-shard byte goes through a [`Transport`]. Two implementations ship:
+//! [`InProcChannel`](crate::InProcChannel) (production, lock-free SPSC
+//! rings) and [`VirtualTransport`](crate::VirtualTransport) (seeded delay /
+//! reorder / drop for deterministic testing). The ROADMAP's network backend
+//! slots in behind this same trait.
+
+use crate::msg::Msg;
+use asyncmg_telemetry::ShardMessageStats;
+
+/// A non-blocking, unordered-at-worst message fabric between `n_ranks`
+/// ranks.
+///
+/// Contract:
+/// * [`Transport::send`] never blocks. A transport that cannot accept a
+///   message counts it (dropped or overflowed) and returns.
+/// * [`Transport::try_recv`] never blocks: `None` means "nothing deliverable
+///   right now", not "stream ended".
+/// * Control messages ([`Msg::is_control`]) are never dropped, though they
+///   may be arbitrarily delayed or reordered.
+/// * Counters satisfy conservation: every sent message is eventually
+///   exactly one of delivered, dropped, overflowed, or still pending —
+///   [`TransportStats::conserved`] checks the balance once the fabric is
+///   quiescent.
+pub trait Transport: Sync {
+    /// Number of ranks the fabric connects (shards + hub).
+    fn n_ranks(&self) -> usize;
+
+    /// Queues `msg` from rank `from` to rank `to`. Never blocks.
+    fn send(&self, from: usize, to: usize, msg: Msg);
+
+    /// The next deliverable message addressed to `rank`, if any. Never
+    /// blocks. Only rank `rank`'s own thread may call this (receive side is
+    /// single-consumer per rank).
+    fn try_recv(&self, rank: usize) -> Option<Msg>;
+
+    /// Current counter snapshot (exact when the fabric is quiescent).
+    fn stats(&self) -> TransportStats;
+}
+
+/// Message counters of one rank.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RankCounters {
+    /// Messages this rank handed to the transport (including ones later
+    /// dropped or overflowed).
+    pub sent: u64,
+    /// Messages this rank received via `try_recv`.
+    pub delivered: u64,
+    /// Messages addressed to this rank the transport dropped (lossy links).
+    pub dropped: u64,
+    /// Messages addressed to this rank rejected by a full queue.
+    pub overflowed: u64,
+}
+
+/// A counter snapshot of a whole [`Transport`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Counters by rank.
+    pub per_rank: Vec<RankCounters>,
+    /// Messages queued but not yet received (exact when quiescent).
+    pub pending: u64,
+}
+
+impl TransportStats {
+    /// Sum of a counter over all ranks.
+    fn total(&self, f: impl Fn(&RankCounters) -> u64) -> u64 {
+        self.per_rank.iter().map(f).sum()
+    }
+
+    /// Total messages handed to the transport.
+    pub fn total_sent(&self) -> u64 {
+        self.total(|c| c.sent)
+    }
+
+    /// Total messages received.
+    pub fn total_delivered(&self) -> u64 {
+        self.total(|c| c.delivered)
+    }
+
+    /// Total messages dropped by the transport.
+    pub fn total_dropped(&self) -> u64 {
+        self.total(|c| c.dropped)
+    }
+
+    /// Total messages rejected by full queues.
+    pub fn total_overflowed(&self) -> u64 {
+        self.total(|c| c.overflowed)
+    }
+
+    /// The message-conservation invariant: once the fabric is quiescent,
+    /// `sent == delivered + dropped + overflowed + pending`.
+    pub fn conserved(&self) -> bool {
+        self.total_sent()
+            == self.total_delivered()
+                + self.total_dropped()
+                + self.total_overflowed()
+                + self.pending
+    }
+
+    /// The telemetry form of the snapshot (the trace's `"messages"` array).
+    pub fn to_telemetry(&self) -> Vec<ShardMessageStats> {
+        self.per_rank
+            .iter()
+            .enumerate()
+            .map(|(rank, c)| ShardMessageStats {
+                rank: rank as u32,
+                sent: c.sent,
+                delivered: c.delivered,
+                dropped: c.dropped,
+                overflowed: c.overflowed,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conservation_balance() {
+        let stats = TransportStats {
+            per_rank: vec![
+                RankCounters { sent: 10, delivered: 7, dropped: 1, overflowed: 0 },
+                RankCounters { sent: 5, delivered: 5, dropped: 0, overflowed: 1 },
+            ],
+            pending: 1,
+        };
+        assert_eq!(stats.total_sent(), 15);
+        assert!(stats.conserved());
+        let telemetry = stats.to_telemetry();
+        assert_eq!(telemetry[1].rank, 1);
+        assert_eq!(telemetry[0].delivered, 7);
+
+        let unbalanced = TransportStats { pending: 0, ..stats };
+        assert!(!unbalanced.conserved());
+    }
+}

@@ -1,0 +1,213 @@
+//! The testing transport: seeded message delay, reordering and loss.
+//!
+//! [`VirtualTransport`] is the network analogue of
+//! [`VirtualSched`](asyncmg_threads::VirtualSched): all nondeterminism is
+//! drawn from one seeded generator, so a solve run under `VirtualSched`
+//! (which serialises the workers and hence the transport calls) replays
+//! bit-identically for the same pair of seeds. Time is the transport's own
+//! operation counter — every `send`/`try_recv` ticks it, mirroring how
+//! [`VirtualClock`](asyncmg_threads::VirtualClock) advances on observation —
+//! so a message delayed by `d` becomes deliverable after `d` further
+//! transport operations, and differing delays reorder messages of the same
+//! sender.
+//!
+//! Loss policy: data messages are dropped with the configured probability;
+//! control messages ([`Msg::is_control`]) are always delivered (possibly
+//! late), keeping termination schedule- and loss-independent. `FaultPlan`
+//! composition happens one layer up, at the send boundary of the shard
+//! worker (see `docs/sharding.md`): a `DropWrite` fault suppresses the
+//! shard's outgoing data for the epoch *before* it reaches any transport,
+//! so node-loss faults behave identically over
+//! [`InProcChannel`](crate::InProcChannel) and this transport, which adds
+//! seeded random
+//! *link* loss on top.
+
+use crate::msg::Msg;
+use crate::transport::{RankCounters, Transport, TransportStats};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::sync::Mutex;
+
+struct Pending {
+    deliver_at: u64,
+    seq: u64,
+    msg: Msg,
+}
+
+struct VState {
+    rng: StdRng,
+    /// Transport operation counter (the fabric's clock).
+    ops: u64,
+    /// Global send sequence, the reorder tie-breaker.
+    seq: u64,
+    /// In-flight messages per destination rank.
+    inboxes: Vec<Vec<Pending>>,
+    counters: Vec<RankCounters>,
+}
+
+/// Seeded lossy transport for deterministic shard-level testing.
+pub struct VirtualTransport {
+    n: usize,
+    max_delay: u64,
+    drop_prob: f64,
+    state: Mutex<VState>,
+}
+
+impl VirtualTransport {
+    /// An ideal fabric (no delay, no loss) over `n_ranks` ranks — still
+    /// useful: delivery order across senders follows the seeded sequence
+    /// numbers rather than wall-clock racing.
+    pub fn new(n_ranks: usize, seed: u64) -> Self {
+        Self::with_profile(n_ranks, seed, 0, 0.0)
+    }
+
+    /// A fabric whose data messages are delayed by a uniform
+    /// `0..=max_delay` transport operations and dropped with probability
+    /// `drop_prob`.
+    pub fn with_profile(n_ranks: usize, seed: u64, max_delay: u64, drop_prob: f64) -> Self {
+        assert!(n_ranks > 0);
+        assert!((0.0..=1.0).contains(&drop_prob), "drop_prob {drop_prob} out of [0, 1]");
+        VirtualTransport {
+            n: n_ranks,
+            max_delay,
+            drop_prob,
+            state: Mutex::new(VState {
+                rng: StdRng::seed_from_u64(seed),
+                ops: 0,
+                seq: 0,
+                inboxes: (0..n_ranks).map(|_| Vec::new()).collect(),
+                counters: vec![RankCounters::default(); n_ranks],
+            }),
+        }
+    }
+}
+
+impl Transport for VirtualTransport {
+    fn n_ranks(&self) -> usize {
+        self.n
+    }
+
+    fn send(&self, from: usize, to: usize, msg: Msg) {
+        let s = &mut *self.state.lock().unwrap();
+        s.ops += 1;
+        s.counters[from].sent += 1;
+        let control = msg.is_control();
+        if !control && self.drop_prob > 0.0 && s.rng.gen_bool(self.drop_prob) {
+            s.counters[to].dropped += 1;
+            return;
+        }
+        let delay =
+            if !control && self.max_delay > 0 { s.rng.gen_range(0..=self.max_delay) } else { 0 };
+        let seq = s.seq;
+        s.seq += 1;
+        s.inboxes[to].push(Pending { deliver_at: s.ops + delay, seq, msg });
+    }
+
+    fn try_recv(&self, rank: usize) -> Option<Msg> {
+        let s = &mut *self.state.lock().unwrap();
+        s.ops += 1;
+        let now = s.ops;
+        let best = s.inboxes[rank]
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.deliver_at <= now)
+            .min_by_key(|(_, p)| (p.deliver_at, p.seq))
+            .map(|(i, _)| i);
+        let i = best?;
+        let pending = s.inboxes[rank].remove(i);
+        s.counters[rank].delivered += 1;
+        Some(pending.msg)
+    }
+
+    fn stats(&self) -> TransportStats {
+        let s = self.state.lock().unwrap();
+        TransportStats {
+            per_rank: s.counters.clone(),
+            pending: s.inboxes.iter().map(|q| q.len() as u64).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(net: &VirtualTransport, rank: usize, tries: usize) -> Vec<Msg> {
+        let mut got = Vec::new();
+        for _ in 0..tries {
+            if let Some(m) = net.try_recv(rank) {
+                got.push(m);
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn ideal_profile_delivers_in_send_order() {
+        let net = VirtualTransport::new(2, 1);
+        for epoch in 0..5u64 {
+            net.send(0, 1, Msg::PartialNorm { from: 0, epoch, sumsq: 0.0 });
+        }
+        let epochs: Vec<u64> = drain(&net, 1, 10)
+            .into_iter()
+            .filter_map(|m| match m {
+                Msg::PartialNorm { epoch, .. } => Some(epoch),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(epochs, vec![0, 1, 2, 3, 4]);
+        assert!(net.stats().conserved());
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let run = |seed: u64| {
+            let net = VirtualTransport::with_profile(2, seed, 6, 0.25);
+            for epoch in 0..40u64 {
+                net.send(0, 1, Msg::PartialNorm { from: 0, epoch, sumsq: 0.0 });
+            }
+            let order: Vec<Msg> = drain(&net, 1, 200);
+            (order, net.stats())
+        };
+        let (a, sa) = run(9);
+        let (b, sb) = run(9);
+        let (c, _) = run(10);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        assert!(sa.conserved());
+        assert_ne!(a, c, "different seeds should reorder/drop differently");
+    }
+
+    #[test]
+    fn delays_reorder_but_conserve() {
+        let net = VirtualTransport::with_profile(2, 3, 16, 0.0);
+        for epoch in 0..30u64 {
+            net.send(0, 1, Msg::PartialNorm { from: 0, epoch, sumsq: 0.0 });
+        }
+        let got = drain(&net, 1, 300);
+        assert_eq!(got.len(), 30, "no-loss profile must deliver everything");
+        let epochs: Vec<u64> = got
+            .iter()
+            .filter_map(|m| match m {
+                Msg::PartialNorm { epoch, .. } => Some(*epoch),
+                _ => None,
+            })
+            .collect();
+        let mut sorted = epochs.clone();
+        sorted.sort_unstable();
+        assert_ne!(epochs, sorted, "a 16-op delay spread should reorder 30 sends");
+        assert!(net.stats().conserved());
+    }
+
+    #[test]
+    fn control_messages_survive_full_loss() {
+        let net = VirtualTransport::with_profile(2, 4, 0, 1.0);
+        net.send(0, 1, Msg::Residual { from: 0, epoch: 0, corr_seen: 0, vals: vec![1.0] });
+        net.send(0, 1, Msg::Stop);
+        net.send(0, 1, Msg::Done { from: 0 });
+        let got = drain(&net, 1, 10);
+        assert_eq!(got, vec![Msg::Stop, Msg::Done { from: 0 }]);
+        let stats = net.stats();
+        assert_eq!(stats.total_dropped(), 1);
+        assert!(stats.conserved());
+    }
+}

@@ -412,12 +412,12 @@ impl Csr {
     /// Sorts each row's entries by column index, in place.
     ///
     /// Every kernel in this crate — and the BSR conversion in
-    /// [`crate::bsr`] — assumes sorted columns; matrices built by [`Coo`]
-    /// (crate::coo::Coo) already are, but externally imported raw arrays may
-    /// not be. This normaliser makes them so. Duplicate columns are left
-    /// adjacent (their order preserved) and still rejected by
-    /// [`Csr::validate`]; merge duplicates through a [`Coo`] round trip
-    /// instead.
+    /// [`crate::bsr`] — assumes sorted columns; matrices built by
+    /// [`Coo`](crate::coo::Coo) already are, but externally imported raw
+    /// arrays may not be. This normaliser makes them so. Duplicate columns
+    /// are left adjacent (their order preserved) and still rejected by
+    /// [`Csr::validate`]; merge duplicates through a
+    /// [`Coo`](crate::coo::Coo) round trip instead.
     pub fn sort_rows(&mut self) {
         self.plan.take();
         let mut perm: Vec<u32> = Vec::new();

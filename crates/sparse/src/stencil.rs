@@ -9,7 +9,8 @@
 //! row `i + l`, the value loads become contiguous, and the `x` loads become
 //! unit-stride vectors instead of gathers.
 //!
-//! [`StencilPlan`] detects those runs once per matrix (pattern comparison is
+//! `StencilPlan` (crate-private) detects those runs once per matrix
+//! (pattern comparison is
 //! translate-invariant: `cols[k] − i` must match) and repacks the run values
 //! into lane-plane-major storage (`vals[base + j·stride + r]` holds offset
 //! `j` of run-row `r`). The kernels then process up to 8 rows per vector op

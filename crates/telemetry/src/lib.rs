@@ -29,8 +29,8 @@ pub use recorder::TelemetryProbe;
 pub use ring::EventRing;
 pub use service::{CacheEvent, ServiceStats};
 pub use trace::{
-    AttemptRecord, CheckpointRecord, CorrectionRecord, GridTimeline, PhaseTotal, ResidualSample,
-    SolveTrace,
+    AttemptRecord, CheckpointRecord, CorrectionRecord, GridTimeline, PhaseTotal, ReductionRecord,
+    ResidualSample, ShardMessageStats, SolveTrace,
 };
 
 /// What happened in one fault event — an *injected* failure (from a

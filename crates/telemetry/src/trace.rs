@@ -78,6 +78,40 @@ pub struct AttemptRecord {
     pub escalation: Option<String>,
 }
 
+/// Per-rank message counters of one sharded solve (schema v3 `"messages"`
+/// array). Ranks `0..S` are shard workers, rank `S` the hub. The transport
+/// invariant `sent == delivered + dropped + overflowed + pending` is
+/// checked by the harness oracle, not here.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardMessageStats {
+    /// Shard rank the counters belong to.
+    pub rank: u32,
+    /// Messages this rank handed to the transport.
+    pub sent: u64,
+    /// Messages this rank received.
+    pub delivered: u64,
+    /// Messages addressed to this rank the transport dropped (lossy or
+    /// faulted links).
+    pub dropped: u64,
+    /// Messages addressed to this rank rejected by a full ring.
+    pub overflowed: u64,
+}
+
+/// One completed asynchronous residual reduction (schema v3 `"reductions"`
+/// array): the epoch's partial norms from every shard arrived and the
+/// global relative residual was published.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReductionRecord {
+    /// Shard epoch the reduction covers.
+    pub epoch: u64,
+    /// Published global relative residual.
+    pub relres: f64,
+    /// Number of partial norms combined (the shard count).
+    pub parts: u32,
+    /// Nanoseconds since the trace epoch at publication.
+    pub t_ns: u64,
+}
+
 /// Everything observed during one instrumented solve.
 #[derive(Clone, Debug, Default)]
 pub struct SolveTrace {
@@ -100,6 +134,13 @@ pub struct SolveTrace {
     /// Resilience-session attempt boundaries, in order (empty for plain
     /// solves).
     pub attempts: Vec<AttemptRecord>,
+    /// Per-rank message counters, by rank (empty unless a sharded solve
+    /// ran).
+    pub messages: Vec<ShardMessageStats>,
+    /// Completed residual reductions of a sharded solve, in publication
+    /// order — epochs are strictly increasing (empty for non-sharded
+    /// solves).
+    pub reductions: Vec<ReductionRecord>,
 }
 
 impl SolveTrace {
@@ -153,6 +194,8 @@ impl SolveTrace {
             faults,
             checkpoints: Vec::new(),
             attempts: Vec::new(),
+            messages: Vec::new(),
+            reductions: Vec::new(),
         }
     }
 
@@ -196,6 +239,21 @@ impl SolveTrace {
                 .into_iter()
                 .map(|a| AttemptRecord { start_ns: a.start_ns + offset_ns, ..a }),
         );
+        if self.messages.len() < other.messages.len() {
+            self.messages.extend(
+                (self.messages.len()..other.messages.len())
+                    .map(|rank| ShardMessageStats { rank: rank as u32, ..Default::default() }),
+            );
+        }
+        for (dst, src) in self.messages.iter_mut().zip(other.messages) {
+            dst.sent += src.sent;
+            dst.delivered += src.delivered;
+            dst.dropped += src.dropped;
+            dst.overflowed += src.overflowed;
+        }
+        self.reductions.extend(
+            other.reductions.into_iter().map(|r| ReductionRecord { t_ns: r.t_ns + offset_ns, ..r }),
+        );
     }
 
     /// Per-grid correction counts (the shape of `AsyncResult::grid_corrections`).
@@ -208,12 +266,24 @@ impl SolveTrace {
         self.residual_history.last().map(|s| s.relres)
     }
 
-    /// Serialises the trace to JSON (schema `asyncmg-trace-v2`; see
-    /// `docs/telemetry.md`). v2 adds the `"checkpoints"` and `"attempts"`
-    /// arrays of the resilience session layer; every v1 field is unchanged.
+    /// The schema identifier [`SolveTrace::to_json`] emits.
+    pub const SCHEMA: &'static str = "asyncmg-trace-v3";
+
+    /// The schema identifier of a serialised trace, if it carries one
+    /// (version-compatibility checks of golden files).
+    pub fn schema_of(json: &str) -> Option<&str> {
+        let tail = json.split("\"schema\"").nth(1)?;
+        let tail = tail.split('"').nth(1)?;
+        Some(tail)
+    }
+
+    /// Serialises the trace to JSON (schema `asyncmg-trace-v3`; see
+    /// `docs/telemetry.md`). v3 adds the `"messages"` and `"reductions"`
+    /// arrays of the sharded execution model; every v2 field is unchanged,
+    /// so v2 consumers keyed on field names still parse v3 traces.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(4096);
-        out.push_str("{\n  \"schema\": \"asyncmg-trace-v2\",\n");
+        out.push_str(&format!("{{\n  \"schema\": \"{}\",\n", Self::SCHEMA));
         out.push_str(&format!("  \"dropped_events\": {},\n", self.dropped_events));
 
         out.push_str("  \"residual_history\": [");
@@ -317,6 +387,34 @@ impl SolveTrace {
                 escalation
             ));
         }
+        out.push_str("\n  ],\n");
+
+        out.push_str("  \"messages\": [");
+        for (i, m) in self.messages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rank\": {}, \"sent\": {}, \"delivered\": {}, \"dropped\": {}, \
+                 \"overflowed\": {}}}",
+                m.rank, m.sent, m.delivered, m.dropped, m.overflowed
+            ));
+        }
+        out.push_str("\n  ],\n");
+
+        out.push_str("  \"reductions\": [");
+        for (i, r) in self.reductions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"epoch\": {}, \"relres\": {}, \"parts\": {}, \"t_ns\": {}}}",
+                r.epoch,
+                json_f64(r.relres),
+                r.parts,
+                r.t_ns
+            ));
+        }
         out.push_str("\n  ]\n}\n");
         out
     }
@@ -416,8 +514,19 @@ mod tests {
             outcome: "degraded".into(),
             escalation: Some("degraded".into()),
         });
+        trace.messages.push(ShardMessageStats {
+            rank: 0,
+            sent: 12,
+            delivered: 10,
+            dropped: 1,
+            overflowed: 0,
+        });
+        trace.reductions.push(ReductionRecord { epoch: 3, relres: 1e-4, parts: 2, t_ns: 55 });
         let json = trace.to_json();
-        assert!(json.contains("\"schema\": \"asyncmg-trace-v2\""));
+        assert!(json.contains("\"schema\": \"asyncmg-trace-v3\""));
+        assert_eq!(SolveTrace::schema_of(&json), Some(SolveTrace::SCHEMA));
+        assert!(json.contains("\"rank\": 0, \"sent\": 12, \"delivered\": 10"));
+        assert!(json.contains("\"epoch\": 3, \"relres\": 1e-4, \"parts\": 2"));
         assert!(json.contains("\"local_res\": null"));
         assert!(json.contains("\"phase\": \"smooth\""));
         assert!(json.contains("\"kind\": \"team_crash\", \"team\": 1"));
@@ -436,6 +545,8 @@ mod tests {
     fn absorb_shifts_and_accumulates() {
         let mut a = sample_trace();
         let mut b = sample_trace();
+        b.messages.push(ShardMessageStats { rank: 0, sent: 4, delivered: 3, ..Default::default() });
+        b.reductions.push(ReductionRecord { epoch: 0, relres: 0.5, parts: 1, t_ns: 7 });
         b.checkpoints.push(CheckpointRecord { t_ns: 5, attempt: 1, relres: 0.1, restored: true });
         b.attempts.push(AttemptRecord {
             index: 1,
@@ -455,5 +566,7 @@ mod tests {
         assert_eq!(a.faults.last().unwrap().t_ns, 140);
         assert_eq!(a.checkpoints.last().unwrap().t_ns, 105);
         assert_eq!(a.attempts.last().unwrap().start_ns, 100);
+        assert_eq!(a.messages.last().unwrap().sent, 4);
+        assert_eq!(a.reductions.last().unwrap().t_ns, 107);
     }
 }

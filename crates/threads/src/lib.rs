@@ -20,6 +20,8 @@
 //! * [`RacyBuf`] — its generic sibling for index/value arrays filled at
 //!   disjoint positions by the parallel setup-phase kernels,
 //! * [`SpinLock`] — the raw lock behind the paper's lock-write option,
+//! * [`SpscRing`] — a bounded lock-free single-producer/single-consumer
+//!   ring, the per-rank-pair wire of the sharded message-passing transport,
 //! * [`Sched`] / [`OsSched`] / [`VirtualSched`] — the schedule abstraction:
 //!   every point where a team worker touches real concurrency goes through
 //!   a [`Sched`], so the same solver code runs under the production
@@ -44,6 +46,7 @@ pub mod lock;
 pub mod partition;
 pub mod racy;
 pub mod sched;
+pub mod spsc;
 pub mod team;
 
 pub use barrier::SpinBarrier;
@@ -53,4 +56,5 @@ pub use lock::SpinLock;
 pub use partition::{chunk_range, GridTeamLayout};
 pub use racy::{RacyBuf, RacyVec};
 pub use sched::{run_teams_sched, OsSched, ReadDelay, Sched, SchedPoint, VirtualSched};
+pub use spsc::SpscRing;
 pub use team::{run_teams, TeamCtx};

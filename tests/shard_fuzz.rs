@@ -1,0 +1,89 @@
+//! Seeded fuzz matrix over the sharded execution model: shard count ×
+//! network profile × fault plan, every run under a seeded `VirtualSched`
+//! and `VirtualTransport` and checked by the conservation-aware oracle.
+//!
+//! `HARNESS_FUZZ_SEEDS=<n>` widens the seed sweep (CI runs 8 → 13 axes ×
+//! 8 seeds = 104 runs); `HARNESS_SEED=<n>` pins one seed for replay and
+//! `HARNESS_CASE=<substring>` filters axes by label.
+
+use asyncmg_harness::MatrixFamily;
+use asyncmg_harness::{case_filter, check_sharded, seeds_from_env, FaultAxis, NetAxis, ShardAxis};
+
+/// The fuzz matrix: every network profile at the base configuration, shard
+/// counts 1/3/4, every fault axis over a lossy fabric, and one
+/// bigger-matrix axis. Convergence demands are per-axis: clean fabrics
+/// must converge, lossy or faulted ones must stay finite and conservative.
+fn axes() -> Vec<ShardAxis> {
+    let base = ShardAxis::base();
+    let mut axes = Vec::new();
+    // Every network profile converges at the base budget, lossy ones
+    // included — the epoch-tagged reduction never waits on a lost message.
+    for net in NetAxis::ALL {
+        axes.push(ShardAxis { net, ..base });
+    }
+    // More shards mean slower information flow per epoch; the bounds come
+    // from measured worst cases with an order of magnitude of margin.
+    axes.push(ShardAxis { n_shards: 1, ..base });
+    axes.push(ShardAxis { n_shards: 3, max_relres: Some(1e-1), ..base });
+    axes.push(ShardAxis { n_shards: 4, max_relres: Some(5e-2), ..base });
+    for fault in [FaultAxis::Straggler, FaultAxis::Crash, FaultAxis::Corrupt, FaultAxis::Drop] {
+        // A crashed shard strands its error segment, so crash runs are
+        // bounded only by finiteness and conservation.
+        let max_relres = match fault {
+            FaultAxis::Crash => None,
+            FaultAxis::Drop => Some(1e-2),
+            _ => Some(1e-3),
+        };
+        axes.push(ShardAxis { net: NetAxis::Drop, fault, max_relres, ..base });
+    }
+    axes.push(ShardAxis {
+        family: MatrixFamily::TwentySevenPt(6),
+        n_shards: 3,
+        t_max: 60,
+        max_relres: Some(1e-1),
+        ..base
+    });
+    axes
+}
+
+#[test]
+fn shard_fuzz_matrix() {
+    let seeds = seeds_from_env(4);
+    let filter = case_filter();
+    let mut runs = 0usize;
+    for axis in axes() {
+        let label = axis.label();
+        if let Some(f) = &filter {
+            if !label.contains(f.as_str()) {
+                continue;
+            }
+        }
+        for &seed in &seeds {
+            runs += 1;
+            let run = axis.run(seed);
+            if let Err(v) = check_sharded(&axis, &run) {
+                // Shrink: smallest failing seed gives the tightest replay.
+                let smallest = (0..seed)
+                    .find(|&s| check_sharded(&axis, &axis.run(s)).is_err())
+                    .unwrap_or(seed);
+                panic!(
+                    "shard fuzz failure: {} — {}\n  first failing seed: {seed}\n  smallest failing seed: {smallest}\n  reproduce with:\n    HARNESS_SEED={smallest} HARNESS_CASE='{label}' cargo test -p asyncmg-harness --test shard_fuzz -- --nocapture",
+                    v.case, v.reason
+                );
+            }
+        }
+    }
+    assert!(runs > 0, "filter excluded every axis");
+    println!("shard fuzz: {} axes × {} seeds = {runs} runs, all green", axes().len(), seeds.len());
+}
+
+/// The fingerprint must be stable under replay for every axis of the
+/// matrix (one seed here; the determinism suite stresses profiles more).
+#[test]
+fn every_axis_replays_identically() {
+    for axis in axes() {
+        let a = axis.run(1);
+        let b = axis.run(1);
+        assert_eq!(a.fingerprint, b.fingerprint, "{}", axis.label());
+    }
+}

@@ -62,7 +62,7 @@ fn tolerance_stops_async_multadd_below_tol() {
 
     // The JSON export carries the schema tag and parses to balanced braces.
     let json = trace.to_json();
-    assert!(json.contains("\"schema\": \"asyncmg-trace-v2\""));
+    assert!(json.contains("\"schema\": \"asyncmg-trace-v3\""));
     assert_eq!(json.matches('{').count(), json.matches('}').count());
 }
 
@@ -134,12 +134,13 @@ fn noop_probe_overhead_smoke() {
 /// A synthetic trace with fixed timestamps covering every JSON feature:
 /// several grids (one counter-only with no retained events), a `NaN`
 /// `local_res` (rendered `null`), multiple phases, dropped events, a fault
-/// log mixing injected faults with recovery actions, and the v2 resilience
-/// surface (checkpoint events and session attempt boundaries).
+/// log mixing injected faults with recovery actions, the v2 resilience
+/// surface (checkpoint events and session attempt boundaries), and the v3
+/// sharded surface (per-rank message counters and reduction records).
 fn golden_trace() -> asyncmg_telemetry::SolveTrace {
     use asyncmg_telemetry::{
-        AttemptRecord, CheckpointRecord, Event, FaultKind, FaultRecord, Phase, ResidualSample,
-        SolveTrace,
+        AttemptRecord, CheckpointRecord, Event, FaultKind, FaultRecord, Phase, ReductionRecord,
+        ResidualSample, ShardMessageStats, SolveTrace,
     };
     let events = vec![
         Event::Phase { grid: 0, phase: Phase::Restrict, start_ns: 2, dur_ns: 3 },
@@ -192,10 +193,19 @@ fn golden_trace() -> asyncmg_telemetry::SolveTrace {
             escalation: None,
         },
     ];
+    trace.messages = vec![
+        ShardMessageStats { rank: 0, sent: 12, delivered: 10, dropped: 1, overflowed: 0 },
+        ShardMessageStats { rank: 1, sent: 11, delivered: 12, dropped: 0, overflowed: 1 },
+        ShardMessageStats { rank: 2, sent: 9, delivered: 9, dropped: 0, overflowed: 0 },
+    ];
+    trace.reductions = vec![
+        ReductionRecord { epoch: 0, relres: 1.0, parts: 2, t_ns: 12 },
+        ReductionRecord { epoch: 2, relres: 2.5e-2, parts: 2, t_ns: 45 },
+    ];
     trace
 }
 
-/// The JSON export is a stable external format (`asyncmg-trace-v2`): the
+/// The JSON export is a stable external format (`asyncmg-trace-v3`): the
 /// serialisation of a fixed trace must match the committed golden file
 /// byte-for-byte. Run with `GOLDEN_UPDATE=1` to re-bless after a deliberate
 /// schema change (and bump the schema tag when doing so).
@@ -222,7 +232,7 @@ fn trace_json_matches_golden_file() {
 #[test]
 fn golden_trace_covers_schema_surface() {
     let json = golden_trace().to_json();
-    assert!(json.contains("\"schema\": \"asyncmg-trace-v2\""));
+    assert!(json.contains("\"schema\": \"asyncmg-trace-v3\""));
     assert!(json.contains("\"local_res\": null"), "NaN must render as null");
     assert!(json.contains("\"dropped_events\": 3"));
     // Every phase name appears in phase_totals (zero-count ones included),
@@ -255,6 +265,46 @@ fn golden_trace_covers_schema_surface() {
     assert!(json.contains("\"rung\": \"async_atomic\""));
     assert!(json.contains("\"escalation\": \"degraded\""));
     assert!(json.contains("\"escalation\": null"), "final attempt renders null escalation");
+    // v3 sharded surface: per-rank message counters and reduction records.
+    assert!(json.contains("\"messages\": ["));
+    assert!(json.contains("\"rank\": 1, \"sent\": 11, \"delivered\": 12"));
+    assert!(json.contains("\"overflowed\": 1"));
+    assert!(json.contains("\"reductions\": ["));
+    assert!(json.contains("\"epoch\": 2, \"relres\": 2.5e-2, \"parts\": 2, \"t_ns\": 45"));
+}
+
+/// v2 consumers keep working on v3 traces: every top-level key of the
+/// committed v2 golden is still present in the v3 export, the two schema
+/// tags differ, and `schema_of` identifies both files.
+#[test]
+fn trace_schema_v3_is_superset_of_v2() {
+    use asyncmg_telemetry::SolveTrace;
+    let v2_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden/trace_schema_v2.json");
+    let v2 = std::fs::read_to_string(v2_path).expect("missing tests/golden/trace_schema_v2.json");
+    let v3 = golden_trace().to_json();
+
+    assert_eq!(SolveTrace::schema_of(&v2), Some("asyncmg-trace-v2"));
+    assert_eq!(SolveTrace::schema_of(&v3), Some(SolveTrace::SCHEMA));
+    assert_ne!(SolveTrace::schema_of(&v2), SolveTrace::schema_of(&v3), "schema tag must bump");
+
+    // Top-level keys of the v2 document (two-space indentation) must all
+    // survive into v3 — additive evolution only.
+    let keys = |doc: &str| {
+        doc.lines()
+            .filter_map(|l| {
+                let l = l.strip_prefix("  \"")?;
+                Some(l.split('"').next().unwrap().to_string())
+            })
+            .collect::<Vec<_>>()
+    };
+    let v2_keys = keys(&v2);
+    assert!(v2_keys.contains(&"residual_history".to_string()), "key scrape broke: {v2_keys:?}");
+    for key in &v2_keys {
+        if key == "schema" {
+            continue;
+        }
+        assert!(v3.contains(&format!("  \"{key}\"")), "v3 export lost v2 top-level key {key:?}");
+    }
 }
 
 /// `StopCriterion::Tolerance` participates in options equality and the
