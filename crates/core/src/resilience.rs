@@ -41,6 +41,7 @@ use crate::asynchronous::{
 };
 use crate::krylov::{pcg_probed, VCyclePrec};
 use crate::mult::solve_mult_probed;
+use crate::setup::MgSetup;
 use crate::solver::{SolveError, Solver};
 use asyncmg_sparse::vecops;
 use asyncmg_telemetry::{
@@ -141,6 +142,16 @@ pub struct CheckpointStats {
 /// One rung of the degradation ladder, fastest-and-most-fragile first.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Rung {
+    /// A sharded message-passing solve over this many shard workers,
+    /// executed through the session's [`ShardRungDriver`]. Not part of the
+    /// default ladder; `asyncmg-shard`'s `sharded_ladder` prefixes a
+    /// halving sequence (S → S/2 → … → 1) onto [`Rung::LADDER`], so each
+    /// escalation retries with fewer shards, warm-started from the best
+    /// hub-assembled checkpoint.
+    Sharded {
+        /// Shard-worker count for this rung (the hub adds one more rank).
+        shards: u32,
+    },
     /// Fully asynchronous additive solve, atomic shared writes.
     AsyncAtomic,
     /// Fully asynchronous additive solve, lock shared writes.
@@ -163,6 +174,7 @@ impl Rung {
     /// Stable lowercase name (used in the trace JSON schema).
     pub fn name(self) -> &'static str {
         match self {
+            Rung::Sharded { .. } => "sharded",
             Rung::AsyncAtomic => "async_atomic",
             Rung::AsyncLock => "async_lock",
             Rung::SemiAsync => "semi_async",
@@ -314,6 +326,10 @@ impl SessionReport {
 pub enum SessionError {
     /// Resilient sessions need a target: set [`Solver::tolerance`](crate::Solver::tolerance).
     NoTolerance,
+    /// The ladder contains a [`Rung::Sharded`] rung but no
+    /// [`ShardRungDriver`] was installed
+    /// ([`Solver::shard_driver`](crate::Solver::shard_driver)).
+    MissingShardDriver,
     /// The [`RetryPolicy`] is out of range.
     InvalidRetry(String),
     /// The underlying solver configuration or right-hand side is invalid.
@@ -325,6 +341,9 @@ impl std::fmt::Display for SessionError {
         match self {
             SessionError::NoTolerance => {
                 write!(f, "resilient sessions need a tolerance to retry toward")
+            }
+            SessionError::MissingShardDriver => {
+                write!(f, "the ladder has a sharded rung but no shard driver is installed")
             }
             SessionError::InvalidRetry(msg) => write!(f, "invalid retry policy: {msg}"),
             SessionError::Solve(e) => write!(f, "invalid session configuration: {e}"),
@@ -354,6 +373,49 @@ pub(crate) fn mix(seed: u64, attempt: u32) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// One sharded-rung request, handed to the session's [`ShardRungDriver`]:
+/// solve `A·dx = b` (the session's shifted system) to `tolerance`.
+pub struct ShardAttempt<'a> {
+    /// The hierarchy the session runs on.
+    pub setup: &'a MgSetup,
+    /// Right-hand side of the shifted system (`r0 = b − A·x0`).
+    pub b: &'a [f64],
+    /// Shard-worker count of the rung.
+    pub shards: u32,
+    /// Epoch budget per shard (the session's `t_max`).
+    pub t_max: usize,
+    /// Target relative residual on the shifted system.
+    pub tolerance: f64,
+    /// Derived attempt seed for seeded sessions: `Some` means the driver
+    /// must run the fully virtual deterministic stack (seeded scheduler,
+    /// seeded transport, virtual clock) so the attempt replays
+    /// bit-identically. `None` means production transports and the OS
+    /// clock.
+    pub seed: Option<u64>,
+}
+
+/// What a [`ShardRungDriver`] produced for one [`ShardAttempt`].
+pub struct ShardAttemptOutcome {
+    /// The assembled approximation `dx`.
+    pub x: Vec<f64>,
+    /// Structured outcome of the sharded solve.
+    pub outcome: SolveOutcome,
+    /// Coarse-correction cycles the hub performed.
+    pub corrections: f64,
+    /// Wall-clock duration of the attempt.
+    pub elapsed: Duration,
+    /// The attempt's fault log (crashes, deaths, adoptions, guard trips).
+    pub faults: Vec<FaultRecord>,
+}
+
+/// Executes [`Rung::Sharded`] rungs for a resilient session. Implemented by
+/// `asyncmg-shard` (the core crate cannot depend on it); installed with
+/// [`Solver::shard_driver`](crate::Solver::shard_driver).
+pub trait ShardRungDriver: Sync {
+    /// Runs one sharded attempt.
+    fn run(&self, attempt: &ShardAttempt<'_>) -> ShardAttemptOutcome;
 }
 
 /// What one rung execution produced (on the shifted system `A·dx = r0`).
@@ -394,6 +456,26 @@ fn run_rung(
 ) -> RungRun {
     let setup = solver.setup;
     match rung {
+        Rung::Sharded { shards } => {
+            // Validated by `run_session` before the loop starts.
+            let driver = solver.shard_driver.expect("sharded rung without a driver");
+            let attempt = ShardAttempt {
+                setup,
+                b: r0,
+                shards,
+                t_max: solver.t_max,
+                tolerance: attempt_tol,
+                seed,
+            };
+            let out = driver.run(&attempt);
+            RungRun {
+                dx: out.x,
+                outcome: out.outcome,
+                corrections: out.corrections,
+                elapsed: out.elapsed,
+                faults: out.faults,
+            }
+        }
         Rung::AsyncAtomic | Rung::AsyncLock | Rung::SemiAsync => {
             let deterministic = seed.is_some();
             let mut recovery = solver.recovery;
@@ -507,6 +589,9 @@ pub(crate) fn run_session(solver: &Solver<'_>, b: &[f64]) -> Result<SessionRepor
     solver.retry.validate().map_err(SessionError::InvalidRetry)?;
     solver.validate(b)?;
     let ladder: &[Rung] = if solver.ladder.is_empty() { &Rung::LADDER } else { solver.ladder };
+    if ladder.iter().any(|r| matches!(r, Rung::Sharded { .. })) && solver.shard_driver.is_none() {
+        return Err(SessionError::MissingShardDriver);
+    }
     let policy = solver.retry;
     let setup = solver.setup;
     let n = setup.n();
@@ -791,6 +876,19 @@ mod tests {
         assert!(Rung::AsyncAtomic.is_async());
         assert!(Rung::AsyncLock.is_async());
         assert!(!Rung::SemiAsync.is_async());
+        assert_eq!(Rung::Sharded { shards: 4 }.name(), "sharded");
+        assert!(!Rung::Sharded { shards: 4 }.is_async());
+    }
+
+    #[test]
+    fn sharded_ladder_without_a_driver_is_rejected() {
+        let s = setup_n(4);
+        let b = random_rhs(s.n(), 14);
+        let ladder = [Rung::Sharded { shards: 2 }, Rung::Pcg];
+        let err =
+            crate::Solver::new(&s).tolerance(1e-8).ladder(&ladder).try_resilient(&b).unwrap_err();
+        assert_eq!(err, SessionError::MissingShardDriver);
+        assert!(err.to_string().contains("shard driver"));
     }
 
     #[test]

@@ -42,7 +42,9 @@ use crate::asynchronous::{
 };
 use crate::mult::solve_mult_probed;
 use crate::parallel_mult::solve_mult_threaded_probed;
-use crate::resilience::{run_session, RetryPolicy, Rung, SessionError, SessionReport};
+use crate::resilience::{
+    run_session, RetryPolicy, Rung, SessionError, SessionReport, ShardRungDriver,
+};
 use crate::setup::MgSetup;
 use asyncmg_telemetry::{FaultRecord, NoopProbe, Probe, SolveTrace, TelemetryProbe};
 use asyncmg_threads::{Clock, FaultPlan};
@@ -188,6 +190,7 @@ pub struct Solver<'a> {
     pub(crate) session_seed: Option<u64>,
     pub(crate) clock: Option<&'a dyn Clock>,
     pub(crate) ladder: &'a [Rung],
+    pub(crate) shard_driver: Option<&'a dyn ShardRungDriver>,
 }
 
 impl<'a> Solver<'a> {
@@ -214,6 +217,7 @@ impl<'a> Solver<'a> {
             session_seed: None,
             clock: None,
             ladder: &Rung::LADDER,
+            shard_driver: None,
         }
     }
 
@@ -383,6 +387,14 @@ impl<'a> Solver<'a> {
     /// slice selects the default [`Rung::LADDER`].
     pub fn ladder(mut self, ladder: &'a [Rung]) -> Self {
         self.ladder = ladder;
+        self
+    }
+
+    /// Installs the driver that executes [`Rung::Sharded`] ladder rungs
+    /// (`asyncmg-shard` provides one). Required before a resilient session
+    /// whose ladder contains a sharded rung.
+    pub fn shard_driver(mut self, driver: &'a dyn ShardRungDriver) -> Self {
+        self.shard_driver = Some(driver);
         self
     }
 

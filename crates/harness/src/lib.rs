@@ -42,4 +42,4 @@ pub use fuzz::{case_filter, run_fuzz, seeds_from_env, FuzzOutcome};
 pub use oracle::{Oracle, Violation};
 pub use resilience::{check_session, fingerprint_session, ResilienceAxis, SessionRun};
 pub use service::{check_service, fingerprint_service, ServiceAxis, ServiceRun};
-pub use shard::{check_sharded, fingerprint_sharded, NetAxis, ShardAxis, ShardRun};
+pub use shard::{check_sharded, fingerprint_sharded, NetAxis, RecoveryAxis, ShardAxis, ShardRun};

@@ -21,9 +21,12 @@ use crate::oracle::Violation;
 use asyncmg_amg::{build_hierarchy, AmgOptions};
 use asyncmg_core::{MgOptions, MgSetup, SolveOutcome};
 use asyncmg_problems::rhs::random_rhs;
-use asyncmg_shard::{solve_sharded_sched, ShardOptions, ShardResult, VirtualTransport};
+use asyncmg_shard::{
+    solve_sharded_clocked, RecoveryReport, ShardOptions, ShardRecovery, ShardResult,
+    VirtualTransport,
+};
 use asyncmg_telemetry::NoopProbe;
-use asyncmg_threads::VirtualSched;
+use asyncmg_threads::{Fault, FaultPlan, VirtualClock, VirtualSched};
 
 /// The network profile of a sharded fuzz run: how the seeded
 /// [`VirtualTransport`] treats data messages.
@@ -39,6 +42,72 @@ pub enum NetAxis {
     Drop,
     /// Heavy delays plus 40 % loss — the stress profile.
     Lossy,
+}
+
+/// The self-healing axis of a sharded fuzz run: whether recovery is armed
+/// and whether a deterministic mid-solve crash exercises it. The crash is
+/// injected into shard 1 via [`Fault::Crash`] on top of whatever the
+/// [`FaultAxis`] already injects, and the solve runs on a
+/// [`VirtualClock`] so detection and retransmission replay bit-identically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryAxis {
+    /// Recovery disarmed — the undefended model, bit-identical to the
+    /// pre-recovery solver.
+    Off,
+    /// Recovery armed with adoption off: shard 1 crashes at `crash_epoch`,
+    /// the detector (epoch-gap threshold `threshold`) declares it dead and
+    /// evicts it, and its rows freeze.
+    Detect {
+        /// Epoch at which shard 1 crashes.
+        crash_epoch: u64,
+        /// Detector silence threshold in epochs.
+        threshold: u64,
+    },
+    /// Full self-healing: detection plus row adoption by a surviving
+    /// neighbor, warm-started from the hub's last checkpoint.
+    Adopt {
+        /// Epoch at which shard 1 crashes.
+        crash_epoch: u64,
+        /// Detector silence threshold in epochs.
+        threshold: u64,
+    },
+}
+
+impl RecoveryAxis {
+    /// The recovery knobs this axis arms, `None` for [`RecoveryAxis::Off`].
+    pub fn recovery(self) -> Option<ShardRecovery> {
+        match self {
+            RecoveryAxis::Off => None,
+            RecoveryAxis::Detect { threshold, .. } => Some(ShardRecovery {
+                silence_epochs: threshold,
+                adopt: false,
+                ..ShardRecovery::default()
+            }),
+            RecoveryAxis::Adopt { threshold, .. } => Some(ShardRecovery {
+                silence_epochs: threshold,
+                adopt: true,
+                ..ShardRecovery::default()
+            }),
+        }
+    }
+
+    /// The crash epoch of the injected death, if the axis injects one.
+    pub fn crash_epoch(self) -> Option<u64> {
+        match self {
+            RecoveryAxis::Off => None,
+            RecoveryAxis::Detect { crash_epoch, .. } | RecoveryAxis::Adopt { crash_epoch, .. } => {
+                Some(crash_epoch)
+            }
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            RecoveryAxis::Off => "",
+            RecoveryAxis::Detect { .. } => "/detect",
+            RecoveryAxis::Adopt { .. } => "/heal",
+        }
+    }
 }
 
 impl NetAxis {
@@ -96,6 +165,9 @@ pub struct ShardAxis {
     /// Relative residual the oracle demands, when the configuration is
     /// clean enough to demand one (`None` skips the convergence check).
     pub max_relres: Option<f64>,
+    /// Self-healing axis: recovery knobs plus the deterministic crash that
+    /// exercises them.
+    pub recovery: RecoveryAxis,
 }
 
 impl ShardAxis {
@@ -110,17 +182,19 @@ impl ShardAxis {
             t_max: 80,
             tolerance: None,
             max_relres: Some(2e-3),
+            recovery: RecoveryAxis::Off,
         }
     }
 
-    /// A compact, filterable name: `shard/7pt6/s2/net-drop/crash`.
+    /// A compact, filterable name: `shard/7pt6/s2/net-drop/crash/heal`.
     pub fn label(&self) -> String {
         format!(
-            "shard/{}/s{}{}{}",
+            "shard/{}/s{}{}{}{}",
             self.family.label(),
             self.n_shards,
             self.net.label(),
-            self.fault.label()
+            self.fault.label(),
+            self.recovery.label()
         )
     }
 
@@ -143,15 +217,35 @@ impl ShardAxis {
             tolerance: self.tolerance,
             sweeps: 1,
             damping: 1.0,
+            recovery: self.recovery.recovery(),
         };
         let sched = VirtualSched::new(seed);
         // A distinct stream for the fabric so network and schedule
         // randomness stay decoupled per seed.
         let net =
             self.net.transport(self.n_shards + 1, seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
-        let plan = self.fault.plan(seed);
-        let result =
-            solve_sharded_sched(&setup, &b, &opts, &net, &sched, plan.as_ref(), &NoopProbe);
+        let mut plan = self.fault.plan(seed);
+        if let Some(at_round) = self.recovery.crash_epoch() {
+            // The recovery axes kill shard 1 mid-solve on top of whatever
+            // the fault axis injects.
+            plan = Some(
+                plan.unwrap_or_else(|| FaultPlan::new(seed))
+                    .with(Fault::Crash { team: 1, at_round }),
+            );
+        }
+        // The virtual clock makes detector deadlines and retransmit backoff
+        // pure functions of the schedule (time only advances on hub polls).
+        let clock = VirtualClock::new();
+        let result = solve_sharded_clocked(
+            &setup,
+            &b,
+            &opts,
+            &net,
+            &sched,
+            plan.as_ref(),
+            Some(&clock),
+            &NoopProbe,
+        );
         let decisions = sched.decisions();
         let fingerprint = fingerprint_sharded(&result);
         ShardRun { result, decisions, fingerprint }
@@ -171,9 +265,10 @@ pub struct ShardRun {
 /// The canonical fingerprint of one sharded solve: bit-exact over the
 /// solution, the exact relative residual, per-shard epoch counts, hub
 /// cycles, every published reduction, the per-rank transport counters, the
-/// outcome and the fault-kind stream. Wall-clock fields (`elapsed`, fault
-/// timestamps) are excluded — two replays of the same interleaving differ
-/// only there.
+/// recovery report (deaths, adoptions, retransmit/ack/checkpoint/eviction
+/// counters), the outcome and the fault-kind stream. Wall-clock fields
+/// (`elapsed`, fault timestamps) are excluded — two replays of the same
+/// interleaving differ only there.
 pub fn fingerprint_sharded(result: &ShardResult) -> u64 {
     let mut h = Fnv::new();
     h.write_u64(result.x.len() as u64);
@@ -200,6 +295,20 @@ pub fn fingerprint_sharded(result: &ShardResult) -> u64 {
         h.write_u64(c.overflowed);
     }
     h.write_u64(result.stats.pending);
+    let rec = &result.recovery;
+    h.write_u64(rec.dead_shards.len() as u64);
+    for &d in &rec.dead_shards {
+        h.write_u64(d as u64);
+    }
+    h.write_u64(rec.adoptions.len() as u64);
+    for &(dead, adopter) in &rec.adoptions {
+        h.write_u64(dead as u64);
+        h.write_u64(adopter as u64);
+    }
+    h.write_u64(rec.retransmits);
+    h.write_u64(rec.acks);
+    h.write_u64(rec.checkpoints);
+    h.write_u64(rec.evictions);
     h.write_u64(match result.outcome {
         SolveOutcome::Converged => 0,
         SolveOutcome::MaxIterations => 1,
@@ -217,14 +326,22 @@ pub fn fingerprint_sharded(result: &ShardResult) -> u64 {
 ///
 /// 1. finiteness of the solution and residual;
 /// 2. message conservation (`sent = delivered + dropped + overflowed +
-///    pending` per the quiescent counter snapshot);
-/// 3. strictly increasing reduction epochs, each combining exactly
-///    `n_shards` contributions;
+///    pending` per the quiescent counter snapshot) — retransmitted
+///    reliable wrappers are ordinary sends, so the balance holds with
+///    recovery armed too;
+/// 3. strictly increasing reduction epochs, each combining the live shard
+///    count: exactly `n_shards` contributions undefended, between
+///    `n_shards - deaths` and `n_shards` once the detector retires parts;
 /// 4. per-shard epoch counts within the budget;
 /// 5. fault/outcome consistency: a finite run is `Degraded` exactly when
 ///    its fault log is non-empty, and the deterministic fault axes
 ///    (straggler/crash/corrupt) must actually have injected;
-/// 6. the axis's convergence demand (`max_relres`), when set.
+/// 6. recovery/report consistency: [`RecoveryAxis::Off`] must leave an
+///    all-zero report (undefended purity), the recovery axes must declare
+///    the crashed shard dead and evict it, adoption happens exactly on
+///    [`RecoveryAxis::Adopt`], and the fault log carries the matching
+///    `shard_declared_dead` / `rows_adopted` events;
+/// 7. the axis's convergence demand (`max_relres`), when set.
 pub fn check_sharded(axis: &ShardAxis, run: &ShardRun) -> Result<(), Violation> {
     let fail = |reason: String| Violation { case: axis.label(), reason };
     let r = &run.result;
@@ -252,11 +369,21 @@ pub fn check_sharded(axis: &ShardAxis, run: &ShardRun) -> Result<(), Violation> 
             )));
         }
     }
+    let deaths = r.recovery.dead_shards.len();
     for red in &r.reductions {
-        if red.parts as usize != axis.n_shards {
+        let lo = axis.n_shards.saturating_sub(deaths).max(1);
+        if !(lo..=axis.n_shards).contains(&(red.parts as usize)) {
             return Err(fail(format!(
-                "reduction at epoch {} combined {} parts, expected {}",
+                "reduction at epoch {} combined {} parts, expected {lo}..={}",
                 red.epoch, red.parts, axis.n_shards
+            )));
+        }
+    }
+    for pair in r.reductions.windows(2) {
+        if pair[0].parts < pair[1].parts {
+            return Err(fail(format!(
+                "reduction parts grew from {} to {} — a retired shard came back",
+                pair[0].parts, pair[1].parts
             )));
         }
     }
@@ -284,6 +411,52 @@ pub fn check_sharded(axis: &ShardAxis, run: &ShardRun) -> Result<(), Violation> 
         && r.faults.is_empty()
     {
         return Err(fail(format!("{:?} axis injected no faults", axis.fault)));
+    }
+    let kinds: Vec<&str> = r.faults.iter().map(|f| f.kind.name()).collect();
+    match axis.recovery {
+        RecoveryAxis::Off => {
+            if r.recovery != RecoveryReport::default() {
+                return Err(fail(format!(
+                    "recovery disarmed but the report is non-zero: {:?}",
+                    r.recovery
+                )));
+            }
+        }
+        RecoveryAxis::Detect { .. } | RecoveryAxis::Adopt { .. } => {
+            if !r.recovery.dead_shards.contains(&1) {
+                return Err(fail(format!(
+                    "crashed shard 1 never declared dead: {:?}",
+                    r.recovery.dead_shards
+                )));
+            }
+            if r.recovery.evictions < r.recovery.dead_shards.len() as u64 {
+                return Err(fail(format!(
+                    "{} deaths but only {} evictions",
+                    r.recovery.dead_shards.len(),
+                    r.recovery.evictions
+                )));
+            }
+            if !kinds.contains(&"shard_declared_dead") {
+                return Err(fail("no shard_declared_dead event in the fault log".into()));
+            }
+            let adopting = matches!(axis.recovery, RecoveryAxis::Adopt { .. });
+            if adopting {
+                if !r.recovery.adoptions.iter().any(|&(dead, _)| dead == 1) {
+                    return Err(fail(format!(
+                        "adoption armed but shard 1's rows were never adopted: {:?}",
+                        r.recovery.adoptions
+                    )));
+                }
+                if !kinds.contains(&"rows_adopted") {
+                    return Err(fail("no rows_adopted event in the fault log".into()));
+                }
+            } else if !r.recovery.adoptions.is_empty() {
+                return Err(fail(format!(
+                    "adoption disarmed but adoptions happened: {:?}",
+                    r.recovery.adoptions
+                )));
+            }
+        }
     }
     if let Some(bound) = axis.max_relres {
         if r.relres > bound {

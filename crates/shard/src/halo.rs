@@ -102,6 +102,44 @@ impl ShardMap {
         out.extend(self.ghost_indices(from, to).iter().map(|&j| x[j as usize]));
     }
 
+    /// Rewires the map after a declared death: `adopter` takes over
+    /// `dead`'s rows and the ghost-exchange lists are rebuilt from the
+    /// sparsity of `a` for the merged layout. Every shard strictly between
+    /// the two must already own an empty range (i.e. have been adopted
+    /// away earlier), so the merged range stays contiguous; `dead`'s range
+    /// collapses to an empty range pinned at the merge boundary, keeping
+    /// the `0..n` tiling invariant intact.
+    ///
+    /// Every participant of a solve applies the same adoption sequence in
+    /// the same order, so the rewired maps — and hence the gather/scatter
+    /// index lists — agree bit-for-bit (the proptests in
+    /// `tests/shard_recovery.rs` pin this against a fresh
+    /// [`ShardMap::new`] over the merged ranges).
+    pub fn adopt(&mut self, a: &Csr, dead: usize, adopter: usize) {
+        let s = self.ranges.len();
+        assert!(dead < s && adopter < s, "shard index out of range");
+        assert_ne!(dead, adopter, "a shard cannot adopt itself");
+        let (lo, hi) = if adopter < dead { (adopter, dead) } else { (dead, adopter) };
+        for k in lo + 1..hi {
+            assert!(
+                self.ranges[k].is_empty(),
+                "shards between dead {dead} and adopter {adopter} must hold empty ranges"
+            );
+        }
+        let merged = self.ranges[lo].start..self.ranges[hi].end;
+        let mut ranges = self.ranges.clone();
+        for (k, r) in ranges.iter_mut().enumerate().take(hi + 1).skip(lo) {
+            *r = if k < adopter {
+                merged.start..merged.start
+            } else if k > adopter {
+                merged.end..merged.end
+            } else {
+                merged.clone()
+            };
+        }
+        *self = ShardMap::new(a, ranges);
+    }
+
     /// Scatters received halo values back into `x` by the `(from, to)`
     /// ghost-index list. Returns `false` (leaving `x` untouched) when the
     /// length does not match the list — a malformed message.
@@ -165,6 +203,33 @@ mod tests {
         let mut x = vec![0.0; 64];
         assert!(!map.scatter(0, 1, &[1.0], &mut x));
         assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn adoption_merges_ranges_and_rewires_ghosts() {
+        let a = laplacian_7pt(4, 4, 4);
+        let mut map = ShardMap::chunked(&a, 3);
+        let dead_rows = map.range(1);
+        map.adopt(&a, 1, 0);
+        assert_eq!(map.n_shards(), 3, "shard count is fixed for the solve");
+        assert_eq!(map.range(0), 0..dead_rows.end);
+        assert!(map.range(1).is_empty());
+        // The rewired map agrees exactly with a fresh map over the merged
+        // ranges: same ghosts, same neighbours.
+        let fresh = ShardMap::new(&a, map.ranges().to_vec());
+        for from in 0..3 {
+            assert_eq!(map.neighbors_out(from), fresh.neighbors_out(from));
+            for to in 0..3 {
+                assert_eq!(map.ghost_indices(from, to), fresh.ghost_indices(from, to));
+            }
+        }
+        // A dead shard has no rows, so nobody needs its values.
+        assert!(map.neighbors_out(1).is_empty());
+        // Chained adoption: with shard 1 empty, shard 2 can adopt shard 0
+        // across it.
+        map.adopt(&a, 0, 2);
+        assert_eq!(map.range(2), 0..64);
+        assert!(map.range(0).is_empty() && map.range(1).is_empty());
     }
 
     /// Turns arbitrary cut positions into a partition of `0..n` into

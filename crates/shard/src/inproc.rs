@@ -48,6 +48,15 @@ impl InProcChannel {
     pub fn for_epochs(n_ranks: usize, t_max: usize) -> Self {
         Self::new(n_ranks, 2 * t_max + 8)
     }
+
+    /// A fabric sized for a *recovery-armed* solve of `t_max` epochs: on
+    /// top of the [`Self::for_epochs`] budget each pair may carry periodic
+    /// checkpoints, reliable-wrapper retransmits, acks, and adoption
+    /// payloads. Overflowed reliable payloads are recovered by
+    /// retransmission anyway, so generous-but-finite sizing suffices.
+    pub fn for_epochs_resilient(n_ranks: usize, t_max: usize) -> Self {
+        Self::new(n_ranks, 8 * t_max + 64)
+    }
 }
 
 impl Transport for InProcChannel {
@@ -97,8 +106,8 @@ mod tests {
     #[test]
     fn delivers_point_to_point_in_order() {
         let net = InProcChannel::new(3, 8);
-        net.send(0, 2, Msg::PartialNorm { from: 0, epoch: 0, sumsq: 1.0 });
-        net.send(0, 2, Msg::PartialNorm { from: 0, epoch: 1, sumsq: 2.0 });
+        net.send(0, 2, Msg::PartialNorm { from: 0, epoch: 0, ver: 0, sumsq: 1.0 });
+        net.send(0, 2, Msg::PartialNorm { from: 0, epoch: 1, ver: 0, sumsq: 2.0 });
         net.send(1, 2, Msg::Done { from: 1 });
         let mut got = Vec::new();
         while let Some(m) = net.try_recv(2) {
@@ -126,8 +135,8 @@ mod tests {
     fn round_robin_does_not_starve_any_sender() {
         let net = InProcChannel::new(3, 32);
         for epoch in 0..10u64 {
-            net.send(0, 2, Msg::PartialNorm { from: 0, epoch, sumsq: 0.0 });
-            net.send(1, 2, Msg::PartialNorm { from: 1, epoch, sumsq: 0.0 });
+            net.send(0, 2, Msg::PartialNorm { from: 0, epoch, ver: 0, sumsq: 0.0 });
+            net.send(1, 2, Msg::PartialNorm { from: 1, epoch, ver: 0, sumsq: 0.0 });
         }
         // The first four receives must include both senders.
         let mut senders = Vec::new();

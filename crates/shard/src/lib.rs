@@ -38,7 +38,9 @@
 pub mod halo;
 pub mod inproc;
 pub mod msg;
+pub mod recovery;
 pub mod reduce;
+pub mod rung;
 pub mod solve;
 pub mod solver_ext;
 pub mod transport;
@@ -47,8 +49,10 @@ pub mod virtual_net;
 pub use halo::ShardMap;
 pub use inproc::InProcChannel;
 pub use msg::Msg;
+pub use recovery::{RecoveryReport, ShardRecovery};
 pub use reduce::{NormReducer, Reduction};
-pub use solve::{solve_sharded_sched, ShardOptions, ShardResult};
+pub use rung::{sharded_ladder, ShardedRungDriver};
+pub use solve::{solve_sharded_clocked, solve_sharded_sched, ShardOptions, ShardResult};
 pub use solver_ext::{Sharded, ShardedExt};
 pub use transport::{RankCounters, Transport, TransportStats};
 pub use virtual_net::VirtualTransport;

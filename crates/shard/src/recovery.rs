@@ -1,0 +1,297 @@
+//! Self-healing machinery for the sharded solve: recovery knobs, the
+//! recovery report, and the hub's reliable-delivery bookkeeping.
+//!
+//! The pieces compose inside `solve.rs` (see `docs/sharding.md` for the
+//! protocol walkthrough):
+//!
+//! * [`ShardRecovery`] arms the hub-side failure detector (bounded silence
+//!   in epochs *and* clock time, both driven by the
+//!   [`Clock`](asyncmg_threads::Clock) abstraction so `VirtualClock`
+//!   replays are bit-identical), row adoption, periodic shard checkpoints,
+//!   and the ack + bounded-retransmit control plane.
+//! * `ReliableSender` / `ReliableReceiver` (crate-private) implement that
+//!   control plane per destination: every wrapped payload carries a sequence
+//!   number, the receiver acks every delivery and applies each sequence
+//!   once, and the sender retransmits unacked payloads with exponential
+//!   backoff until [`ShardRecovery::max_retransmits`] is exhausted — at
+//!   which point the destination is declared dead.
+//! * [`RecoveryReport`] is the run's recovery ledger, part of
+//!   [`ShardResult`](crate::ShardResult) and of the harness fingerprint.
+//!
+//! Everything here is plain sequential state driven by the hub's loop —
+//! determinism comes from the caller's scheduler and clock, not from
+//! anything time-based in this module.
+
+use crate::msg::Msg;
+use std::time::Duration;
+
+/// Recovery knobs of a sharded solve. `ShardOptions::recovery: None`
+/// (the default) disables every code path in this module and keeps the
+/// undefended solve bit-identical to the pre-recovery model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShardRecovery {
+    /// Declare a shard dead once the most advanced live shard has run this
+    /// many epochs past the silent shard's last heard epoch. Progress-based:
+    /// fires deterministically under `VirtualSched` regardless of wall
+    /// time.
+    pub silence_epochs: u64,
+    /// Declare a shard dead after this much clock silence (the backstop
+    /// that terminates even when *every* shard is dead and nobody advances
+    /// epochs). Measured on the solve's [`Clock`](asyncmg_threads::Clock).
+    pub silence: Duration,
+    /// How long the hub sleeps on its clock when an iteration delivered no
+    /// messages — the quantum that advances a `VirtualClock` toward the
+    /// silence deadline.
+    pub poll: Duration,
+    /// Initial retransmit timeout for reliable control-plane payloads;
+    /// doubles on every retry.
+    pub rto: Duration,
+    /// Retransmits per payload before the destination is declared dead.
+    pub max_retransmits: u32,
+    /// Whether a declared death triggers row adoption. With adoption off
+    /// the dead shard's rows freeze at the hub's last checkpoint (detection
+    /// and eviction still run).
+    pub adopt: bool,
+    /// A shard checkpoints its owned iterate segment to the hub every this
+    /// many epochs (the warm start handed to an adopter).
+    pub checkpoint_every: u64,
+}
+
+impl Default for ShardRecovery {
+    fn default() -> Self {
+        ShardRecovery {
+            silence_epochs: 8,
+            silence: Duration::from_millis(250),
+            poll: Duration::from_micros(200),
+            rto: Duration::from_millis(5),
+            max_retransmits: 8,
+            adopt: true,
+            checkpoint_every: 4,
+        }
+    }
+}
+
+/// What recovery did during one sharded solve. All-zero when recovery was
+/// off or never triggered.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Shards the hub declared dead, in declaration order.
+    pub dead_shards: Vec<u32>,
+    /// Row adoptions `(dead, adopter)`, in application order.
+    pub adoptions: Vec<(u32, u32)>,
+    /// Reliable control-plane payloads retransmitted by the hub.
+    pub retransmits: u64,
+    /// Acks the hub received (including duplicates).
+    pub acks: u64,
+    /// Checkpoint snapshots the hub accepted.
+    pub checkpoints: u64,
+    /// `Evict` fences the hub sent to declared-dead shards.
+    pub evictions: u64,
+}
+
+/// One unacknowledged reliable payload.
+struct Outstanding {
+    seq: u64,
+    inner: Msg,
+    sent_ns: u64,
+    sent_ev: u64,
+    retries: u32,
+}
+
+/// The hub's per-destination reliable-delivery state: sequence assignment,
+/// the unacked window, and backoff-scheduled retransmission.
+pub(crate) struct ReliableSender {
+    next_seq: u64,
+    window: Vec<Outstanding>,
+    rto_ns: u64,
+    /// Event-count retransmit interval: a payload is also due once this
+    /// many fabric events passed since it was sent. Busy fabrics keep the
+    /// hub's drain full, which can freeze a `VirtualClock` (it only
+    /// advances on idle sleeps) — event progress guarantees retransmission
+    /// anyway, deterministically.
+    rto_ev: u64,
+    max_retransmits: u32,
+}
+
+impl ReliableSender {
+    pub(crate) fn new(rec: &ShardRecovery, rto_ev: u64) -> Self {
+        ReliableSender {
+            next_seq: 0,
+            window: Vec::new(),
+            rto_ns: (rec.rto.as_nanos() as u64).max(1),
+            rto_ev: rto_ev.max(1),
+            max_retransmits: rec.max_retransmits,
+        }
+    }
+
+    /// Assigns the next sequence number, records the payload as unacked,
+    /// and returns the wrapped message to put on the wire.
+    pub(crate) fn send(&mut self, inner: Msg, now_ns: u64, now_ev: u64) -> Msg {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.window.push(Outstanding {
+            seq,
+            inner: inner.clone(),
+            sent_ns: now_ns,
+            sent_ev: now_ev,
+            retries: 0,
+        });
+        Msg::Reliable { seq, inner: Box::new(inner) }
+    }
+
+    /// Retires the acked sequence (duplicates are fine).
+    pub(crate) fn on_ack(&mut self, seq: u64) {
+        self.window.retain(|o| o.seq != seq);
+    }
+
+    /// Payloads due for retransmission — overdue on the clock *or* on the
+    /// fabric-event count: each is re-wrapped under its original sequence
+    /// number and both backoffs double. Returns the messages to resend.
+    pub(crate) fn due(&mut self, now_ns: u64, now_ev: u64) -> Vec<Msg> {
+        let mut resend = Vec::new();
+        for o in &mut self.window {
+            let shift = o.retries.min(62);
+            let overdue = now_ns.saturating_sub(o.sent_ns)
+                >= self.rto_ns.saturating_mul(1u64 << shift)
+                || now_ev.saturating_sub(o.sent_ev) >= self.rto_ev.saturating_mul(1u64 << shift);
+            if o.retries < self.max_retransmits && overdue {
+                o.retries += 1;
+                o.sent_ns = now_ns;
+                o.sent_ev = now_ev;
+                resend.push(Msg::Reliable { seq: o.seq, inner: Box::new(o.inner.clone()) });
+            }
+        }
+        resend
+    }
+
+    /// Whether some payload has exhausted its retransmit budget and is
+    /// overdue again — the sender's verdict that the destination is gone.
+    pub(crate) fn exhausted(&self, now_ns: u64, now_ev: u64) -> bool {
+        self.window.iter().any(|o| {
+            let shift = o.retries.min(62);
+            o.retries >= self.max_retransmits
+                && (now_ns.saturating_sub(o.sent_ns) >= self.rto_ns.saturating_mul(1u64 << shift)
+                    || now_ev.saturating_sub(o.sent_ev)
+                        >= self.rto_ev.saturating_mul(1u64 << shift))
+        })
+    }
+
+    /// Drops every unacked payload (the destination was declared dead).
+    pub(crate) fn abandon(&mut self) {
+        self.window.clear();
+    }
+
+    /// Drops unacked payloads matching `pred`: the caller superseded them
+    /// with a fresher value, and retransmitting the stale version would do
+    /// harm (e.g. an old coarse correction landing on an almost-converged
+    /// iterate). The sequence numbers stay burned — the receiver's dedup
+    /// window never sees them again.
+    pub(crate) fn supersede<F: Fn(&Msg) -> bool>(&mut self, pred: F) {
+        self.window.retain(|o| !pred(&o.inner));
+    }
+}
+
+/// A shard's receive-side dedup window: acks everything, applies each
+/// sequence once.
+#[derive(Default)]
+pub(crate) struct ReliableReceiver {
+    applied: std::collections::BTreeSet<u64>,
+}
+
+impl ReliableReceiver {
+    /// `true` exactly once per sequence number — the caller applies the
+    /// payload on `true` and only acks on `false` (a duplicate delivery).
+    pub(crate) fn accept(&mut self, seq: u64) -> bool {
+        self.applied.insert(seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec() -> ShardRecovery {
+        ShardRecovery { rto: Duration::from_nanos(100), max_retransmits: 2, ..Default::default() }
+    }
+
+    fn tx() -> ReliableSender {
+        // A huge event interval keeps these tests purely clock-driven.
+        ReliableSender::new(&rec(), u64::MAX / 4)
+    }
+
+    #[test]
+    fn acked_payloads_are_never_retransmitted() {
+        let mut tx = tx();
+        let wire = tx.send(Msg::Stop, 0, 0);
+        let Msg::Reliable { seq, inner } = wire else { panic!("expected wrapper") };
+        assert_eq!((seq, *inner), (0, Msg::Stop));
+        tx.on_ack(0);
+        assert!(tx.due(1_000_000, 0).is_empty());
+        assert!(!tx.exhausted(1_000_000, 0));
+    }
+
+    #[test]
+    fn retransmits_back_off_exponentially_then_exhaust() {
+        let mut tx = tx();
+        tx.send(Msg::Stop, 0, 0);
+        assert!(tx.due(99, 0).is_empty(), "not due before the rto");
+        // Due at rto=100, then backoff doubles: next at +200, then done.
+        assert_eq!(tx.due(100, 0).len(), 1);
+        assert!(tx.due(250, 0).is_empty());
+        assert_eq!(tx.due(300, 0).len(), 1);
+        assert!(!tx.exhausted(300, 0), "budget just spent, grace window runs");
+        assert!(tx.due(10_000, 0).is_empty(), "budget exhausted: no more resends");
+        assert!(tx.exhausted(10_000, 0), "overdue after exhaustion: peer is gone");
+        tx.abandon();
+        assert!(!tx.exhausted(10_000, 0));
+    }
+
+    #[test]
+    fn event_progress_drives_retransmission_under_a_frozen_clock() {
+        let mut tx = ReliableSender::new(&rec(), 10);
+        tx.send(Msg::Stop, 0, 0);
+        assert!(tx.due(0, 9).is_empty(), "not due before the event interval");
+        // Clock frozen at 0 throughout: events alone drive the schedule,
+        // with the same doubling backoff (due at 10 events, then +20).
+        assert_eq!(tx.due(0, 10).len(), 1);
+        assert!(tx.due(0, 25).is_empty());
+        assert_eq!(tx.due(0, 30).len(), 1);
+        assert!(tx.due(0, 1_000).is_empty(), "budget exhausted");
+        assert!(tx.exhausted(0, 1_000), "exhaustion also fires on events");
+    }
+
+    #[test]
+    fn superseded_payloads_are_never_retransmitted() {
+        let mut tx = tx();
+        tx.send(Msg::Correction { cycle: 0, ver: 0, vals: vec![1.0] }, 0, 0);
+        tx.supersede(|m| matches!(m, Msg::Correction { .. }));
+        let wire = tx.send(Msg::Correction { cycle: 1, ver: 0, vals: vec![2.0] }, 0, 0);
+        // Sequences keep advancing past the superseded payload…
+        assert!(matches!(wire, Msg::Reliable { seq: 1, .. }));
+        // …and only the fresh correction is ever due again.
+        let due = tx.due(1_000, 0);
+        assert_eq!(due.len(), 1);
+        assert!(matches!(&due[0], Msg::Reliable { seq: 1, inner }
+                if matches!(**inner, Msg::Correction { cycle: 1, .. })));
+    }
+
+    #[test]
+    fn sequences_are_per_sender_monotone() {
+        let mut tx = tx();
+        let seqs: Vec<u64> = (0..3)
+            .map(|_| match tx.send(Msg::Stop, 0, 0) {
+                Msg::Reliable { seq, .. } => seq,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn receiver_applies_each_sequence_once() {
+        let mut rx = ReliableReceiver::default();
+        assert!(rx.accept(4));
+        assert!(!rx.accept(4), "duplicate delivery is acked but not applied");
+        assert!(rx.accept(2), "reordered lower sequence still applies");
+    }
+}

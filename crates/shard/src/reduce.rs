@@ -82,6 +82,26 @@ impl NormReducer {
     pub fn pending_epochs(&self) -> usize {
         self.pending.len()
     }
+
+    /// Contributions currently required per epoch.
+    pub fn parts(&self) -> u32 {
+        self.parts
+    }
+
+    /// Removes one expected contribution per epoch — the hub calls this
+    /// when it declares a shard dead, so reductions keep completing from
+    /// the survivors. Never drops below one part.
+    pub fn retire_part(&mut self) {
+        self.parts = self.parts.saturating_sub(1).max(1);
+    }
+
+    /// Discards every pending (incomplete) epoch while keeping the
+    /// published-epoch watermark. Paired with [`Self::retire_part`] after
+    /// a death: epochs partially filled under the old shard count would
+    /// otherwise complete from a mix of pre- and post-death coverage.
+    pub fn clear_pending(&mut self) {
+        self.pending.clear();
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +149,37 @@ mod tests {
         // Epoch 1's second contribution arrives after: stays unpublished.
         red.offer(1, 1.0);
         assert!(red.try_complete().is_none());
+    }
+
+    #[test]
+    fn retiring_a_part_lets_survivors_complete_epochs() {
+        let mut red = NormReducer::new(3, 1.0);
+        red.offer(2, 1.0);
+        red.offer(2, 1.0);
+        assert!(red.try_complete().is_none());
+        // Shard death: one fewer contribution expected, and the
+        // mixed-coverage pending epoch is discarded rather than completed.
+        red.retire_part();
+        red.clear_pending();
+        assert_eq!(red.parts(), 2);
+        assert!(red.try_complete().is_none());
+        red.offer(3, 2.0);
+        red.offer(3, 2.0);
+        let r = red.try_complete().unwrap();
+        assert_eq!((r.epoch, r.parts), (3, 2));
+        assert_eq!(r.relres, 2.0);
+        // The watermark survives the clear: stale epochs stay ignored.
+        red.offer(1, 9.0);
+        assert!(red.try_complete().is_none());
+    }
+
+    #[test]
+    fn retire_part_never_drops_below_one() {
+        let mut red = NormReducer::new(1, 1.0);
+        red.retire_part();
+        assert_eq!(red.parts(), 1);
+        red.offer(0, 4.0);
+        assert_eq!(red.try_complete().unwrap().relres, 2.0);
     }
 
     #[test]

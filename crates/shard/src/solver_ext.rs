@@ -10,11 +10,12 @@
 //! [`VirtualSched`](asyncmg_threads::VirtualSched)).
 
 use crate::inproc::InProcChannel;
-use crate::solve::{solve_sharded_sched, ShardOptions, ShardResult};
+use crate::recovery::ShardRecovery;
+use crate::solve::{solve_sharded_clocked, ShardOptions, ShardResult};
 use crate::transport::Transport;
 use asyncmg_core::{MgSetup, SolveError, Solver};
 use asyncmg_telemetry::{NoopProbe, ReductionRecord, TelemetryProbe};
-use asyncmg_threads::{FaultPlan, OsSched, Sched};
+use asyncmg_threads::{Clock, FaultPlan, OsSched, Sched};
 
 /// Extends the core [`Solver`] builder with a sharded execution model.
 pub trait ShardedExt<'a> {
@@ -38,6 +39,7 @@ impl<'a> ShardedExt<'a> for Solver<'a> {
             collect_trace: false,
             transport: None,
             sched: None,
+            clock: None,
         }
     }
 }
@@ -52,6 +54,7 @@ pub struct Sharded<'a> {
     collect_trace: bool,
     transport: Option<&'a dyn Transport>,
     sched: Option<&'a dyn Sched>,
+    clock: Option<&'a dyn Clock>,
 }
 
 impl<'a> Sharded<'a> {
@@ -101,8 +104,26 @@ impl<'a> Sharded<'a> {
         self
     }
 
+    /// Arms (or disarms) self-healing: the hub-side failure detector, row
+    /// adoption, periodic checkpoints and the reliable control plane (see
+    /// [`ShardRecovery`]). `None` — the default — keeps the undefended
+    /// solve bit-identical to the recovery-free model.
+    pub fn recovery(mut self, recovery: Option<ShardRecovery>) -> Self {
+        self.opts.recovery = recovery;
+        self
+    }
+
+    /// Overrides the clock that drives the failure detector's silence
+    /// deadlines and retransmit backoff (e.g. a
+    /// [`VirtualClock`](asyncmg_threads::VirtualClock) so recovery replays
+    /// are bit-identical and tests never sleep).
+    pub fn clock(mut self, clock: &'a dyn Clock) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
     /// Records telemetry: the result's `trace` carries per-rank message
-    /// statistics and the published reductions (schema `asyncmg-trace-v3`).
+    /// statistics and the published reductions (schema `asyncmg-trace-v4`).
     pub fn with_trace(mut self) -> Self {
         self.collect_trace = true;
         self
@@ -158,7 +179,13 @@ impl<'a> Sharded<'a> {
         let transport: &dyn Transport = match self.transport {
             Some(t) => t,
             None => {
-                default_net = InProcChannel::for_epochs(ranks, o.t_max);
+                default_net = if o.recovery.is_some() {
+                    // Recovery traffic (checkpoints, retransmits, acks,
+                    // adoption) needs headroom beyond the undefended budget.
+                    InProcChannel::for_epochs_resilient(ranks, o.t_max)
+                } else {
+                    InProcChannel::for_epochs(ranks, o.t_max)
+                };
                 &default_net
             }
         };
@@ -173,10 +200,15 @@ impl<'a> Sharded<'a> {
 
         let mut result = if self.collect_trace {
             let mut probe = TelemetryProbe::with_threads(ranks);
-            let mut result =
-                solve_sharded_sched(self.setup, b, o, transport, sched, self.plan, &probe);
+            let mut result = solve_sharded_clocked(
+                self.setup, b, o, transport, sched, self.plan, self.clock, &probe,
+            );
             let mut trace = probe.take_trace();
             trace.messages = result.stats.to_telemetry();
+            // The hub is the reliable sender: attribute its retransmits.
+            if let Some(hub) = trace.messages.last_mut() {
+                hub.retransmits = result.recovery.retransmits;
+            }
             trace.reductions = result
                 .reductions
                 .iter()
@@ -190,7 +222,9 @@ impl<'a> Sharded<'a> {
             result.trace = Some(trace);
             result
         } else {
-            solve_sharded_sched(self.setup, b, o, transport, sched, self.plan, &NoopProbe)
+            solve_sharded_clocked(
+                self.setup, b, o, transport, sched, self.plan, self.clock, &NoopProbe,
+            )
         };
         result.x.shrink_to_fit();
         Ok(result)

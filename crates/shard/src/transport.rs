@@ -110,6 +110,7 @@ impl TransportStats {
                 delivered: c.delivered,
                 dropped: c.dropped,
                 overflowed: c.overflowed,
+                retransmits: 0,
             })
             .collect()
     }

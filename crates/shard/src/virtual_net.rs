@@ -145,7 +145,7 @@ mod tests {
     fn ideal_profile_delivers_in_send_order() {
         let net = VirtualTransport::new(2, 1);
         for epoch in 0..5u64 {
-            net.send(0, 1, Msg::PartialNorm { from: 0, epoch, sumsq: 0.0 });
+            net.send(0, 1, Msg::PartialNorm { from: 0, epoch, ver: 0, sumsq: 0.0 });
         }
         let epochs: Vec<u64> = drain(&net, 1, 10)
             .into_iter()
@@ -163,7 +163,7 @@ mod tests {
         let run = |seed: u64| {
             let net = VirtualTransport::with_profile(2, seed, 6, 0.25);
             for epoch in 0..40u64 {
-                net.send(0, 1, Msg::PartialNorm { from: 0, epoch, sumsq: 0.0 });
+                net.send(0, 1, Msg::PartialNorm { from: 0, epoch, ver: 0, sumsq: 0.0 });
             }
             let order: Vec<Msg> = drain(&net, 1, 200);
             (order, net.stats())
@@ -181,7 +181,7 @@ mod tests {
     fn delays_reorder_but_conserve() {
         let net = VirtualTransport::with_profile(2, 3, 16, 0.0);
         for epoch in 0..30u64 {
-            net.send(0, 1, Msg::PartialNorm { from: 0, epoch, sumsq: 0.0 });
+            net.send(0, 1, Msg::PartialNorm { from: 0, epoch, ver: 0, sumsq: 0.0 });
         }
         let got = drain(&net, 1, 300);
         assert_eq!(got.len(), 30, "no-loss profile must deliver everything");
@@ -201,7 +201,7 @@ mod tests {
     #[test]
     fn control_messages_survive_full_loss() {
         let net = VirtualTransport::with_profile(2, 4, 0, 1.0);
-        net.send(0, 1, Msg::Residual { from: 0, epoch: 0, corr_seen: 0, vals: vec![1.0] });
+        net.send(0, 1, Msg::Residual { from: 0, epoch: 0, ver: 0, corr_seen: 0, vals: vec![1.0] });
         net.send(0, 1, Msg::Stop);
         net.send(0, 1, Msg::Done { from: 0 });
         let got = drain(&net, 1, 10);

@@ -66,6 +66,13 @@ pub enum FaultKind {
     Rollback,
     /// Recovery: the hard wall-clock timeout fired and stopped the solve.
     Timeout,
+    /// Recovery: the sharded hub's failure detector declared shard `shard`
+    /// dead (bounded silence in epochs or clock time, or retransmit
+    /// exhaustion).
+    ShardDeclaredDead { shard: u32 },
+    /// Recovery: a dead shard's row range was adopted — shard `from`'s rows
+    /// now belong to surviving shard `to`.
+    RowsAdopted { from: u32, to: u32 },
 }
 
 impl FaultKind {
@@ -82,6 +89,8 @@ impl FaultKind {
             FaultKind::Stalled { .. } => "stalled",
             FaultKind::Rollback => "rollback",
             FaultKind::Timeout => "timeout",
+            FaultKind::ShardDeclaredDead { .. } => "shard_declared_dead",
+            FaultKind::RowsAdopted { .. } => "rows_adopted",
         }
     }
 
@@ -313,6 +322,14 @@ mod tests {
         assert_eq!(FaultKind::Timeout.grid(), None);
         assert!(FaultKind::TeamCrash { team: 1 }.is_injected());
         assert!(!FaultKind::GuardTripped { grid: 0 }.is_injected());
+        // The sharded recovery events are actions, not injections, and are
+        // shard-scoped rather than grid-scoped.
+        assert_eq!(FaultKind::ShardDeclaredDead { shard: 2 }.name(), "shard_declared_dead");
+        assert_eq!(FaultKind::RowsAdopted { from: 2, to: 1 }.name(), "rows_adopted");
+        assert!(!FaultKind::ShardDeclaredDead { shard: 2 }.is_injected());
+        assert!(!FaultKind::RowsAdopted { from: 2, to: 1 }.is_injected());
+        assert_eq!(FaultKind::ShardDeclaredDead { shard: 2 }.grid(), None);
+        assert_eq!(FaultKind::RowsAdopted { from: 2, to: 1 }.grid(), None);
     }
 
     #[test]

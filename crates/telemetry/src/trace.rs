@@ -95,6 +95,10 @@ pub struct ShardMessageStats {
     pub dropped: u64,
     /// Messages addressed to this rank rejected by a full ring.
     pub overflowed: u64,
+    /// Reliable control-plane payloads this rank retransmitted (non-zero
+    /// only for the hub of a recovery-armed sharded solve; additive v3
+    /// field, absent counts as zero).
+    pub retransmits: u64,
 }
 
 /// One completed asynchronous residual reduction (schema v3 `"reductions"`
@@ -250,6 +254,7 @@ impl SolveTrace {
             dst.delivered += src.delivered;
             dst.dropped += src.dropped;
             dst.overflowed += src.overflowed;
+            dst.retransmits += src.retransmits;
         }
         self.reductions.extend(
             other.reductions.into_iter().map(|r| ReductionRecord { t_ns: r.t_ns + offset_ns, ..r }),
@@ -267,7 +272,7 @@ impl SolveTrace {
     }
 
     /// The schema identifier [`SolveTrace::to_json`] emits.
-    pub const SCHEMA: &'static str = "asyncmg-trace-v3";
+    pub const SCHEMA: &'static str = "asyncmg-trace-v4";
 
     /// The schema identifier of a serialised trace, if it carries one
     /// (version-compatibility checks of golden files).
@@ -277,10 +282,11 @@ impl SolveTrace {
         Some(tail)
     }
 
-    /// Serialises the trace to JSON (schema `asyncmg-trace-v3`; see
-    /// `docs/telemetry.md`). v3 adds the `"messages"` and `"reductions"`
-    /// arrays of the sharded execution model; every v2 field is unchanged,
-    /// so v2 consumers keyed on field names still parse v3 traces.
+    /// Serialises the trace to JSON (schema `asyncmg-trace-v4`; see
+    /// `docs/telemetry.md`). v4 adds the `"retransmits"` counter to each
+    /// `"messages"` entry (v3 added the `"messages"` and `"reductions"`
+    /// arrays of the sharded execution model); every v3 field is unchanged,
+    /// so consumers keyed on field names still parse newer traces.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(4096);
         out.push_str(&format!("{{\n  \"schema\": \"{}\",\n", Self::SCHEMA));
@@ -396,8 +402,8 @@ impl SolveTrace {
             }
             out.push_str(&format!(
                 "\n    {{\"rank\": {}, \"sent\": {}, \"delivered\": {}, \"dropped\": {}, \
-                 \"overflowed\": {}}}",
-                m.rank, m.sent, m.delivered, m.dropped, m.overflowed
+                 \"overflowed\": {}, \"retransmits\": {}}}",
+                m.rank, m.sent, m.delivered, m.dropped, m.overflowed, m.retransmits
             ));
         }
         out.push_str("\n  ],\n");
@@ -434,6 +440,8 @@ fn fault_detail(kind: crate::FaultKind) -> String {
         | Stalled { grid } => {
             format!(", \"grid\": {grid}")
         }
+        ShardDeclaredDead { shard } => format!(", \"shard\": {shard}"),
+        RowsAdopted { from, to } => format!(", \"from\": {from}, \"to\": {to}"),
         Rollback | Timeout => String::new(),
     }
 }
@@ -520,12 +528,14 @@ mod tests {
             delivered: 10,
             dropped: 1,
             overflowed: 0,
+            retransmits: 2,
         });
         trace.reductions.push(ReductionRecord { epoch: 3, relres: 1e-4, parts: 2, t_ns: 55 });
         let json = trace.to_json();
-        assert!(json.contains("\"schema\": \"asyncmg-trace-v3\""));
+        assert!(json.contains("\"schema\": \"asyncmg-trace-v4\""));
         assert_eq!(SolveTrace::schema_of(&json), Some(SolveTrace::SCHEMA));
         assert!(json.contains("\"rank\": 0, \"sent\": 12, \"delivered\": 10"));
+        assert!(json.contains("\"overflowed\": 0, \"retransmits\": 2"));
         assert!(json.contains("\"epoch\": 3, \"relres\": 1e-4, \"parts\": 2"));
         assert!(json.contains("\"local_res\": null"));
         assert!(json.contains("\"phase\": \"smooth\""));

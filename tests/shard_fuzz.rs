@@ -7,7 +7,9 @@
 //! `HARNESS_CASE=<substring>` filters axes by label.
 
 use asyncmg_harness::MatrixFamily;
-use asyncmg_harness::{case_filter, check_sharded, seeds_from_env, FaultAxis, NetAxis, ShardAxis};
+use asyncmg_harness::{
+    case_filter, check_sharded, seeds_from_env, FaultAxis, NetAxis, RecoveryAxis, ShardAxis,
+};
 
 /// The fuzz matrix: every network profile at the base configuration, shard
 /// counts 1/3/4, every fault axis over a lossy fabric, and one
@@ -42,6 +44,39 @@ fn axes() -> Vec<ShardAxis> {
         t_max: 60,
         max_relres: Some(1e-1),
         ..base
+    });
+    // The self-healing axes: a deterministic mid-solve crash of shard 1
+    // exercises detection, eviction and (on Adopt) row adoption, across
+    // clean and lossy fabrics and across detector thresholds. The oracle
+    // checks the recovery report against the axis; convergence is demanded
+    // only where adoption restores full coverage with budget to spare.
+    let heal = ShardAxis { t_max: 400, tolerance: Some(1e-6), ..base };
+    axes.push(ShardAxis {
+        n_shards: 2,
+        recovery: RecoveryAxis::Adopt { crash_epoch: 3, threshold: 8 },
+        max_relres: Some(1e-6),
+        ..heal
+    });
+    axes.push(ShardAxis {
+        n_shards: 4,
+        net: NetAxis::Drop,
+        recovery: RecoveryAxis::Adopt { crash_epoch: 6, threshold: 12 },
+        max_relres: Some(1e-6),
+        ..heal
+    });
+    axes.push(ShardAxis {
+        n_shards: 3,
+        net: NetAxis::Lossy,
+        recovery: RecoveryAxis::Adopt { crash_epoch: 10, threshold: 16 },
+        max_relres: None,
+        ..heal
+    });
+    axes.push(ShardAxis {
+        n_shards: 3,
+        net: NetAxis::Drop,
+        recovery: RecoveryAxis::Detect { crash_epoch: 3, threshold: 8 },
+        max_relres: None,
+        ..heal
     });
     axes
 }

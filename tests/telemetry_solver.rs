@@ -62,7 +62,7 @@ fn tolerance_stops_async_multadd_below_tol() {
 
     // The JSON export carries the schema tag and parses to balanced braces.
     let json = trace.to_json();
-    assert!(json.contains("\"schema\": \"asyncmg-trace-v3\""));
+    assert!(json.contains("\"schema\": \"asyncmg-trace-v4\""));
     assert_eq!(json.matches('{').count(), json.matches('}').count());
 }
 
@@ -194,9 +194,30 @@ fn golden_trace() -> asyncmg_telemetry::SolveTrace {
         },
     ];
     trace.messages = vec![
-        ShardMessageStats { rank: 0, sent: 12, delivered: 10, dropped: 1, overflowed: 0 },
-        ShardMessageStats { rank: 1, sent: 11, delivered: 12, dropped: 0, overflowed: 1 },
-        ShardMessageStats { rank: 2, sent: 9, delivered: 9, dropped: 0, overflowed: 0 },
+        ShardMessageStats {
+            rank: 0,
+            sent: 12,
+            delivered: 10,
+            dropped: 1,
+            overflowed: 0,
+            retransmits: 0,
+        },
+        ShardMessageStats {
+            rank: 1,
+            sent: 11,
+            delivered: 12,
+            dropped: 0,
+            overflowed: 1,
+            retransmits: 0,
+        },
+        ShardMessageStats {
+            rank: 2,
+            sent: 9,
+            delivered: 9,
+            dropped: 0,
+            overflowed: 0,
+            retransmits: 3,
+        },
     ];
     trace.reductions = vec![
         ReductionRecord { epoch: 0, relres: 1.0, parts: 2, t_ns: 12 },
@@ -205,7 +226,7 @@ fn golden_trace() -> asyncmg_telemetry::SolveTrace {
     trace
 }
 
-/// The JSON export is a stable external format (`asyncmg-trace-v3`): the
+/// The JSON export is a stable external format (`asyncmg-trace-v4`): the
 /// serialisation of a fixed trace must match the committed golden file
 /// byte-for-byte. Run with `GOLDEN_UPDATE=1` to re-bless after a deliberate
 /// schema change (and bump the schema tag when doing so).
@@ -232,7 +253,7 @@ fn trace_json_matches_golden_file() {
 #[test]
 fn golden_trace_covers_schema_surface() {
     let json = golden_trace().to_json();
-    assert!(json.contains("\"schema\": \"asyncmg-trace-v3\""));
+    assert!(json.contains("\"schema\": \"asyncmg-trace-v4\""));
     assert!(json.contains("\"local_res\": null"), "NaN must render as null");
     assert!(json.contains("\"dropped_events\": 3"));
     // Every phase name appears in phase_totals (zero-count ones included),
