@@ -85,8 +85,10 @@ fn main() {
                 (0..BATCH as u64).map(|s| service.submit(request(&a, 100 + s)).unwrap()).collect();
             service.drain();
             for t in tickets {
-                match service.take(t).unwrap() {
-                    asyncmg_service::RequestStatus::Completed(r) => {
+                match service.take(t) {
+                    asyncmg_service::TicketState::Ready(
+                        asyncmg_service::RequestStatus::Completed(r),
+                    ) => {
                         assert_eq!(r.batch_size, BATCH);
                         check(&r);
                     }

@@ -1,5 +1,5 @@
 //! Export a full telemetry trace of one asynchronous solve as JSON
-//! (schema `asyncmg-trace-v4`, see docs/telemetry.md), plus a summary and
+//! (schema `asyncmg-trace-v5`, see docs/telemetry.md), plus a summary and
 //! an optional ASCII convergence plot on stderr.
 //!
 //! ```sh

@@ -48,6 +48,29 @@ pub struct BatchResult {
     pub history: Vec<Vec<f64>>,
 }
 
+impl BatchResult {
+    /// Relative residual above which a column counts as diverged (far worse
+    /// than the zero initial guess, whose relative residual is exactly 1).
+    pub const DIVERGED_RELRES: f64 = 1e3;
+
+    /// Columns whose solve failed numerically — a non-finite solution entry,
+    /// a non-finite final residual, or clear divergence
+    /// ([`BatchResult::DIVERGED_RELRES`]). The solver service splits these
+    /// out of their batch and retries them solo down the degradation ladder
+    /// so one poisoned right-hand side cannot fail its batch-mates.
+    pub fn sick_columns(&self) -> Vec<usize> {
+        let nrhs = self.relres.len();
+        let n = self.x.len().checked_div(nrhs).unwrap_or(0);
+        (0..nrhs)
+            .filter(|&c| {
+                !self.relres[c].is_finite()
+                    || self.relres[c] >= Self::DIVERGED_RELRES
+                    || self.x[c * n..(c + 1) * n].iter().any(|v| !v.is_finite())
+            })
+            .collect()
+    }
+}
+
 /// Pre-sized per-level blocked work vectors: the multi-RHS analogue of
 /// [`Workspace`](crate::workspace::Workspace), every buffer `nrhs` columns
 /// wide. Owned and reused by the solver service across batches.
@@ -321,6 +344,26 @@ mod tests {
             assert_eq!(batch.x[i].to_bits(), solo.x[i].to_bits(), "row {i}");
         }
         assert!(batch.relres[0] < 1e-8);
+    }
+
+    #[test]
+    fn sick_columns_flags_nonfinite_and_diverged() {
+        let healthy = BatchResult {
+            x: vec![1.0, 2.0, 3.0, 4.0],
+            relres: vec![1e-8, 0.5],
+            cycles: vec![3, 3],
+            history: vec![vec![1e-8], vec![0.5]],
+        };
+        assert!(healthy.sick_columns().is_empty());
+        let sick = BatchResult {
+            x: vec![1.0, f64::NAN, 3.0, 4.0, 5.0, 6.0],
+            relres: vec![1e-8, f64::INFINITY, 1e9],
+            cycles: vec![3, 3, 3],
+            history: vec![Vec::new(); 3],
+        };
+        // Column 0 has a NaN entry, column 1 a non-finite residual, column 2
+        // a diverged residual.
+        assert_eq!(sick.sick_columns(), vec![0, 1, 2]);
     }
 
     #[test]

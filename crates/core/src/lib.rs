@@ -84,7 +84,8 @@ pub use mult::{coarse_correction, mult_vcycle, solve_mult_probed};
 pub use parallel_mult::{solve_mult_threaded_probed, solve_mult_threaded_sched};
 pub use resilience::{
     AttemptReport, Checkpoint, CheckpointStats, CheckpointStore, EscalationReason, RetryPolicy,
-    Rung, SessionError, SessionReport, ShardAttempt, ShardAttemptOutcome, ShardRungDriver,
+    Rung, SessionError, SessionGoal, SessionReport, ShardAttempt, ShardAttemptOutcome,
+    ShardRungDriver,
 };
 pub use setup::{CoarseSolve, MgOptions, MgSetup};
 pub use solver::{Method, SolveError, SolveReport, Solver, SolverConfig};

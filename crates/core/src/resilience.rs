@@ -190,6 +190,46 @@ impl Rung {
     }
 }
 
+/// What a resilient session is driving toward.
+///
+/// Tolerance-free requests (`tol: None` at the service layer) still need a
+/// rescue path when their solve faults: [`SessionGoal::Budget`] runs the
+/// same ladder but declares an attempt successful as soon as it finishes
+/// *cleanly* — no fault, a finite residual — rather than requiring a target
+/// residual. The ladder then exists purely to survive faults, not to
+/// sharpen the answer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SessionGoal {
+    /// Reach a relative residual at or below this tolerance.
+    Tolerance(f64),
+    /// No tolerance: succeed on the first attempt that runs its budget to
+    /// completion without faulting and leaves a finite residual.
+    Budget,
+}
+
+impl SessionGoal {
+    /// Whether an attempt with exact relative residual `relres` and
+    /// structured outcome `outcome` satisfies this goal.
+    fn met(self, relres: f64, outcome: SolveOutcome) -> bool {
+        match self {
+            SessionGoal::Tolerance(tol) => relres.is_finite() && relres <= tol,
+            SessionGoal::Budget => {
+                relres.is_finite()
+                    && matches!(outcome, SolveOutcome::Converged | SolveOutcome::MaxIterations)
+            }
+        }
+    }
+
+    /// The residual target used to derive per-attempt shifted tolerances
+    /// (budget goals run every rung to its full budget).
+    fn tol(self) -> f64 {
+        match self {
+            SessionGoal::Tolerance(tol) => tol,
+            SessionGoal::Budget => 0.0,
+        }
+    }
+}
+
 /// Retry budget of a resilient session.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RetryPolicy {
@@ -586,6 +626,17 @@ fn run_rung(
 /// Runs the resilient session loop for [`Solver::try_resilient`](crate::Solver::try_resilient).
 pub(crate) fn run_session(solver: &Solver<'_>, b: &[f64]) -> Result<SessionReport, SessionError> {
     let tol = solver.tolerance.ok_or(SessionError::NoTolerance)?;
+    run_session_goal(solver, b, SessionGoal::Tolerance(tol))
+}
+
+/// Runs the resilient session loop toward an explicit [`SessionGoal`] (the
+/// entry point behind [`Solver::try_fallback`](crate::Solver::try_fallback)).
+pub(crate) fn run_session_goal(
+    solver: &Solver<'_>,
+    b: &[f64],
+    goal: SessionGoal,
+) -> Result<SessionReport, SessionError> {
+    let tol = goal.tol();
     solver.retry.validate().map_err(SessionError::InvalidRetry)?;
     solver.validate(b)?;
     let ladder: &[Rung] = if solver.ladder.is_empty() { &Rung::LADDER } else { solver.ladder };
@@ -660,7 +711,7 @@ pub(crate) fn run_session(solver: &Solver<'_>, b: &[f64]) -> Result<SessionRepor
             r0.copy_from_slice(b);
         }
         let norm_r0 = vecops::norm2(&r0).max(1e-300);
-        if norm_r0 / norm_b <= tol {
+        if matches!(goal, SessionGoal::Tolerance(_)) && norm_r0 / norm_b <= tol {
             // The restored checkpoint already meets the tolerance.
             x = x0;
             relres = norm_r0 / norm_b;
@@ -731,7 +782,7 @@ pub(crate) fn run_session(solver: &Solver<'_>, b: &[f64]) -> Result<SessionRepor
         };
         let (run, xa, rel) = run;
 
-        let attempt_converged = rel.is_finite() && rel <= tol;
+        let attempt_converged = goal.met(rel, run.outcome);
         let escalation = if attempt_converged {
             None
         } else {
@@ -746,7 +797,13 @@ pub(crate) fn run_session(solver: &Solver<'_>, b: &[f64]) -> Result<SessionRepor
                 _ => EscalationReason::AboveTolerance,
             })
         };
-        let outcome = if attempt_converged { SolveOutcome::Converged } else { run.outcome };
+        // Budget goals keep the attempt's own outcome (`MaxIterations` is a
+        // clean finish, not a convergence claim).
+        let outcome = if attempt_converged && matches!(goal, SessionGoal::Tolerance(_)) {
+            SolveOutcome::Converged
+        } else {
+            run.outcome
+        };
 
         if let (Some(trace), Some(tp)) = (trace.as_mut(), tp.as_mut()) {
             trace.absorb(tp.take_trace(), start_ns);
@@ -799,7 +856,12 @@ pub(crate) fn run_session(solver: &Solver<'_>, b: &[f64]) -> Result<SessionRepor
         }
     }
     let outcome = if converged {
-        SolveOutcome::Converged
+        match goal {
+            SessionGoal::Tolerance(_) => SolveOutcome::Converged,
+            // The goal-meeting attempt's own outcome (clean `MaxIterations`
+            // stays visible to the caller).
+            SessionGoal::Budget => attempts.last().map_or(SolveOutcome::Converged, |a| a.outcome),
+        }
     } else if !relres.is_finite() {
         SolveOutcome::Faulted
     } else if attempts.iter().any(|a| !a.faults.is_empty()) {
@@ -940,6 +1002,36 @@ mod tests {
             assert_eq!(u.to_bits(), v.to_bits());
         }
         assert_eq!(a.attempts.len(), c.attempts.len());
+    }
+
+    #[test]
+    fn budget_goal_succeeds_without_a_tolerance() {
+        let s = setup_n(5);
+        let b = random_rhs(s.n(), 21);
+        // No tolerance: `try_resilient` refuses, `try_fallback` runs a
+        // budget-goal session and succeeds on the first clean attempt.
+        let solver = crate::Solver::new(&s).threads(2).t_max(10).session_seed(3);
+        assert_eq!(solver.try_resilient(&b).unwrap_err(), SessionError::NoTolerance);
+        let report = solver.try_fallback(&b).unwrap();
+        assert!(report.converged, "clean budget run must satisfy the goal");
+        assert_eq!(report.attempts.len(), 1);
+        assert!(report.relres.is_finite());
+        // A clean full-budget finish is not a convergence claim.
+        assert!(matches!(report.outcome, SolveOutcome::Converged | SolveOutcome::MaxIterations));
+    }
+
+    #[test]
+    fn budget_goal_is_deterministic_when_seeded() {
+        let s = setup_n(5);
+        let b = random_rhs(s.n(), 22);
+        let run =
+            || crate::Solver::new(&s).threads(3).t_max(8).session_seed(9).try_fallback(&b).unwrap();
+        let a = run();
+        let c = run();
+        assert_eq!(a.relres.to_bits(), c.relres.to_bits());
+        for (u, v) in a.x.iter().zip(&c.x) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
     }
 
     #[test]

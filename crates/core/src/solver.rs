@@ -418,6 +418,21 @@ impl<'a> Solver<'a> {
         run_session(self, b)
     }
 
+    /// Runs a resilient session toward whatever goal this solver has: the
+    /// configured [`Solver::tolerance`], or — unlike
+    /// [`Solver::try_resilient`], which rejects tolerance-free solvers —
+    /// [`SessionGoal::Budget`](crate::resilience::SessionGoal::Budget) when
+    /// none is set (succeed on the first attempt that runs its budget
+    /// cleanly). This is the rescue entry point the solver service uses for
+    /// sick batch columns, whose requests may not carry a tolerance.
+    pub fn try_fallback(&self, b: &[f64]) -> Result<SessionReport, SessionError> {
+        let goal = self.tolerance.map_or(
+            crate::resilience::SessionGoal::Budget,
+            crate::resilience::SessionGoal::Tolerance,
+        );
+        crate::resilience::run_session_goal(self, b, goal)
+    }
+
     /// The [`AsyncOptions`] this builder resolves to for the threaded
     /// additive backends.
     fn async_options(&self, method: AdditiveMethod) -> AsyncOptions {

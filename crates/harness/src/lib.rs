@@ -41,5 +41,8 @@ pub use fingerprint::{fingerprint_run, Fnv};
 pub use fuzz::{case_filter, run_fuzz, seeds_from_env, FuzzOutcome};
 pub use oracle::{Oracle, Violation};
 pub use resilience::{check_session, fingerprint_session, ResilienceAxis, SessionRun};
-pub use service::{check_service, fingerprint_service, ServiceAxis, ServiceRun};
+pub use service::{
+    check_service, check_service_chaos, fingerprint_service, undeadlined_convergence, ServiceAxis,
+    ServiceChaosAxis, ServiceRun,
+};
 pub use shard::{check_sharded, fingerprint_sharded, NetAxis, RecoveryAxis, ShardAxis, ShardRun};

@@ -1,4 +1,4 @@
-//! The service axis of the harness: drive a seeded request mix through a
+//! The service axes of the harness: drive a seeded request mix through a
 //! [`SolverService`] on a virtual clock and check every outcome.
 //!
 //! A [`ServiceAxis`] describes a workload shape — how many requests, over
@@ -6,10 +6,19 @@
 //! the submit/dispatch interleaving goes. [`ServiceAxis::run`] derives the
 //! concrete mix from a seed with splitmix64, so the whole run — every
 //! solution bit, every cache event, every rejection — is a pure function of
-//! `(axis, seed)`: the service reads time only from a [`VirtualClock`]
-//! the axis advances deterministically. [`check_service`] is the oracle; the fingerprint
-//! folds outcomes, the cache event log and the stats into one replayable
-//! hash.
+//! `(axis, seed)`: the service reads time only from a [`VirtualClock`] the
+//! axis advances deterministically. [`check_service`] is the oracle; the
+//! fingerprint folds outcomes, the event logs and the stats into one
+//! replayable hash.
+//!
+//! A [`ServiceChaosAxis`] wraps the same mix around a *defended* service
+//! and attacks it: a seeded [`ChaosPlan`] corrupts solution columns and
+//! poisons cached hierarchies keyed by the dispatch counter, while a
+//! [`FaultPlan`] injects crashes and corrupted correction writes into every
+//! rescue session. [`check_service_chaos`] adds the conservation oracle on
+//! top: every submitted ticket resolves exactly once, no corruption leaks
+//! into a completed solution, and the fault-plane stats reconcile with the
+//! event logs.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -17,11 +26,12 @@ use std::time::Duration;
 
 use asyncmg_problems::{rhs::random_rhs, stencil::laplacian_7pt};
 use asyncmg_service::{
-    Rejection, RequestStatus, ServiceOptions, SolveRequest, SolverService, Ticket,
+    ChaosEvent, ChaosPlan, Rejection, RequestStatus, ResilienceOptions, ServiceOptions,
+    SolveRequest, SolverService, Stopped, Ticket, TicketState,
 };
 use asyncmg_sparse::Csr;
-use asyncmg_telemetry::{CacheEvent, ServiceStats};
-use asyncmg_threads::VirtualClock;
+use asyncmg_telemetry::{CacheEvent, ServiceEvent, ServiceStats};
+use asyncmg_threads::{Corruption, Fault, FaultPlan, VirtualClock};
 
 use crate::fingerprint::Fnv;
 use crate::oracle::Violation;
@@ -76,21 +86,29 @@ impl ServiceAxis {
         (0..self.n_matrices).map(|i| Arc::new(laplacian_7pt(4 + i, 4, 4))).collect()
     }
 
-    /// Runs the seeded request mix to completion. Deterministic: same
-    /// `(self, seed)` ⇒ identical [`ServiceRun`], fingerprint included.
+    /// Runs the seeded request mix to completion on an *undefended*
+    /// service. Deterministic: same `(self, seed)` ⇒ identical
+    /// [`ServiceRun`], fingerprint included.
     pub fn run(&self, seed: u64) -> ServiceRun {
-        let clock = Arc::new(VirtualClock::new());
         let opts = ServiceOptions {
             cache_capacity: self.cache_capacity,
             batch_window: self.batch_window,
             queue_capacity: self.n_requests.max(1),
             ..Default::default()
         };
+        self.run_with(seed, opts)
+    }
+
+    /// Runs the seeded mix against explicitly configured service options
+    /// (the chaos axis routes through here with a defended configuration).
+    pub fn run_with(&self, seed: u64, opts: ServiceOptions) -> ServiceRun {
+        let clock = Arc::new(VirtualClock::new());
         let service = SolverService::with_clock(opts, clock.clone());
         let mats = self.matrices();
 
         let mut rng = Splitmix(seed);
         let mut tickets: Vec<Ticket> = Vec::with_capacity(self.n_requests);
+        let mut deadlined: Vec<u64> = Vec::new();
         for i in 0..self.n_requests {
             let m = &mats[(rng.next() as usize) % mats.len()];
             let mut req = SolveRequest::new(m.clone(), random_rhs(m.nrows(), rng.next()))
@@ -101,7 +119,11 @@ impl ServiceAxis {
                 // so some of these expire in queue and some dispatch.
                 req = req.deadline(Duration::from_millis(1 + rng.next() % 4));
             }
-            tickets.push(service.submit(req).expect("axis sizes the queue to fit the mix"));
+            let t = service.submit(req).expect("axis sizes the queue to fit the mix");
+            if self.deadline_every > 0 && i % self.deadline_every == self.deadline_every - 1 {
+                deadlined.push(t.id());
+            }
+            tickets.push(t);
 
             // Seeded interleaving: sometimes let time pass, sometimes
             // dispatch a batch mid-stream so cache and queue states vary.
@@ -115,18 +137,128 @@ impl ServiceAxis {
 
         let mut outcomes = BTreeMap::new();
         for t in tickets {
-            let status = service.take(t).expect("every submitted ticket must resolve");
-            assert!(
-                !matches!(status, RequestStatus::Queued),
-                "drain left ticket {} queued",
+            let status = match service.take(t) {
+                TicketState::Ready(status) => status,
+                other => panic!("ticket {} did not resolve after drain: {other:?}", t.id()),
+            };
+            // Exactly-once: the outcome was just consumed, so a second
+            // claim must see it gone (conservation, not duplication).
+            assert_eq!(
+                service.take(t),
+                TicketState::Claimed,
+                "ticket {} resolved more than once",
                 t.id()
             );
             outcomes.insert(t.id(), status);
         }
         let events = service.cache_events();
+        let service_events = service.service_events();
         let stats = service.stats();
-        let fingerprint = fingerprint_service(&outcomes, &events, &stats);
-        ServiceRun { outcomes, events, stats, fingerprint }
+        let fingerprint = fingerprint_service(&outcomes, &events, &service_events, &stats);
+        ServiceRun { outcomes, events, service_events, stats, deadlined, fingerprint }
+    }
+}
+
+/// A defended-service workload: the [`ServiceAxis`] mix plus seeded
+/// service-plane chaos and rescue-session fault injection.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceChaosAxis {
+    /// The underlying request mix.
+    pub base: ServiceAxis,
+    /// Solution-column corruptions scheduled over the run (seeded dispatch
+    /// indices; schedules beyond the last dispatch are no-ops).
+    pub n_corruptions: usize,
+    /// Cached-hierarchy poisonings scheduled over the run.
+    pub n_poisonings: usize,
+    /// Consecutive failed dispatches of one fingerprint before its breaker
+    /// opens.
+    pub breaker_threshold: u32,
+    /// Whether rescue sessions run under an injected [`FaultPlan`]
+    /// (crash + corrupted correction write + straggler).
+    pub with_fault_plan: bool,
+    /// Queue high-water mark for overload shedding (None = never shed).
+    pub shed_high_water: Option<usize>,
+}
+
+impl Default for ServiceChaosAxis {
+    fn default() -> Self {
+        ServiceChaosAxis {
+            base: ServiceAxis { n_requests: 64, deadline_every: 7, ..Default::default() },
+            n_corruptions: 5,
+            n_poisonings: 3,
+            breaker_threshold: 2,
+            with_fault_plan: true,
+            shed_high_water: None,
+        }
+    }
+}
+
+impl ServiceChaosAxis {
+    /// A filterable label.
+    pub fn label(&self) -> String {
+        format!(
+            "service-chaos/r{}x{}p{}b{}",
+            self.base.n_requests, self.n_corruptions, self.n_poisonings, self.breaker_threshold
+        )
+    }
+
+    /// The seeded chaos script: corruption and poisoning events keyed by
+    /// dispatch counter, a pure function of `(self, seed)`.
+    pub fn chaos_plan(&self, seed: u64) -> ChaosPlan {
+        let mut rng = Splitmix(seed ^ 0xc4a5_0515_c4a5_0515);
+        // Concentrate the schedule on early dispatches (a window of 64
+        // requests dispatches ≥ 16 batches) and low column indices, so most
+        // scheduled events actually land instead of keying dispatches that
+        // never happen or columns wider than the batch.
+        let span = (2 * (self.n_corruptions + self.n_poisonings)).max(4) as u64;
+        let kinds = [Corruption::Nan, Corruption::Inf, Corruption::BitFlip];
+        let mut plan = ChaosPlan::new();
+        for j in 0..self.n_corruptions {
+            plan = plan.with(ChaosEvent::CorruptColumn {
+                dispatch: rng.next() % span,
+                column: (rng.next() as usize) % 2,
+                kind: kinds[j % kinds.len()],
+            });
+        }
+        for _ in 0..self.n_poisonings {
+            // Poisoning needs a cached entry: skip dispatch 0 (always a
+            // cold miss for the first fingerprint).
+            plan = plan.with(ChaosEvent::PoisonHierarchy { dispatch: 1 + rng.next() % span });
+        }
+        plan
+    }
+
+    /// The fault plan injected into every rescue session.
+    pub fn fault_plan(&self, seed: u64) -> FaultPlan {
+        FaultPlan::new(seed)
+            .with(Fault::Crash { team: 0, at_round: 2 })
+            .with(Fault::CorruptWrite { grid: 0, at_round: 1, kind: Corruption::BitFlip })
+            .with(Fault::Straggler { worker: 0, from_round: 0, rounds: 4, steps: 3 })
+    }
+
+    /// Runs the seeded mix against a defended service under chaos.
+    /// Deterministic end to end: chaos schedule, rescue-session seeds, and
+    /// breaker timing all derive from `(self, seed)` on the virtual clock.
+    pub fn run(&self, seed: u64) -> ServiceRun {
+        let resilience = ResilienceOptions {
+            breaker_threshold: self.breaker_threshold,
+            breaker_backoff: Duration::from_millis(5),
+            rescue_attempts: 4,
+            rescue_backoff: Duration::from_millis(1),
+            rescue_threads: 2,
+            session_seed: Some(seed),
+            fault_plan: self.with_fault_plan.then(|| self.fault_plan(seed)),
+            chaos: Some(self.chaos_plan(seed)),
+        };
+        let opts = ServiceOptions {
+            cache_capacity: self.base.cache_capacity,
+            batch_window: self.base.batch_window,
+            queue_capacity: self.base.n_requests.max(1),
+            shed_high_water: self.shed_high_water,
+            resilience: Some(resilience),
+            ..Default::default()
+        };
+        self.base.run_with(seed, opts)
     }
 }
 
@@ -136,20 +268,27 @@ pub struct ServiceRun {
     pub outcomes: BTreeMap<u64, RequestStatus>,
     /// The cache event log, in decision order.
     pub events: Vec<CacheEvent>,
+    /// The fault-plane event log (breakers, quarantines, sheds, rescues),
+    /// in decision order.
+    pub service_events: Vec<ServiceEvent>,
     /// Final aggregate counters.
     pub stats: ServiceStats,
+    /// Tickets that carried a deadline (the convergence-rate oracle only
+    /// scores the undeadlined rest).
+    pub deadlined: Vec<u64>,
     /// Canonical hash of the whole run (see [`fingerprint_service`]).
     pub fingerprint: u64,
 }
 
 /// The canonical fingerprint of a service run: bit-exact over every
 /// completed solution, every rejection's kind and deterministic timing
-/// fields, the ordered cache event log, and the stats counters. Everything
-/// hashed is virtual-clock-deterministic, so replaying a seed reproduces
-/// the fingerprint exactly.
+/// fields, the ordered cache and fault-plane event logs, and the stats
+/// counters. Everything hashed is virtual-clock-deterministic, so
+/// replaying a seed reproduces the fingerprint exactly.
 pub fn fingerprint_service(
     outcomes: &BTreeMap<u64, RequestStatus>,
     events: &[CacheEvent],
+    service_events: &[ServiceEvent],
     stats: &ServiceStats,
 ) -> u64 {
     let mut h = Fnv::new();
@@ -157,7 +296,6 @@ pub fn fingerprint_service(
     for (&ticket, status) in outcomes {
         h.write_u64(ticket);
         match status {
-            RequestStatus::Queued => h.write_bytes(b"queued"),
             RequestStatus::Completed(r) => {
                 h.write_bytes(b"completed");
                 h.write_u64(r.x.len() as u64);
@@ -166,9 +304,11 @@ pub fn fingerprint_service(
                 }
                 h.write_f64(r.relres);
                 h.write_u64(r.converged as u64);
+                h.write_bytes(r.stopped.name().as_bytes());
                 h.write_u64(r.cycles as u64);
                 h.write_u64(r.cache_hit as u64);
                 h.write_u64(r.batch_size as u64);
+                h.write_u64(r.rescued as u64);
             }
             RequestStatus::Rejected(rej) => {
                 h.write_bytes(b"rejected");
@@ -185,6 +325,20 @@ pub fn fingerprint_service(
                         h.write_u64(*now_ns);
                     }
                     Rejection::BuildFailed(_) => h.write_bytes(b"build_failed"),
+                    Rejection::CircuitOpen { fingerprint, retry_after_ns } => {
+                        h.write_bytes(b"circuit_open");
+                        h.write_u64(*fingerprint);
+                        h.write_u64(*retry_after_ns);
+                    }
+                    Rejection::Shed { queue_depth } => {
+                        h.write_bytes(b"shed");
+                        h.write_u64(*queue_depth as u64);
+                    }
+                    Rejection::SolveFailed { relres, attempts } => {
+                        h.write_bytes(b"solve_failed");
+                        h.write_f64(*relres);
+                        h.write_u64(u64::from(*attempts));
+                    }
                 }
             }
         }
@@ -194,35 +348,43 @@ pub fn fingerprint_service(
         h.write_bytes(e.name().as_bytes());
         h.write_u64(e.fingerprint());
     }
-    h.write_u64(stats.cache_hits);
-    h.write_u64(stats.cache_misses);
-    h.write_u64(stats.evictions);
-    h.write_u64(stats.batches);
-    h.write_u64(stats.batched_rhs);
-    h.write_u64(stats.completed);
-    h.write_u64(stats.rejected_deadline);
-    h.write_u64(stats.rejected_queue_full);
-    h.write_u64(stats.max_queue_depth);
+    h.write_u64(service_events.len() as u64);
+    for e in service_events {
+        h.write_bytes(e.name().as_bytes());
+        h.write_u64(e.key());
+    }
+    // The stats snapshot hashes via its stable JSON rendering, so a new
+    // counter can never silently drop out of the fingerprint.
+    h.write_bytes(stats.to_json().as_bytes());
     h.finish()
 }
 
-/// The service oracle: what must hold for every axis and seed.
-///
-/// Every request resolves (no ticket left queued after drain); completed
-/// solutions are finite and, when marked converged, meet the axis
-/// tolerance; batch sizes respect the window; and the stats must account
-/// for every request and agree with the event log.
-pub fn check_service(axis: &ServiceAxis, run: &ServiceRun) -> Result<(), Violation> {
-    let fail = |reason: String| Violation { case: axis.label(), reason };
+/// Per-kind tallies of a run's rejections.
+struct RejectionTally {
+    deadline: u64,
+    circuit_open: u64,
+    shed: u64,
+    solve_failed: u64,
+    build_failed: u64,
+}
+
+/// The checks shared by the plain and chaos oracles: every outcome
+/// well-formed, stats reconciled against outcomes and both event logs.
+fn check_run(
+    label: &str,
+    axis: &ServiceAxis,
+    run: &ServiceRun,
+) -> Result<RejectionTally, Violation> {
+    let fail = |reason: String| Violation { case: label.to_string(), reason };
     let mut completed = 0u64;
-    let mut rejected = 0u64;
+    let mut rescued = 0u64;
+    let mut tally =
+        RejectionTally { deadline: 0, circuit_open: 0, shed: 0, solve_failed: 0, build_failed: 0 };
     for (&ticket, status) in &run.outcomes {
         match status {
-            RequestStatus::Queued => {
-                return Err(fail(format!("ticket {ticket} still queued after drain")));
-            }
             RequestStatus::Completed(r) => {
                 completed += 1;
+                rescued += r.rescued as u64;
                 if let Some(i) = r.x.iter().position(|v| !v.is_finite()) {
                     return Err(fail(format!("ticket {ticket}: non-finite x[{i}]")));
                 }
@@ -230,6 +392,12 @@ pub fn check_service(axis: &ServiceAxis, run: &ServiceRun) -> Result<(), Violati
                     return Err(fail(format!(
                         "ticket {ticket}: converged at relres {} above tolerance {}",
                         r.relres, axis.tolerance
+                    )));
+                }
+                if r.converged != matches!(r.stopped, Stopped::Tolerance) {
+                    return Err(fail(format!(
+                        "ticket {ticket}: converged={} disagrees with stopped={:?}",
+                        r.converged, r.stopped
                     )));
                 }
                 if r.batch_size == 0 || r.batch_size > axis.batch_window {
@@ -245,48 +413,142 @@ pub fn check_service(axis: &ServiceAxis, run: &ServiceRun) -> Result<(), Violati
                     )));
                 }
             }
-            RequestStatus::Rejected(_) => rejected += 1,
+            RequestStatus::Rejected(rej) => match rej {
+                Rejection::DeadlineExpired { .. } | Rejection::DeadlineInfeasible { .. } => {
+                    tally.deadline += 1;
+                }
+                Rejection::CircuitOpen { .. } => tally.circuit_open += 1,
+                Rejection::Shed { .. } => tally.shed += 1,
+                Rejection::SolveFailed { .. } => tally.solve_failed += 1,
+                Rejection::BuildFailed(_) => tally.build_failed += 1,
+            },
         }
     }
     let s = &run.stats;
+    let total = completed
+        + tally.deadline
+        + tally.circuit_open
+        + tally.shed
+        + tally.solve_failed
+        + tally.build_failed;
+    if total != axis.n_requests as u64 {
+        return Err(fail(format!(
+            "conservation violated: {total} outcomes for {} requests",
+            axis.n_requests
+        )));
+    }
     if s.completed != completed {
         return Err(fail(format!(
             "stats count {} completed, outcomes hold {completed}",
             s.completed
         )));
     }
-    if s.rejected_deadline != rejected {
+    if s.rejected_deadline != tally.deadline {
         return Err(fail(format!(
-            "stats count {} deadline rejections, outcomes hold {rejected}",
-            s.rejected_deadline
+            "stats count {} deadline rejections, outcomes hold {}",
+            s.rejected_deadline, tally.deadline
         )));
     }
-    if completed + rejected != axis.n_requests as u64 {
+    if s.rejected_circuit_open != tally.circuit_open {
         return Err(fail(format!(
-            "{} outcomes for {} requests",
-            completed + rejected,
-            axis.n_requests
+            "stats count {} circuit-open rejections, outcomes hold {}",
+            s.rejected_circuit_open, tally.circuit_open
         )));
     }
-    if s.batched_rhs != completed {
-        return Err(fail(format!("stats batched {} rhs but completed {completed}", s.batched_rhs)));
+    if s.shed != tally.shed {
+        return Err(fail(format!("stats count {} sheds, outcomes hold {}", s.shed, tally.shed)));
+    }
+    if s.rescued != rescued {
+        return Err(fail(format!("stats count {} rescues, outcomes hold {rescued}", s.rescued)));
+    }
+    if s.rescue_failed != tally.solve_failed {
+        return Err(fail(format!(
+            "stats count {} failed rescues, outcomes hold {}",
+            s.rescue_failed, tally.solve_failed
+        )));
+    }
+    // Every dispatched right-hand side resolves as either a completion or
+    // a failed rescue — nothing disappears between dispatch and publish.
+    if s.batched_rhs != completed + tally.solve_failed {
+        return Err(fail(format!(
+            "stats batched {} rhs but published {}",
+            s.batched_rhs,
+            completed + tally.solve_failed
+        )));
     }
     if s.queue_depth != 0 {
         return Err(fail(format!("queue depth {} after drain", s.queue_depth)));
     }
-    let misses = run.events.iter().filter(|e| matches!(e, CacheEvent::Miss { .. })).count();
-    let evictions = run.events.iter().filter(|e| matches!(e, CacheEvent::Evict { .. })).count();
-    if s.cache_misses != misses as u64 || s.evictions != evictions as u64 {
+    let count = |name: &str| run.events.iter().filter(|e| e.name() == name).count() as u64;
+    if s.cache_misses != count("miss") || s.evictions != count("evict") {
         return Err(fail("stats disagree with the cache event log".into()));
     }
-    if misses - evictions > axis.cache_capacity {
+    if s.quarantined != count("quarantine") {
         return Err(fail(format!(
-            "{} live hierarchies exceed the capacity of {}",
-            misses - evictions,
+            "stats count {} quarantines, the cache log holds {}",
+            s.quarantined,
+            count("quarantine")
+        )));
+    }
+    let live = count("miss") - count("evict") - count("quarantine");
+    if live > axis.cache_capacity as u64 {
+        return Err(fail(format!(
+            "{live} live hierarchies exceed the capacity of {}",
             axis.cache_capacity
         )));
     }
+    let plane = |name: &str| run.service_events.iter().filter(|e| e.name() == name).count() as u64;
+    if s.breaker_opened != plane("breaker_opened")
+        || s.breaker_closed != plane("breaker_closed")
+        || s.quarantined != plane("quarantined")
+        || s.shed != plane("shed")
+    {
+        return Err(fail("stats disagree with the fault-plane event log".into()));
+    }
+    Ok(tally)
+}
+
+/// The service oracle for undefended runs: on top of the shared checks, an
+/// undefended service must never reject through the fault plane.
+pub fn check_service(axis: &ServiceAxis, run: &ServiceRun) -> Result<(), Violation> {
+    let tally = check_run(&axis.label(), axis, run)?;
+    if tally.circuit_open + tally.shed + tally.solve_failed > 0 || !run.service_events.is_empty() {
+        return Err(Violation {
+            case: axis.label(),
+            reason: "undefended service produced fault-plane activity".into(),
+        });
+    }
     Ok(())
+}
+
+/// The chaos oracle: the shared checks (which already enforce ticket
+/// conservation and finite, tolerance-honest completions) against the
+/// defended configuration.
+pub fn check_service_chaos(axis: &ServiceChaosAxis, run: &ServiceRun) -> Result<(), Violation> {
+    check_run(&axis.label(), &axis.base, run)?;
+    Ok(())
+}
+
+/// Of the requests that carried no deadline, the fraction whose solution
+/// converged to the axis tolerance — the chaos acceptance criterion scores
+/// this at ≥ 0.9 (deadlined requests may legitimately expire).
+pub fn undeadlined_convergence(run: &ServiceRun) -> f64 {
+    let mut total = 0u64;
+    let mut converged = 0u64;
+    for (ticket, status) in &run.outcomes {
+        if run.deadlined.contains(ticket) {
+            continue;
+        }
+        total += 1;
+        if matches!(status, RequestStatus::Completed(r) if r.converged) {
+            converged += 1;
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        converged as f64 / total as f64
+    }
 }
 
 /// splitmix64 — the standard seed expander (public-domain constants), also
@@ -333,5 +595,21 @@ mod tests {
     fn different_seeds_diverge() {
         let axis = ServiceAxis::default();
         assert_ne!(axis.run(1).fingerprint, axis.run(2).fingerprint);
+    }
+
+    #[test]
+    fn chaos_axis_survives_and_replays() {
+        let axis = ServiceChaosAxis::default();
+        let run = axis.run(3);
+        check_service_chaos(&axis, &run).unwrap();
+        // The chaos must actually land: something was rescued or
+        // quarantined, and most clean requests still converged.
+        assert!(
+            run.stats.rescued + run.stats.rescue_failed + run.stats.quarantined > 0,
+            "chaos plan injected nothing observable"
+        );
+        assert!(undeadlined_convergence(&run) >= 0.9, "chaos sank the convergence rate");
+        let replay = axis.run(3);
+        assert_eq!(run.fingerprint, replay.fingerprint, "chaos replay diverged");
     }
 }

@@ -1,12 +1,22 @@
-//! The hierarchy cache: content-fingerprinted AMG setups with LRU eviction.
+//! The hierarchy cache: content-fingerprinted AMG setups with LRU eviction
+//! and build-time integrity checksums.
 //!
 //! The cache key is [`Csr::fingerprint`] — FNV-1a over the matrix shape and
 //! CSR arrays — so two structurally identical matrices share one hierarchy
 //! no matter how they were constructed. Every lookup appends a
 //! [`CacheEvent`] to a log that is a pure function of the request stream,
 //! which the harness folds into replay fingerprints.
+//!
+//! Entries are `Arc<Mutex<CachedSetup>>`: the service snapshots the `Arc`
+//! under its own lock and runs the numeric solve under the *entry* lock
+//! only, so a long solve on one matrix never stalls `submit`/`status` or
+//! dispatches of other matrices. Each entry carries a sampled checksum of
+//! its hierarchy values, computed at build; a defended service re-verifies
+//! it cheaply on every hit and [`quarantine`](HierarchyCache::quarantine)s
+//! poisoned entries for rebuild.
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use asyncmg_amg::{try_build_hierarchy, BuildError};
 use asyncmg_core::{BlockWorkspace, MgSetup};
@@ -14,6 +24,33 @@ use asyncmg_sparse::Csr;
 use asyncmg_telemetry::CacheEvent;
 
 use crate::request::ServiceOptions;
+
+/// Cap on checksum samples per hierarchy level, so verification stays a
+/// negligible fraction of even one V-cycle.
+const CHECKSUM_SAMPLES_PER_LEVEL: usize = 1024;
+
+/// FNV-1a over the hierarchy's operator values, sampled with a per-level
+/// stride (index 0 of every level is always included, so single-value
+/// corruption of a leading entry is always caught; strided corruption
+/// elsewhere is caught with probability `samples / nnz`).
+pub(crate) fn hierarchy_checksum(setup: &MgSetup) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let fold = |h: &mut u64, bits: u64| {
+        *h ^= bits;
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    for k in 0..setup.n_levels() {
+        let vals = setup.a(k).vals();
+        fold(&mut h, vals.len() as u64);
+        let stride = (vals.len() / CHECKSUM_SAMPLES_PER_LEVEL).max(1);
+        let mut i = 0;
+        while i < vals.len() {
+            fold(&mut h, vals[i].to_bits());
+            i += stride;
+        }
+    }
+    h
+}
 
 /// A cached setup plus the per-matrix state the service reuses across
 /// dispatches.
@@ -26,13 +63,20 @@ pub(crate) struct CachedSetup {
     /// (cycle × right-hand side); 0 until the first timed dispatch. Feeds
     /// the deadline-infeasibility estimate.
     pub ema_ns_per_cycle_rhs: f64,
-    /// LRU stamp (monotone lookup counter).
-    last_used: u64,
+    /// Sampled checksum of the hierarchy values at build time.
+    pub checksum: u64,
+}
+
+impl CachedSetup {
+    /// Whether the hierarchy still matches its build-time checksum.
+    pub fn verify(&self) -> bool {
+        hierarchy_checksum(&self.setup) == self.checksum
+    }
 }
 
 /// Fingerprint-keyed LRU cache of AMG setups.
 pub(crate) struct HierarchyCache {
-    map: HashMap<u64, CachedSetup>,
+    map: HashMap<u64, (Arc<Mutex<CachedSetup>>, u64)>,
     capacity: usize,
     tick: u64,
     events: Vec<CacheEvent>,
@@ -55,26 +99,26 @@ impl HierarchyCache {
         }
     }
 
-    /// Returns the cached setup for `fingerprint`, building (and possibly
+    /// Returns the cached entry for `fingerprint`, building (and possibly
     /// evicting) on a miss. The returned flag is `true` on a hit.
     pub fn get_or_build(
         &mut self,
         fingerprint: u64,
         a: &Csr,
         opts: &ServiceOptions,
-    ) -> Result<(&mut CachedSetup, bool), BuildError> {
+    ) -> Result<(Arc<Mutex<CachedSetup>>, bool), BuildError> {
         self.tick += 1;
-        if self.map.contains_key(&fingerprint) {
+        if let Some((entry, last_used)) = self.map.get_mut(&fingerprint) {
             self.hits += 1;
             self.events.push(CacheEvent::Hit { fingerprint });
-            let entry = self.map.get_mut(&fingerprint).unwrap();
-            entry.last_used = self.tick;
-            return Ok((entry, true));
+            *last_used = self.tick;
+            return Ok((entry.clone(), true));
         }
 
         let hierarchy = try_build_hierarchy(a.clone(), &opts.amg)?;
         let setup = MgSetup::new(hierarchy, opts.mg);
         let scratch = BlockWorkspace::new(&setup, 1);
+        let checksum = hierarchy_checksum(&setup);
 
         if self.map.len() >= self.capacity {
             // Deterministic LRU: the stamp is a unique monotone counter, so
@@ -82,7 +126,7 @@ impl HierarchyCache {
             let victim = self
                 .map
                 .iter()
-                .min_by_key(|(_, e)| e.last_used)
+                .min_by_key(|(_, (_, last_used))| *last_used)
                 .map(|(&fp, _)| fp)
                 .expect("cache is non-empty at capacity");
             self.map.remove(&victim);
@@ -92,13 +136,41 @@ impl HierarchyCache {
 
         self.misses += 1;
         self.events.push(CacheEvent::Miss { fingerprint });
-        let entry = self.map.entry(fingerprint).or_insert(CachedSetup {
+        let entry = Arc::new(Mutex::new(CachedSetup {
             setup,
             scratch,
             ema_ns_per_cycle_rhs: 0.0,
-            last_used: self.tick,
-        });
+            checksum,
+        }));
+        self.map.insert(fingerprint, (entry.clone(), self.tick));
         Ok((entry, false))
+    }
+
+    /// Drops a poisoned entry and logs the quarantine. Returns whether the
+    /// fingerprint was cached.
+    pub fn quarantine(&mut self, fingerprint: u64) -> bool {
+        if self.map.remove(&fingerprint).is_some() {
+            self.events.push(CacheEvent::Quarantine { fingerprint });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Scribbles a non-finite value into the cached hierarchy of
+    /// `fingerprint` (chaos injection: simulated memory corruption of
+    /// long-lived cache state). Returns whether an entry was poisoned.
+    pub fn poison(&mut self, fingerprint: u64) -> bool {
+        match self.map.get(&fingerprint) {
+            Some((entry, _)) => {
+                let mut e = entry.lock().unwrap();
+                if let Some(v) = e.setup.hierarchy.levels[0].a.vals_mut().first_mut() {
+                    *v = f64::NAN;
+                }
+                true
+            }
+            None => false,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -161,5 +233,32 @@ mod tests {
         assert!(matches!(err, BuildError::NotSquare { .. }));
         assert_eq!(cache.len(), 0);
         assert!(cache.events().is_empty());
+    }
+
+    #[test]
+    fn checksum_catches_poisoning_and_quarantine_drops_the_entry() {
+        let mut cache = HierarchyCache::new(2);
+        let o = opts();
+        let m = laplacian_7pt(4, 4, 4);
+        let fp = m.fingerprint();
+        let (entry, _) = cache.get_or_build(fp, &m, &o).unwrap();
+        assert!(entry.lock().unwrap().verify(), "fresh build must verify");
+
+        assert!(cache.poison(fp));
+        assert!(!entry.lock().unwrap().verify(), "poisoned entry must fail verification");
+
+        assert!(cache.quarantine(fp));
+        assert_eq!(cache.len(), 0);
+        assert!(!cache.quarantine(fp), "already quarantined");
+        assert_eq!(
+            cache.events().last().map(|e| e.name()),
+            Some("quarantine"),
+            "quarantine must be logged"
+        );
+        // The rebuild is an ordinary miss with a fresh, verifying entry.
+        let (rebuilt, hit) = cache.get_or_build(fp, &m, &o).unwrap();
+        assert!(!hit);
+        assert!(rebuilt.lock().unwrap().verify());
+        assert!(!cache.poison(0xdead_beef), "unknown fingerprint is a no-op");
     }
 }

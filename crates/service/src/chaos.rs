@@ -1,0 +1,129 @@
+//! Deterministic service-level chaos injection.
+//!
+//! A [`FaultPlan`](asyncmg_threads::FaultPlan) injects faults into the
+//! *asynchronous solver runtime* — stalled workers, crashed teams,
+//! corrupted correction writes. The service's primary dispatch path is the
+//! sequential blocked multiplicative solve, which that machinery cannot
+//! reach. A [`ChaosPlan`] fills the gap: it attacks the *service plane*
+//! itself, keyed by the service's monotone dispatch counter so a seeded
+//! replay hits the exact same dispatches.
+//!
+//! Two attacks exist, mirroring the failure modes the fault-tolerant plane
+//! defends against:
+//!
+//! * **Column corruption** — after the primary blocked solve of dispatch
+//!   `d`, one solution column is corrupted (NaN / ∞ / a flipped exponent
+//!   bit) and its true residual recomputed, simulating a silent numeric
+//!   fault inside the solve. Detection must then notice the sick column
+//!   and rescue it down the degradation ladder.
+//! * **Hierarchy poisoning** — before dispatch `d`, a value of the cached
+//!   hierarchy about to be used is scribbled, simulating memory
+//!   corruption of long-lived cache state. The integrity checksum must
+//!   quarantine the entry and rebuild it.
+
+use asyncmg_threads::Corruption;
+
+/// One scripted chaos event, keyed by the service dispatch counter.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ChaosEvent {
+    /// After the primary blocked solve of dispatch `dispatch`, corrupt
+    /// solution column `column` (ignored if the batch has fewer columns).
+    CorruptColumn {
+        /// Dispatch counter value this event fires at.
+        dispatch: u64,
+        /// Batch column to corrupt.
+        column: usize,
+        /// How the column's leading entry is corrupted.
+        kind: Corruption,
+    },
+    /// Before dispatch `dispatch`, poison the cached hierarchy of the
+    /// fingerprint being dispatched (no-op on a cache miss).
+    PoisonHierarchy {
+        /// Dispatch counter value this event fires at.
+        dispatch: u64,
+    },
+}
+
+/// A deterministic script of service-plane attacks.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosPlan {
+    events: Vec<ChaosEvent>,
+}
+
+impl ChaosPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        ChaosPlan::default()
+    }
+
+    /// Adds one event (builder-style).
+    pub fn with(mut self, event: ChaosEvent) -> Self {
+        self.events.push(event);
+        self
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The scripted events.
+    pub fn events(&self) -> &[ChaosEvent] {
+        &self.events
+    }
+
+    /// The column corruption scheduled for `dispatch`, if any.
+    pub fn corrupt_column(&self, dispatch: u64) -> Option<(usize, Corruption)> {
+        self.events.iter().find_map(|e| match *e {
+            ChaosEvent::CorruptColumn { dispatch: d, column, kind } if d == dispatch => {
+                Some((column, kind))
+            }
+            _ => None,
+        })
+    }
+
+    /// Whether a hierarchy poisoning is scheduled for `dispatch`.
+    pub fn poisons(&self, dispatch: u64) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(*e, ChaosEvent::PoisonHierarchy { dispatch: d } if d == dispatch))
+    }
+}
+
+/// Applies `kind` to one value (NaN, ∞, or a flipped high exponent bit —
+/// each makes the corrupted column's recomputed residual non-finite or
+/// astronomically large, so sick-column detection fires).
+pub(crate) fn corrupt_value(kind: Corruption, v: f64) -> f64 {
+    match kind {
+        Corruption::Nan => f64::NAN,
+        Corruption::Inf => f64::INFINITY,
+        Corruption::BitFlip => f64::from_bits(v.to_bits() ^ (1 << 62)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_lookups_are_keyed_by_dispatch() {
+        let plan = ChaosPlan::new()
+            .with(ChaosEvent::CorruptColumn { dispatch: 2, column: 1, kind: Corruption::Nan })
+            .with(ChaosEvent::PoisonHierarchy { dispatch: 4 });
+        assert!(!plan.is_empty());
+        assert_eq!(plan.events().len(), 2);
+        assert_eq!(plan.corrupt_column(2), Some((1, Corruption::Nan)));
+        assert_eq!(plan.corrupt_column(3), None);
+        assert!(plan.poisons(4));
+        assert!(!plan.poisons(2));
+        assert!(ChaosPlan::new().is_empty());
+    }
+
+    #[test]
+    fn corruption_makes_values_unmistakably_sick() {
+        assert!(corrupt_value(Corruption::Nan, 1.0).is_nan());
+        assert!(corrupt_value(Corruption::Inf, 1.0).is_infinite());
+        let flipped = corrupt_value(Corruption::BitFlip, 1.0);
+        assert!(!flipped.is_finite() || flipped.abs() > 1e100, "got {flipped}");
+    }
+}

@@ -10,7 +10,8 @@
 //!   cost; repeat matrices skip it entirely), the blocked workspaces, and
 //!   the clock.
 //! * [`SolveRequest`] — a cheap description of one solve: matrix (`Arc`),
-//!   right-hand side, tolerance / cycle budget, optional deadline.
+//!   right-hand side, tolerance / cycle budget, optional deadline and
+//!   [`Priority`].
 //! * Batched dispatch — each [`SolverService::process_batch`] coalesces up
 //!   to `batch_window` queued right-hand sides that share a matrix into one
 //!   blocked multiplicative solve
@@ -20,10 +21,22 @@
 //! * Admission control — requests carry deadlines on the service clock;
 //!   dispatch rejects overdue work and work the running per-matrix cost
 //!   estimate says cannot finish in time, ordering the queue by slack.
-//! * Telemetry — cache hits/misses/evictions and queue counters surface as
-//!   [`ServiceStats`](asyncmg_telemetry::ServiceStats) and an ordered
-//!   [`CacheEvent`](asyncmg_telemetry::CacheEvent) log, both deterministic
-//!   under a [`VirtualClock`](asyncmg_threads::VirtualClock).
+//!   With [`ServiceOptions::shed_high_water`] set, overload sheds the
+//!   lowest-priority, most-slack request instead of stalling the queue.
+//! * Fault tolerance — with [`ServiceOptions::resilience`] configured the
+//!   service is *defended*: cached hierarchies are checksummed and
+//!   quarantined on corruption, sick batch columns are isolated from their
+//!   healthy batch-mates and rescued down the degradation ladder, and
+//!   per-fingerprint circuit breakers fail fast
+//!   ([`Rejection::CircuitOpen`]) after repeated dispatch failures. A
+//!   [`ChaosPlan`] drives deterministic fault injection through the whole
+//!   plane. The numeric solve runs *off* the service lock, so
+//!   `submit`/`status`/`take` never stall behind it.
+//! * Telemetry — cache and fault-plane counters surface as
+//!   [`ServiceStats`](asyncmg_telemetry::ServiceStats), plus ordered
+//!   [`CacheEvent`](asyncmg_telemetry::CacheEvent) and
+//!   [`ServiceEvent`](asyncmg_telemetry::ServiceEvent) logs, all
+//!   deterministic under a [`VirtualClock`](asyncmg_threads::VirtualClock).
 //!
 //! ```
 //! use std::sync::Arc;
@@ -50,12 +63,14 @@
 #![allow(clippy::needless_range_loop)]
 
 mod cache;
+mod chaos;
 mod request;
 mod service;
 
+pub use chaos::{ChaosEvent, ChaosPlan};
 pub use request::{
-    Rejection, RequestStatus, ServiceError, ServiceOptions, SolveRequest, SolveResponse,
-    SubmitError, Ticket,
+    Priority, Rejection, RequestStatus, ResilienceOptions, ServiceError, ServiceOptions,
+    SolveRequest, SolveResponse, Stopped, SubmitError, Ticket, TicketState,
 };
 pub use service::SolverService;
 
@@ -74,6 +89,20 @@ mod tests {
     fn virtual_service(opts: ServiceOptions) -> (SolverService, Arc<VirtualClock>) {
         let clock = Arc::new(VirtualClock::new());
         (SolverService::with_clock(opts, clock.clone()), clock)
+    }
+
+    fn completed(state: TicketState) -> SolveResponse {
+        match state {
+            TicketState::Ready(RequestStatus::Completed(r)) => r,
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    fn rejected(state: TicketState) -> Rejection {
+        match state {
+            TicketState::Ready(RequestStatus::Rejected(r)) => r,
+            other => panic!("expected rejection, got {other:?}"),
+        }
     }
 
     #[test]
@@ -136,14 +165,11 @@ mod tests {
 
         assert_eq!(service.process_batch(), 3);
         for t in tickets {
-            match service.take(t).unwrap() {
-                RequestStatus::Completed(r) => {
-                    assert!(r.converged, "relres {} did not converge", r.relres);
-                    assert_eq!(r.batch_size, 3);
-                    assert!(!r.cache_hit);
-                }
-                other => panic!("expected completion, got {other:?}"),
-            }
+            let r = completed(service.take(t));
+            assert!(r.converged, "relres {} did not converge", r.relres);
+            assert_eq!(r.stopped, Stopped::Tolerance);
+            assert_eq!(r.batch_size, 3);
+            assert!(!r.cache_hit && !r.rescued);
         }
         let stats = service.stats();
         assert_eq!(stats.batches, 1);
@@ -182,14 +208,14 @@ mod tests {
 
         clock.advance(Duration::from_millis(6));
         assert_eq!(service.process_batch(), 2);
-        match service.take(doomed).unwrap() {
-            RequestStatus::Rejected(Rejection::DeadlineExpired { deadline_ns, now_ns }) => {
+        match rejected(service.take(doomed)) {
+            Rejection::DeadlineExpired { deadline_ns, now_ns } => {
                 assert_eq!(deadline_ns, 5_000_000);
                 assert_eq!(now_ns, 6_000_000);
             }
             other => panic!("expected deadline rejection, got {other:?}"),
         }
-        assert!(matches!(service.take(fine).unwrap(), RequestStatus::Completed(_)));
+        completed(service.take(fine));
         assert_eq!(service.stats().rejected_deadline, 1);
     }
 
@@ -206,10 +232,10 @@ mod tests {
             .unwrap();
 
         service.process_batch();
-        assert!(matches!(service.status(urgent).unwrap(), RequestStatus::Completed(_)));
-        assert!(matches!(service.status(relaxed).unwrap(), RequestStatus::Queued));
+        assert!(matches!(service.status(urgent), TicketState::Ready(RequestStatus::Completed(_))));
+        assert_eq!(service.status(relaxed), TicketState::Queued);
         service.drain();
-        assert!(matches!(service.status(relaxed).unwrap(), RequestStatus::Completed(_)));
+        assert!(matches!(service.status(relaxed), TicketState::Ready(RequestStatus::Completed(_))));
     }
 
     #[test]
@@ -220,10 +246,7 @@ mod tests {
         let bad = Arc::new(Csr::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![f64::NAN, 1.0]));
         let t = service.submit(SolveRequest::new(bad, vec![1.0, 1.0])).unwrap();
         assert_eq!(service.process_batch(), 1);
-        assert!(matches!(
-            service.take(t).unwrap(),
-            RequestStatus::Rejected(Rejection::BuildFailed(_))
-        ));
+        assert!(matches!(rejected(service.take(t)), Rejection::BuildFailed(_)));
         assert_eq!(service.cached_hierarchies(), 0);
     }
 
@@ -260,5 +283,225 @@ mod tests {
             .map(|e| e.fingerprint())
             .collect();
         assert_eq!(evicted, vec![mats[0].fingerprint()]);
+    }
+
+    #[test]
+    fn ticket_states_cover_the_whole_lifecycle() {
+        let (service, _clock) = virtual_service(ServiceOptions::default());
+        let a = Arc::new(laplacian_7pt(4, 4, 4));
+
+        // Never issued.
+        assert_eq!(service.status(Ticket(42)), TicketState::Unknown);
+        assert_eq!(service.take(Ticket(42)), TicketState::Unknown);
+
+        let t = service.submit(SolveRequest::new(a, random_rhs(64, 0))).unwrap();
+        assert_eq!(service.status(t), TicketState::Queued);
+        // Taking a queued ticket does not consume it.
+        assert_eq!(service.take(t), TicketState::Queued);
+        assert_eq!(service.status(t), TicketState::Queued);
+
+        service.drain();
+        assert!(matches!(service.status(t), TicketState::Ready(_)));
+        completed(service.take(t));
+        // Second take: outcome already claimed.
+        assert_eq!(service.take(t), TicketState::Claimed);
+        assert_eq!(service.status(t), TicketState::Claimed);
+    }
+
+    #[test]
+    fn budget_requests_report_stopped_budget_not_converged() {
+        let (service, _clock) = virtual_service(ServiceOptions::default());
+        let a = Arc::new(laplacian_7pt(5, 5, 5));
+        // No tolerance: the request runs its cycle budget. `converged` must
+        // be false (there was no tolerance to meet) and `stopped` says why.
+        let r = service.solve(SolveRequest::new(a, random_rhs(125, 0)).t_max(3)).unwrap();
+        assert!(!r.converged);
+        assert_eq!(r.stopped, Stopped::Budget);
+        assert!(r.relres.is_finite());
+    }
+
+    #[test]
+    fn resolved_store_is_bounded_with_oldest_first_eviction() {
+        let opts = ServiceOptions { resolved_capacity: 4, ..Default::default() };
+        let (service, _clock) = virtual_service(opts);
+        let a = Arc::new(laplacian_7pt(4, 4, 4));
+
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|s| {
+                let t = service
+                    .submit(SolveRequest::new(a.clone(), random_rhs(64, s)).t_max(5))
+                    .unwrap();
+                service.drain();
+                t
+            })
+            .collect();
+
+        // The four oldest outcomes were evicted and now read Claimed; the
+        // four newest are still Ready.
+        assert_eq!(service.stats().resolved_evicted, 4);
+        for t in &tickets[..4] {
+            assert_eq!(service.status(*t), TicketState::Claimed);
+        }
+        for t in &tickets[4..] {
+            assert!(matches!(service.status(*t), TicketState::Ready(_)));
+        }
+    }
+
+    #[test]
+    fn overload_sheds_lowest_priority_most_slack_victim() {
+        let opts = ServiceOptions { shed_high_water: Some(2), ..Default::default() };
+        let (service, _clock) = virtual_service(opts);
+        let a = Arc::new(laplacian_7pt(4, 4, 4));
+        let b = random_rhs(64, 0);
+
+        let urgent = service
+            .submit(
+                SolveRequest::new(a.clone(), b.clone())
+                    .deadline(Duration::from_secs(1))
+                    .priority(Priority::High),
+            )
+            .unwrap();
+        let lazy = service
+            .submit(SolveRequest::new(a.clone(), b.clone()).priority(Priority::Low))
+            .unwrap();
+        // Pushing past the high-water mark sheds `lazy`: lowest priority and
+        // most slack, even though it is not the newest submission.
+        let third = service.submit(SolveRequest::new(a, b)).unwrap();
+
+        match rejected(service.take(lazy)) {
+            Rejection::Shed { queue_depth } => assert_eq!(queue_depth, 2),
+            other => panic!("expected shed, got {other:?}"),
+        }
+        assert_eq!(service.stats().shed, 1);
+        assert_eq!(
+            service.service_events().iter().map(|e| e.name()).collect::<Vec<_>>(),
+            vec!["shed"]
+        );
+
+        service.drain();
+        completed(service.take(urgent));
+        completed(service.take(third));
+    }
+
+    #[test]
+    fn defended_breaker_opens_fails_fast_and_recloses() {
+        let res = ResilienceOptions {
+            breaker_threshold: 2,
+            breaker_backoff: Duration::from_millis(10),
+            ..Default::default()
+        };
+        let opts = ServiceOptions { resilience: Some(res), ..Default::default() };
+        let (service, clock) = virtual_service(opts);
+        // A matrix whose AMG build always fails: every dispatch is a
+        // breaker-visible failure.
+        let bad = Arc::new(Csr::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![f64::NAN, 1.0]));
+        let fp = bad.fingerprint();
+        let submit = |svc: &SolverService| {
+            svc.submit(SolveRequest::new(bad.clone(), vec![1.0, 1.0])).unwrap()
+        };
+
+        // Two build failures trip the threshold-2 breaker...
+        for _ in 0..2 {
+            let t = submit(&service);
+            service.process_batch();
+            assert!(matches!(rejected(service.take(t)), Rejection::BuildFailed(_)));
+        }
+        assert_eq!(service.stats().breaker_opened, 1);
+
+        // ...so the next dispatch fails fast without touching the builder.
+        let t = submit(&service);
+        service.process_batch();
+        match rejected(service.take(t)) {
+            Rejection::CircuitOpen { fingerprint, retry_after_ns } => {
+                assert_eq!(fingerprint, fp);
+                assert!(retry_after_ns > 0 && retry_after_ns <= 10_000_000);
+            }
+            other => panic!("expected circuit-open, got {other:?}"),
+        }
+        assert_eq!(service.stats().rejected_circuit_open, 1);
+
+        // After the backoff, a half-open probe runs (and fails again,
+        // re-opening with doubled backoff).
+        clock.advance(Duration::from_millis(11));
+        let t = submit(&service);
+        service.process_batch();
+        assert!(matches!(rejected(service.take(t)), Rejection::BuildFailed(_)));
+        assert_eq!(service.stats().breaker_opened, 2);
+
+        let names: Vec<&str> = service.service_events().iter().map(|e| e.name()).collect();
+        assert_eq!(
+            names,
+            vec!["breaker_opened", "breaker_half_open", "breaker_opened"],
+            "breaker transitions must be logged in order"
+        );
+    }
+
+    #[test]
+    fn poisoned_hierarchy_is_quarantined_and_rebuilt() {
+        let chaos = ChaosPlan::new().with(ChaosEvent::PoisonHierarchy { dispatch: 1 });
+        let res = ResilienceOptions { chaos: Some(chaos), ..Default::default() };
+        let opts = ServiceOptions { resilience: Some(res), ..Default::default() };
+        let (service, _clock) = virtual_service(opts);
+        let a = Arc::new(laplacian_7pt(6, 6, 6));
+        let b = random_rhs(a.nrows(), 7);
+
+        let clean = service
+            .solve(SolveRequest::new(a.clone(), b.clone()).tolerance(1e-8).t_max(60))
+            .unwrap();
+        // Dispatch 1 poisons the cached hierarchy; the hit's integrity check
+        // must quarantine it and rebuild, and the answer must match the
+        // clean solve bit for bit.
+        let healed = service.solve(SolveRequest::new(a, b).tolerance(1e-8).t_max(60)).unwrap();
+        assert_eq!(healed.x, clean.x);
+        assert!(!healed.cache_hit, "rebuilt entry is a miss");
+
+        let stats = service.stats();
+        assert_eq!(stats.quarantined, 1);
+        assert!(service.service_events().iter().any(|e| e.name() == "quarantined"));
+        let cache_names: Vec<&str> = service.cache_events().iter().map(|e| e.name()).collect();
+        assert_eq!(cache_names, vec!["miss", "hit", "quarantine", "miss"]);
+    }
+
+    #[test]
+    fn corrupted_column_is_isolated_and_rescued() {
+        use asyncmg_threads::Corruption;
+        let chaos = ChaosPlan::new().with(ChaosEvent::CorruptColumn {
+            dispatch: 0,
+            column: 1,
+            kind: Corruption::Nan,
+        });
+        let res =
+            ResilienceOptions { chaos: Some(chaos), session_seed: Some(7), ..Default::default() };
+        let opts = ServiceOptions { resilience: Some(res), ..Default::default() };
+        let (service, _clock) = virtual_service(opts);
+        let a = Arc::new(laplacian_7pt(6, 6, 6));
+
+        let tickets: Vec<Ticket> = (0..3)
+            .map(|s| {
+                service
+                    .submit(
+                        SolveRequest::new(a.clone(), random_rhs(a.nrows(), s))
+                            .tolerance(1e-8)
+                            .t_max(60),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(service.process_batch(), 3);
+
+        // Columns 0 and 2 ride the batch unharmed; column 1 was corrupted,
+        // detected, and rescued solo.
+        for (i, t) in tickets.iter().enumerate() {
+            let r = completed(service.take(*t));
+            assert!(r.converged, "column {i}: relres {}", r.relres);
+            assert_eq!(r.rescued, i == 1, "column {i}");
+        }
+        let stats = service.stats();
+        assert_eq!(stats.rescued, 1);
+        assert_eq!(stats.completed, 3);
+        assert!(service.service_events().iter().any(|e| matches!(
+            e,
+            asyncmg_telemetry::ServiceEvent::Rescued { ticket: 1, converged: true, .. }
+        )));
     }
 }

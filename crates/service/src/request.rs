@@ -11,6 +11,9 @@ use std::time::Duration;
 use asyncmg_amg::{AmgOptions, BuildError};
 use asyncmg_core::{MgOptions, SolveError};
 use asyncmg_sparse::Csr;
+use asyncmg_threads::FaultPlan;
+
+use crate::chaos::ChaosPlan;
 
 /// Handle to a submitted request; redeem with
 /// [`SolverService::status`](crate::SolverService::status) or
@@ -22,6 +25,32 @@ impl Ticket {
     /// Stable numeric id (tickets are issued in submission order).
     pub fn id(self) -> u64 {
         self.0
+    }
+}
+
+/// Overload-shedding priority of a request. Under pressure (queue depth
+/// above [`ServiceOptions::shed_high_water`]) the service sheds the
+/// lowest-priority, most-slack work first; priority never changes dispatch
+/// order for admitted work.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Shed first.
+    Low,
+    /// The default.
+    #[default]
+    Normal,
+    /// Shed only when nothing lower-priority is left.
+    High,
+}
+
+impl Priority {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
     }
 }
 
@@ -43,13 +72,22 @@ pub struct SolveRequest {
     /// `submit time + deadline` has passed without the solve starting, or
     /// when the service estimates the solve cannot finish in time.
     pub deadline: Option<Duration>,
+    /// Overload-shedding priority (see [`Priority`]).
+    pub priority: Priority,
 }
 
 impl SolveRequest {
-    /// A request with the default stopping policy (no tolerance, 50 cycles)
-    /// and no deadline.
+    /// A request with the default stopping policy (no tolerance, 50 cycles),
+    /// no deadline, and normal priority.
     pub fn new(a: Arc<Csr>, b: Vec<f64>) -> Self {
-        SolveRequest { a, b, tolerance: None, t_max: 50, deadline: None }
+        SolveRequest {
+            a,
+            b,
+            tolerance: None,
+            t_max: 50,
+            deadline: None,
+            priority: Priority::Normal,
+        }
     }
 
     /// Sets the early-stopping tolerance.
@@ -69,6 +107,40 @@ impl SolveRequest {
         self.deadline = Some(d);
         self
     }
+
+    /// Sets the overload-shedding priority.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+/// Why a completed solve stopped iterating.
+///
+/// This disambiguates the `tol: None` case that a bare `converged` flag
+/// cannot express: a tolerance-free request that ran its full cycle budget
+/// cleanly stops with [`Stopped::Budget`] and a finite
+/// [`relres`](SolveResponse::relres) — that *is* its success condition,
+/// even though `converged` (which means "the tolerance was met") stays
+/// `false`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stopped {
+    /// The relative residual met the request tolerance before the cycle
+    /// budget ran out.
+    Tolerance,
+    /// The cycle budget ran to completion (the only way a `tol: None`
+    /// request stops).
+    Budget,
+}
+
+impl Stopped {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stopped::Tolerance => "tolerance",
+            Stopped::Budget => "budget",
+        }
+    }
 }
 
 /// The outcome of one completed solve.
@@ -78,8 +150,12 @@ pub struct SolveResponse {
     pub x: Vec<f64>,
     /// Final relative residual `‖b − A x‖ / ‖b‖`.
     pub relres: f64,
-    /// Whether the tolerance was met (always `false` without one).
+    /// Whether the tolerance was met (always `false` without one — see
+    /// [`Stopped`] for the `tol: None` success condition).
     pub converged: bool,
+    /// Why the solve stopped iterating ([`Stopped::Budget`] with a finite
+    /// `relres` is the success condition for `tol: None` requests).
+    pub stopped: Stopped,
     /// V-cycles run before this request's column froze.
     pub cycles: usize,
     /// Relative residual after each cycle run.
@@ -90,6 +166,10 @@ pub struct SolveResponse {
     /// Number of right-hand sides coalesced into the dispatch that solved
     /// this request (1 means it ran alone).
     pub batch_size: usize,
+    /// Whether this answer came from a solo rescue down the degradation
+    /// ladder after the request's batch column failed (defended services
+    /// only; always `false` without [`ServiceOptions::resilience`]).
+    pub rescued: bool,
 }
 
 /// Why a queued request was rejected at dispatch time.
@@ -114,6 +194,29 @@ pub enum Rejection {
     },
     /// The AMG setup for the request's matrix failed.
     BuildFailed(BuildError),
+    /// The matrix's circuit breaker is open after repeated failures: the
+    /// request failed fast instead of queueing behind a sick fingerprint.
+    CircuitOpen {
+        /// Content fingerprint whose breaker is open.
+        fingerprint: u64,
+        /// Nanoseconds until a half-open probe will be allowed — the
+        /// retry-after hint.
+        retry_after_ns: u64,
+    },
+    /// The request was shed at the overload high-water mark (lowest
+    /// priority, most slack goes first).
+    Shed {
+        /// Queue depth after the shed.
+        queue_depth: usize,
+    },
+    /// The solve failed numerically and the rescue ladder was exhausted
+    /// without reaching the request's goal.
+    SolveFailed {
+        /// Best relative residual the rescue session reached.
+        relres: f64,
+        /// Rescue-session attempts that were made.
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for Rejection {
@@ -128,6 +231,16 @@ impl std::fmt::Display for Rejection {
                  from {now_ns} ns"
             ),
             Rejection::BuildFailed(e) => write!(f, "hierarchy build failed: {e}"),
+            Rejection::CircuitOpen { fingerprint, retry_after_ns } => write!(
+                f,
+                "circuit open for matrix {fingerprint:#x}: retry after {retry_after_ns} ns"
+            ),
+            Rejection::Shed { queue_depth } => {
+                write!(f, "shed under overload (queue depth {queue_depth})")
+            }
+            Rejection::SolveFailed { relres, attempts } => {
+                write!(f, "solve failed after {attempts} rescue attempts (best relres {relres:e})")
+            }
         }
     }
 }
@@ -180,15 +293,30 @@ impl From<SolveError> for SubmitError {
     }
 }
 
-/// Where a submitted request currently stands.
+/// The resolved outcome of a request.
 #[derive(Clone, Debug, PartialEq)]
 pub enum RequestStatus {
-    /// Still queued; a future `process_batch` will resolve it.
-    Queued,
     /// Solved.
     Completed(SolveResponse),
     /// Rejected at dispatch.
     Rejected(Rejection),
+}
+
+/// Where a ticket stands, with every case distinguishable: an unknown
+/// ticket is not the same thing as one whose outcome was already claimed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TicketState {
+    /// Queued or currently dispatching; a future
+    /// [`process_batch`](crate::SolverService::process_batch) resolves it.
+    Queued,
+    /// Resolved; the outcome is ready to
+    /// [`take`](crate::SolverService::take).
+    Ready(RequestStatus),
+    /// Resolved and its outcome already taken — or evicted unclaimed when
+    /// the resolved store hit [`ServiceOptions::resolved_capacity`].
+    Claimed,
+    /// Never issued by this service.
+    Unknown,
 }
 
 /// Everything the blocking [`SolverService::solve`](crate::SolverService::solve)
@@ -241,6 +369,20 @@ pub struct ServiceOptions {
     pub queue_capacity: usize,
     /// Maximum right-hand sides coalesced into one blocked dispatch.
     pub batch_window: usize,
+    /// Maximum resolved-but-unclaimed outcomes retained; beyond it the
+    /// oldest (lowest ticket id) is evicted deterministically and its
+    /// ticket reads [`TicketState::Claimed`] thereafter.
+    pub resolved_capacity: usize,
+    /// Queue depth above which `submit` sheds the lowest-priority,
+    /// most-slack queued request as [`Rejection::Shed`] (the shed ticket
+    /// still resolves — never silently dropped). `None` never sheds; the
+    /// queue simply hard-fills to `queue_capacity`.
+    pub shed_high_water: Option<usize>,
+    /// The fault-tolerant plane: circuit breakers, cache integrity
+    /// checks, and solo rescue of sick batch columns down the degradation
+    /// ladder. `None` (the default) leaves the service undefended with
+    /// behaviour bit-identical to the classic dispatch path.
+    pub resilience: Option<ResilienceOptions>,
     /// AMG setup options used for every cached hierarchy.
     pub amg: AmgOptions,
     /// Cycle options (smoother, coarse solve, sweep counts).
@@ -253,8 +395,57 @@ impl Default for ServiceOptions {
             cache_capacity: 4,
             queue_capacity: 64,
             batch_window: 8,
+            resolved_capacity: 1024,
+            shed_high_water: None,
+            resilience: None,
             amg: AmgOptions::default(),
             mg: MgOptions::default(),
+        }
+    }
+}
+
+/// Configuration of the fault-tolerant service plane
+/// ([`ServiceOptions::resilience`]).
+#[derive(Clone, Debug)]
+pub struct ResilienceOptions {
+    /// Consecutive failed dispatches of one fingerprint (build failure,
+    /// hierarchy quarantine, or sick batch columns) that open its circuit
+    /// breaker.
+    pub breaker_threshold: u32,
+    /// Base duration a breaker stays open before a half-open probe is
+    /// allowed; doubles on every re-open.
+    pub breaker_backoff: Duration,
+    /// Attempt cap for the rescue session of one sick column (each attempt
+    /// escalates one rung of the degradation ladder).
+    pub rescue_attempts: u32,
+    /// Base backoff between rescue attempts (slept through the service
+    /// clock; exponential).
+    pub rescue_backoff: Duration,
+    /// Worker threads for the asynchronous rungs of rescue sessions.
+    pub rescue_threads: usize,
+    /// Deterministic seed: the rescue session of ticket `t` runs seeded
+    /// with `mix(seed, t)`, so a chaos run replays bit-identically.
+    pub session_seed: Option<u64>,
+    /// Faults injected into the asynchronous rungs of every rescue session
+    /// (the harness uses this to push crashes and corruption *through* the
+    /// service).
+    pub fault_plan: Option<FaultPlan>,
+    /// Service-level chaos: corrupt primary batch columns and poison
+    /// cached hierarchies at chosen dispatches (see [`ChaosPlan`]).
+    pub chaos: Option<ChaosPlan>,
+}
+
+impl Default for ResilienceOptions {
+    fn default() -> Self {
+        ResilienceOptions {
+            breaker_threshold: 3,
+            breaker_backoff: Duration::from_millis(10),
+            rescue_attempts: 5,
+            rescue_backoff: Duration::from_millis(1),
+            rescue_threads: 2,
+            session_seed: None,
+            fault_plan: None,
+            chaos: None,
         }
     }
 }

@@ -123,7 +123,7 @@ impl<'a> Sharded<'a> {
     }
 
     /// Records telemetry: the result's `trace` carries per-rank message
-    /// statistics and the published reductions (schema `asyncmg-trace-v4`).
+    /// statistics and the published reductions (schema `asyncmg-trace-v5`).
     pub fn with_trace(mut self) -> Self {
         self.collect_trace = true;
         self

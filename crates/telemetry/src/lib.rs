@@ -27,7 +27,7 @@ pub mod trace;
 
 pub use recorder::TelemetryProbe;
 pub use ring::EventRing;
-pub use service::{CacheEvent, ServiceStats};
+pub use service::{CacheEvent, ServiceEvent, ServiceStats};
 pub use trace::{
     AttemptRecord, CheckpointRecord, CorrectionRecord, GridTimeline, PhaseTotal, ReductionRecord,
     ResidualSample, ShardMessageStats, SolveTrace,

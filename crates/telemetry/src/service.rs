@@ -25,6 +25,12 @@ pub enum CacheEvent {
         /// Content fingerprint of the evicted matrix.
         fingerprint: u64,
     },
+    /// A cached hierarchy failed its integrity checksum and was thrown
+    /// away (a rebuild follows as an ordinary miss).
+    Quarantine {
+        /// Content fingerprint of the poisoned matrix.
+        fingerprint: u64,
+    },
 }
 
 impl CacheEvent {
@@ -34,6 +40,7 @@ impl CacheEvent {
             CacheEvent::Hit { .. } => "hit",
             CacheEvent::Miss { .. } => "miss",
             CacheEvent::Evict { .. } => "evict",
+            CacheEvent::Quarantine { .. } => "quarantine",
         }
     }
 
@@ -42,7 +49,88 @@ impl CacheEvent {
         match self {
             CacheEvent::Hit { fingerprint }
             | CacheEvent::Miss { fingerprint }
-            | CacheEvent::Evict { fingerprint } => fingerprint,
+            | CacheEvent::Evict { fingerprint }
+            | CacheEvent::Quarantine { fingerprint } => fingerprint,
+        }
+    }
+}
+
+/// One fault-plane decision of the solver service, in decision order.
+///
+/// Like [`CacheEvent`], every field is deterministic under a virtual
+/// clock, so a seeded chaos run replays to an identical event log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServiceEvent {
+    /// Repeated failures opened the circuit breaker of a fingerprint:
+    /// its requests fail fast until `until_ns`.
+    BreakerOpened {
+        /// Content fingerprint of the matrix.
+        fingerprint: u64,
+        /// Service-clock nanoseconds at which a half-open probe is allowed.
+        until_ns: u64,
+        /// Consecutive failures that tripped the breaker.
+        failures: u32,
+    },
+    /// The breaker's backoff elapsed; the next batch of this fingerprint
+    /// runs as a probe.
+    BreakerHalfOpen {
+        /// Content fingerprint of the matrix.
+        fingerprint: u64,
+    },
+    /// A half-open probe succeeded; the fingerprint serves normally again.
+    BreakerClosed {
+        /// Content fingerprint of the matrix.
+        fingerprint: u64,
+    },
+    /// A cached hierarchy failed its integrity checksum; it was dropped
+    /// and rebuilt.
+    Quarantined {
+        /// Content fingerprint of the matrix.
+        fingerprint: u64,
+    },
+    /// A queued request was shed at the overload high-water mark.
+    Shed {
+        /// Ticket id of the shed request.
+        ticket: u64,
+    },
+    /// A sick batch column was retried solo down the degradation ladder.
+    Rescued {
+        /// Ticket id of the rescued request.
+        ticket: u64,
+        /// Session attempts the rescue took.
+        attempts: u32,
+        /// Whether the rescue reached its goal.
+        converged: bool,
+    },
+}
+
+impl ServiceEvent {
+    /// Stable lowercase name (used in JSON exports and fingerprints).
+    pub fn name(self) -> &'static str {
+        match self {
+            ServiceEvent::BreakerOpened { .. } => "breaker_opened",
+            ServiceEvent::BreakerHalfOpen { .. } => "breaker_half_open",
+            ServiceEvent::BreakerClosed { .. } => "breaker_closed",
+            ServiceEvent::Quarantined { .. } => "quarantined",
+            ServiceEvent::Shed { .. } => "shed",
+            ServiceEvent::Rescued { .. } => "rescued",
+        }
+    }
+
+    /// A stable numeric digest of the event's payload, for fingerprinting
+    /// (fields folded in declaration order).
+    pub fn key(self) -> u64 {
+        match self {
+            ServiceEvent::BreakerOpened { fingerprint, until_ns, failures } => {
+                fingerprint ^ until_ns.rotate_left(17) ^ (failures as u64).rotate_left(41)
+            }
+            ServiceEvent::BreakerHalfOpen { fingerprint }
+            | ServiceEvent::BreakerClosed { fingerprint }
+            | ServiceEvent::Quarantined { fingerprint } => fingerprint,
+            ServiceEvent::Shed { ticket } => ticket,
+            ServiceEvent::Rescued { ticket, attempts, converged } => {
+                ticket ^ (attempts as u64).rotate_left(17) ^ (converged as u64).rotate_left(41)
+            }
         }
     }
 }
@@ -74,6 +162,25 @@ pub struct ServiceStats {
     pub queue_depth: u64,
     /// High-water mark of `queue_depth`.
     pub max_queue_depth: u64,
+    /// Circuit-breaker open transitions (closed/half-open → open).
+    pub breaker_opened: u64,
+    /// Circuit-breaker close transitions (half-open probe succeeded).
+    pub breaker_closed: u64,
+    /// Requests rejected fail-fast because their fingerprint's breaker was
+    /// open.
+    pub rejected_circuit_open: u64,
+    /// Cached hierarchies quarantined (checksum mismatch) and rebuilt.
+    pub quarantined: u64,
+    /// Requests shed at the overload high-water mark.
+    pub shed: u64,
+    /// Sick batch columns retried solo down the degradation ladder.
+    pub rescued: u64,
+    /// Rescues that still failed after the ladder was exhausted.
+    pub rescue_failed: u64,
+    /// Total rescue-session attempts beyond each rescue's first.
+    pub retries: u64,
+    /// Resolved outcomes evicted unclaimed to bound the resolved store.
+    pub resolved_evicted: u64,
 }
 
 impl ServiceStats {
@@ -89,7 +196,11 @@ impl ServiceStats {
                 "{{\"cache_hits\": {}, \"cache_misses\": {}, \"evictions\": {}, ",
                 "\"batches\": {}, \"batched_rhs\": {}, \"completed\": {}, ",
                 "\"rejected_deadline\": {}, \"rejected_queue_full\": {}, ",
-                "\"queue_depth\": {}, \"max_queue_depth\": {}}}"
+                "\"queue_depth\": {}, \"max_queue_depth\": {}, ",
+                "\"breaker_opened\": {}, \"breaker_closed\": {}, ",
+                "\"rejected_circuit_open\": {}, \"quarantined\": {}, ",
+                "\"shed\": {}, \"rescued\": {}, \"rescue_failed\": {}, ",
+                "\"retries\": {}, \"resolved_evicted\": {}}}"
             ),
             self.cache_hits,
             self.cache_misses,
@@ -101,6 +212,15 @@ impl ServiceStats {
             self.rejected_queue_full,
             self.queue_depth,
             self.max_queue_depth,
+            self.breaker_opened,
+            self.breaker_closed,
+            self.rejected_circuit_open,
+            self.quarantined,
+            self.shed,
+            self.rescued,
+            self.rescue_failed,
+            self.retries,
+            self.resolved_evicted,
         )
     }
 }
@@ -116,16 +236,61 @@ mod tests {
         assert_eq!(e.fingerprint(), 7);
         assert_eq!(CacheEvent::Miss { fingerprint: 1 }.name(), "miss");
         assert_eq!(CacheEvent::Evict { fingerprint: 2 }.name(), "evict");
+        assert_eq!(CacheEvent::Quarantine { fingerprint: 3 }.name(), "quarantine");
+        assert_eq!(CacheEvent::Quarantine { fingerprint: 3 }.fingerprint(), 3);
+    }
+
+    #[test]
+    fn service_event_names_and_keys_are_stable() {
+        let events = [
+            ServiceEvent::BreakerOpened { fingerprint: 1, until_ns: 2, failures: 3 },
+            ServiceEvent::BreakerHalfOpen { fingerprint: 1 },
+            ServiceEvent::BreakerClosed { fingerprint: 1 },
+            ServiceEvent::Quarantined { fingerprint: 1 },
+            ServiceEvent::Shed { ticket: 9 },
+            ServiceEvent::Rescued { ticket: 9, attempts: 2, converged: true },
+        ];
+        let names: Vec<&str> = events.iter().map(|e| e.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "breaker_opened",
+                "breaker_half_open",
+                "breaker_closed",
+                "quarantined",
+                "shed",
+                "rescued"
+            ]
+        );
+        // Keys distinguish payloads of the same variant.
+        assert_ne!(
+            ServiceEvent::Rescued { ticket: 9, attempts: 2, converged: true }.key(),
+            ServiceEvent::Rescued { ticket: 9, attempts: 2, converged: false }.key()
+        );
+        assert_ne!(
+            ServiceEvent::BreakerOpened { fingerprint: 1, until_ns: 2, failures: 3 }.key(),
+            ServiceEvent::BreakerOpened { fingerprint: 1, until_ns: 3, failures: 3 }.key()
+        );
     }
 
     #[test]
     fn stats_json_is_balanced_and_complete() {
-        let s =
-            ServiceStats { cache_hits: 3, cache_misses: 2, queue_depth: 1, ..Default::default() };
+        let s = ServiceStats {
+            cache_hits: 3,
+            cache_misses: 2,
+            queue_depth: 1,
+            breaker_opened: 4,
+            shed: 5,
+            resolved_evicted: 6,
+            ..Default::default()
+        };
         let j = s.to_json();
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert!(j.contains("\"cache_hits\": 3"));
         assert!(j.contains("\"queue_depth\": 1"));
+        assert!(j.contains("\"breaker_opened\": 4"));
+        assert!(j.contains("\"shed\": 5"));
+        assert!(j.contains("\"resolved_evicted\": 6"));
         assert_eq!(s.cache_lookups(), 5);
     }
 }

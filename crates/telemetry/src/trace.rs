@@ -272,7 +272,7 @@ impl SolveTrace {
     }
 
     /// The schema identifier [`SolveTrace::to_json`] emits.
-    pub const SCHEMA: &'static str = "asyncmg-trace-v4";
+    pub const SCHEMA: &'static str = "asyncmg-trace-v5";
 
     /// The schema identifier of a serialised trace, if it carries one
     /// (version-compatibility checks of golden files).
@@ -282,7 +282,7 @@ impl SolveTrace {
         Some(tail)
     }
 
-    /// Serialises the trace to JSON (schema `asyncmg-trace-v4`; see
+    /// Serialises the trace to JSON (schema `asyncmg-trace-v5`; see
     /// `docs/telemetry.md`). v4 adds the `"retransmits"` counter to each
     /// `"messages"` entry (v3 added the `"messages"` and `"reductions"`
     /// arrays of the sharded execution model); every v3 field is unchanged,
@@ -532,7 +532,7 @@ mod tests {
         });
         trace.reductions.push(ReductionRecord { epoch: 3, relres: 1e-4, parts: 2, t_ns: 55 });
         let json = trace.to_json();
-        assert!(json.contains("\"schema\": \"asyncmg-trace-v4\""));
+        assert!(json.contains("\"schema\": \"asyncmg-trace-v5\""));
         assert_eq!(SolveTrace::schema_of(&json), Some(SolveTrace::SCHEMA));
         assert!(json.contains("\"rank\": 0, \"sent\": 12, \"delivered\": 10"));
         assert!(json.contains("\"overflowed\": 0, \"retransmits\": 2"));

@@ -53,13 +53,15 @@ fn main() {
     service.drain();
     println!("\nbatched      : 3 rhs drained in {:.1?}", t0.elapsed());
     for t in tickets {
-        match service.take(t).expect("resolved") {
-            asyncmg_service::RequestStatus::Completed(r) => println!(
-                "  ticket {:>2}  : relres {:9.2e}, batch of {}",
-                t.id(),
-                r.relres,
-                r.batch_size
-            ),
+        match service.take(t) {
+            asyncmg_service::TicketState::Ready(asyncmg_service::RequestStatus::Completed(r)) => {
+                println!(
+                    "  ticket {:>2}  : relres {:9.2e}, batch of {}",
+                    t.id(),
+                    r.relres,
+                    r.batch_size
+                )
+            }
             other => println!("  ticket {:>2}  : {other:?}", t.id()),
         }
     }

@@ -83,7 +83,7 @@ fn crashed_and_corrupted_session_escalates_and_converges() {
     let trace = report.trace.as_ref().expect("with_trace attaches a trace");
     assert_eq!(trace.attempts.len(), report.attempts.len());
     let json = trace.to_json();
-    assert!(json.contains("\"schema\": \"asyncmg-trace-v4\""));
+    assert!(json.contains("\"schema\": \"asyncmg-trace-v5\""));
     assert!(json.contains("\"attempts\": ["));
     assert!(json.contains("\"rung\": \"async_atomic\""));
     assert!(json.contains("\"escalation\": \""));

@@ -9,7 +9,9 @@ use std::time::Duration;
 use asyncmg_amg::{build_hierarchy, AmgOptions};
 use asyncmg_core::{MgOptions, MgSetup, NoopProbe};
 use asyncmg_problems::{rhs::random_rhs, stencil::laplacian_7pt};
-use asyncmg_service::{Rejection, RequestStatus, ServiceOptions, SolveRequest, SolverService};
+use asyncmg_service::{
+    Rejection, RequestStatus, ServiceOptions, SolveRequest, SolverService, TicketState,
+};
 use asyncmg_sparse::Csr;
 use asyncmg_threads::VirtualClock;
 use proptest::prelude::*;
@@ -115,19 +117,139 @@ fn deadline_miss_rejection_is_deterministic_under_virtual_clock() {
         clock.advance(Duration::from_millis(3));
         service.drain();
 
-        match service.take(tight).unwrap() {
-            RequestStatus::Rejected(Rejection::DeadlineExpired { deadline_ns, now_ns }) => {
+        match service.take(tight) {
+            TicketState::Ready(RequestStatus::Rejected(Rejection::DeadlineExpired {
+                deadline_ns,
+                now_ns,
+            })) => {
                 assert_eq!(deadline_ns, 12_000_000);
                 assert_eq!(now_ns, 13_000_000);
             }
             other => panic!("expected a deadline rejection, got {other:?}"),
         }
-        match service.take(loose).unwrap() {
-            RequestStatus::Completed(r) => assert!(r.relres.is_finite()),
+        match service.take(loose) {
+            TicketState::Ready(RequestStatus::Completed(r)) => assert!(r.relres.is_finite()),
             other => panic!("expected completion, got {other:?}"),
         }
         assert_eq!(service.stats().rejected_deadline, 1);
     }
+}
+
+/// Regression for unbounded memory growth: a caller that submits and
+/// drains forever without ever `take`-ing outcomes must not grow the
+/// resolved store without bound. The store evicts oldest-first and counts
+/// what it dropped.
+#[test]
+fn resolved_store_stays_bounded_when_outcomes_are_never_taken() {
+    let opts = ServiceOptions { resolved_capacity: 8, ..Default::default() };
+    let service = SolverService::new(opts);
+    let a = Arc::new(laplacian_7pt(4, 4, 4));
+
+    let tickets: Vec<_> = (0..40)
+        .map(|s| {
+            let t = service
+                .submit(SolveRequest::new(a.clone(), random_rhs(a.nrows(), s)).t_max(5))
+                .unwrap();
+            service.drain();
+            t
+        })
+        .collect();
+
+    assert_eq!(service.stats().resolved_evicted, 32);
+    // Oldest-first: evicted tickets read Claimed, the newest 8 stay Ready.
+    for t in &tickets[..32] {
+        assert_eq!(service.status(*t), TicketState::Claimed);
+    }
+    for t in &tickets[32..] {
+        assert!(matches!(service.status(*t), TicketState::Ready(_)));
+    }
+    // The service is still fully functional afterwards.
+    let r = service
+        .solve(SolveRequest::new(a.clone(), random_rhs(a.nrows(), 99)).tolerance(1e-8))
+        .unwrap();
+    assert!(r.converged);
+}
+
+/// The lock-discipline acceptance scenario: while one thread is inside a
+/// long `process_batch` solve, other threads can submit, poll status, and
+/// claim outcomes without stalling behind the numeric work — the solve
+/// runs under the cache entry's lock, not the service mutex.
+#[test]
+fn submits_and_status_progress_while_a_long_solve_is_in_flight() {
+    let big = Arc::new(laplacian_7pt(18, 18, 18));
+    let small = Arc::new(laplacian_7pt(4, 4, 4));
+    let service = Arc::new(SolverService::new(ServiceOptions::default()));
+
+    let slow = service
+        .submit(SolveRequest::new(big.clone(), random_rhs(big.nrows(), 0)).t_max(200))
+        .unwrap();
+    let solver_thread = {
+        let service = service.clone();
+        std::thread::spawn(move || service.process_batch())
+    };
+
+    // While the big solve runs (or at worst just after), this thread keeps
+    // submitting and polling. None of these calls can deadlock: they only
+    // contend on the admission/publication mutex.
+    let mut smalls = Vec::new();
+    for s in 0..8 {
+        let t = service
+            .submit(SolveRequest::new(small.clone(), random_rhs(small.nrows(), s)).t_max(10))
+            .unwrap();
+        // Status of an in-flight or queued ticket is well-defined mid-solve.
+        assert!(matches!(service.status(t), TicketState::Queued));
+        let _ = service.status(slow);
+        smalls.push(t);
+    }
+    assert_eq!(solver_thread.join().unwrap(), 1);
+    service.drain();
+
+    assert!(matches!(service.take(slow), TicketState::Ready(RequestStatus::Completed(_))));
+    for t in smalls {
+        assert!(matches!(service.take(t), TicketState::Ready(RequestStatus::Completed(_))));
+    }
+}
+
+/// Deterministic variant of the same scenario: a fixed interleaving of
+/// submits and dispatches on the virtual clock — including submissions that
+/// land while earlier tickets are dispatched — replays bit-identically.
+#[test]
+fn interleaved_submit_dispatch_replays_bit_identically() {
+    let run = || {
+        let clock = Arc::new(VirtualClock::new());
+        let service = SolverService::with_clock(ServiceOptions::default(), clock.clone());
+        let a = Arc::new(laplacian_7pt(5, 5, 5));
+        let b = Arc::new(laplacian_7pt(6, 5, 5));
+
+        let mut tickets = Vec::new();
+        for s in 0..3 {
+            tickets.push(
+                service
+                    .submit(SolveRequest::new(a.clone(), random_rhs(a.nrows(), s)).t_max(20))
+                    .unwrap(),
+            );
+        }
+        service.process_batch();
+        // Mid-stream: more work arrives after the first dispatch resolved.
+        for s in 3..6 {
+            tickets.push(
+                service
+                    .submit(SolveRequest::new(b.clone(), random_rhs(b.nrows(), s)).t_max(20))
+                    .unwrap(),
+            );
+            clock.advance(Duration::from_millis(1));
+        }
+        service.drain();
+
+        tickets
+            .into_iter()
+            .map(|t| match service.take(t) {
+                TicketState::Ready(RequestStatus::Completed(r)) => r.x,
+                other => panic!("expected completion, got {other:?}"),
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run(), "interleaved run diverged across replays");
 }
 
 proptest! {
@@ -157,8 +279,8 @@ proptest! {
         service.drain();
 
         for (ticket, b, budget) in submitted {
-            let r = match service.take(ticket).unwrap() {
-                RequestStatus::Completed(r) => r,
+            let r = match service.take(ticket) {
+                TicketState::Ready(RequestStatus::Completed(r)) => r,
                 other => panic!("expected completion, got {other:?}"),
             };
             prop_assert_eq!(r.batch_size, nrhs);

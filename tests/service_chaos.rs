@@ -1,0 +1,246 @@
+//! Chaos acceptance tests for the fault-tolerant service plane (the PR-10
+//! scenarios): a defended service under scripted hierarchy poisoning,
+//! column corruption, rescue-session fault injection, and breaker pressure
+//! must conserve every ticket, keep the convergence rate up, log its
+//! breaker transitions, and replay bit-identically — while an undefended
+//! (or unattacked) service stays bit-identical to the classic path.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use asyncmg_harness::{
+    check_service_chaos, fingerprint_service, seeds_from_env, undeadlined_convergence,
+    ServiceChaosAxis,
+};
+use asyncmg_problems::{rhs::random_rhs, stencil::laplacian_7pt};
+use asyncmg_service::{
+    ChaosEvent, ChaosPlan, RequestStatus, ResilienceOptions, ServiceOptions, SolveRequest,
+    SolverService, TicketState,
+};
+use asyncmg_telemetry::ServiceStats;
+use asyncmg_threads::{Corruption, Fault, FaultPlan, VirtualClock};
+
+/// The directed acceptance scenario: 64 seeded requests through one
+/// defended service on a virtual clock, with scripted chaos —
+/// two hierarchy poisonings (breaker trips open), circuit-open fail-fast,
+/// a half-open probe that re-closes the breaker, and two corrupted
+/// solution columns rescued down the ladder, all with crash + corrupt-write
+/// faults injected into every rescue session.
+fn acceptance_scenario() -> (BTreeMap<u64, RequestStatus>, ServiceStats, u64) {
+    let chaos = ChaosPlan::new()
+        .with(ChaosEvent::PoisonHierarchy { dispatch: 1 })
+        .with(ChaosEvent::PoisonHierarchy { dispatch: 2 })
+        // Dispatch 5 between the two corruptions stays clean, so the
+        // failure streak resets and the (threshold-2) breaker does not trip
+        // a second time on the corruption pair.
+        .with(ChaosEvent::CorruptColumn { dispatch: 4, column: 1, kind: Corruption::Nan })
+        .with(ChaosEvent::CorruptColumn { dispatch: 6, column: 0, kind: Corruption::Inf });
+    let fault_plan = FaultPlan::new(0xACCE)
+        .with(Fault::Crash { team: 0, at_round: 2 })
+        .with(Fault::CorruptWrite { grid: 0, at_round: 1, kind: Corruption::BitFlip });
+    let resilience = ResilienceOptions {
+        breaker_threshold: 2,
+        breaker_backoff: Duration::from_millis(5),
+        rescue_attempts: 4,
+        rescue_backoff: Duration::from_millis(1),
+        rescue_threads: 2,
+        session_seed: Some(0xACCE),
+        fault_plan: Some(fault_plan),
+        chaos: Some(chaos),
+    };
+    let opts = ServiceOptions {
+        batch_window: 4,
+        queue_capacity: 128,
+        resilience: Some(resilience),
+        ..Default::default()
+    };
+    let clock = Arc::new(VirtualClock::new());
+    let service = SolverService::with_clock(opts, clock.clone());
+    let m = Arc::new(laplacian_7pt(6, 6, 6));
+    let m2 = Arc::new(laplacian_7pt(7, 6, 6));
+
+    let mut tickets = Vec::new();
+    let mut seed = 0u64;
+    let mut submit = |mat: &Arc<asyncmg_sparse::Csr>, tickets: &mut Vec<_>| {
+        let req =
+            SolveRequest::new(mat.clone(), random_rhs(mat.nrows(), seed)).tolerance(1e-6).t_max(60);
+        seed += 1;
+        tickets.push(service.submit(req).unwrap());
+    };
+
+    // Dispatch 0: clean cold build of m.
+    for _ in 0..4 {
+        submit(&m, &mut tickets);
+    }
+    service.process_batch();
+    // Dispatches 1 and 2: the cached hierarchy is poisoned before each —
+    // quarantine + rebuild twice, tripping the threshold-2 breaker open.
+    for _ in 0..2 {
+        for _ in 0..4 {
+            submit(&m, &mut tickets);
+        }
+        service.process_batch();
+    }
+    // Breaker open: these two fail fast as CircuitOpen.
+    for _ in 0..2 {
+        submit(&m, &mut tickets);
+    }
+    service.process_batch();
+    // Past the backoff: a half-open probe dispatch runs clean and the
+    // breaker re-closes.
+    clock.advance(Duration::from_millis(6));
+    for _ in 0..4 {
+        submit(&m, &mut tickets);
+    }
+    service.process_batch();
+    // Dispatches 4 and 6: one solution column corrupted each — detected,
+    // isolated from healthy batch-mates, rescued solo under fault
+    // injection. Dispatch 5 runs clean in between.
+    for _ in 0..3 {
+        for _ in 0..4 {
+            submit(&m, &mut tickets);
+        }
+        service.process_batch();
+    }
+    // Fill to 64 requests over both matrices, then drain.
+    while tickets.len() < 64 {
+        submit(if tickets.len() % 2 == 0 { &m } else { &m2 }, &mut tickets);
+    }
+    service.drain();
+
+    // Conservation: every ticket resolves exactly once.
+    let mut outcomes = BTreeMap::new();
+    for t in tickets {
+        match service.take(t) {
+            TicketState::Ready(status) => {
+                outcomes.insert(t.id(), status);
+            }
+            other => panic!("ticket {} not resolved: {other:?}", t.id()),
+        }
+        assert_eq!(service.take(t), TicketState::Claimed, "ticket {} duplicated", t.id());
+    }
+    let stats = service.stats();
+    let fp =
+        fingerprint_service(&outcomes, &service.cache_events(), &service.service_events(), &stats);
+
+    let names: Vec<&str> = service.service_events().iter().map(|e| e.name()).collect();
+    let pos = |n: &str| names.iter().position(|&x| x == n);
+    let (opened, half, closed) = (
+        pos("breaker_opened").expect("breaker never opened"),
+        pos("breaker_half_open").expect("breaker never probed"),
+        pos("breaker_closed").expect("breaker never re-closed"),
+    );
+    assert!(opened < half && half < closed, "breaker transitions out of order: {names:?}");
+
+    (outcomes, stats, fp)
+}
+
+#[test]
+fn acceptance_chaos_scenario_conserves_recovers_and_replays() {
+    let (outcomes, stats, fp) = acceptance_scenario();
+    assert_eq!(outcomes.len(), 64, "conservation: 64 tickets, 64 outcomes");
+
+    // Both poisonings quarantined, both corruptions rescued, breaker
+    // opened and re-closed, fail-fast rejections accounted.
+    assert_eq!(stats.quarantined, 2);
+    assert_eq!(stats.rescued, 2);
+    assert!(stats.breaker_opened >= 1 && stats.breaker_closed >= 1);
+    assert_eq!(stats.rejected_circuit_open, 2);
+    assert_eq!(stats.completed, 62);
+
+    // ≥ 90% of the (undeadlined) requests still reach the tolerance:
+    // everything except the two circuit-open rejections converged.
+    let converged = outcomes
+        .values()
+        .filter(|s| matches!(s, RequestStatus::Completed(r) if r.converged))
+        .count();
+    assert!(converged as f64 / 64.0 >= 0.9, "only {converged}/64 converged");
+
+    // Rescued columns carry the flag; their batch-mates completed clean.
+    let rescued: Vec<u64> = outcomes
+        .iter()
+        .filter(|(_, s)| matches!(s, RequestStatus::Completed(r) if r.rescued))
+        .map(|(&t, _)| t)
+        .collect();
+    assert_eq!(rescued.len(), 2);
+
+    // Bit-identical replay of the entire scenario.
+    let (_, _, fp2) = acceptance_scenario();
+    assert_eq!(fp, fp2, "chaos scenario replay diverged");
+}
+
+/// The seeded chaos sweep (CI widens with `HARNESS_FUZZ_SEEDS=8`): every
+/// seed passes the conservation oracle, keeps the convergence rate up, and
+/// replays bit-identically.
+#[test]
+fn chaos_axis_sweep_passes_the_oracle_and_replays() {
+    let axis = ServiceChaosAxis::default();
+    for seed in seeds_from_env(3) {
+        let run = axis.run(seed);
+        check_service_chaos(&axis, &run).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+        assert!(
+            undeadlined_convergence(&run) >= 0.9,
+            "seed {seed}: convergence rate {} below 0.9",
+            undeadlined_convergence(&run)
+        );
+        let replay = axis.run(seed);
+        assert_eq!(run.fingerprint, replay.fingerprint, "seed {seed}: replay diverged");
+    }
+}
+
+/// Overload shedding under chaos: with a low high-water mark the mix sheds
+/// real work, and shed tickets still resolve — conservation holds with the
+/// shedding path active.
+#[test]
+fn shedding_conserves_tickets_under_chaos() {
+    let axis = ServiceChaosAxis { shed_high_water: Some(4), ..Default::default() };
+    let mut any_shed = false;
+    for seed in seeds_from_env(2) {
+        let run = axis.run(seed);
+        check_service_chaos(&axis, &run).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+        any_shed |= run.stats.shed > 0;
+    }
+    assert!(any_shed, "high-water mark of 4 never shed in a 64-request mix");
+}
+
+/// A defended-but-unattacked service must produce bit-identical solutions
+/// to an undefended one: integrity verification only reads, rescues never
+/// trigger without sick columns, and the dispatch order is unchanged.
+#[test]
+fn unattacked_defended_service_matches_undefended_bitwise() {
+    let run = |resilience: Option<ResilienceOptions>| {
+        let clock = Arc::new(VirtualClock::new());
+        let opts = ServiceOptions { resilience, ..Default::default() };
+        let service = SolverService::with_clock(opts, clock.clone());
+        let a = Arc::new(laplacian_7pt(6, 6, 6));
+        let b = Arc::new(laplacian_7pt(5, 6, 6));
+
+        let tickets: Vec<_> = (0..8)
+            .map(|s| {
+                let mat = if s % 3 == 0 { &b } else { &a };
+                let req = SolveRequest::new(mat.clone(), random_rhs(mat.nrows(), s))
+                    .tolerance(1e-8)
+                    .t_max(60);
+                let t = service.submit(req).unwrap();
+                clock.advance(Duration::from_millis(s % 2));
+                if s % 2 == 0 {
+                    service.process_batch();
+                }
+                t
+            })
+            .collect();
+        service.drain();
+        tickets
+            .into_iter()
+            .map(|t| match service.take(t) {
+                TicketState::Ready(RequestStatus::Completed(r)) => (r.x, r.relres, r.converged),
+                other => panic!("expected completion, got {other:?}"),
+            })
+            .collect::<Vec<_>>()
+    };
+
+    let undefended = run(None);
+    let defended = run(Some(ResilienceOptions::default()));
+    assert_eq!(undefended, defended, "defended-but-unattacked path changed the numerics");
+}

@@ -195,7 +195,7 @@ fn recovery_events_surface_in_trace_json() {
     assert!(json.contains("\"shard_declared_dead\""), "death event missing from trace");
     assert!(json.contains("\"rows_adopted\""), "adoption event missing from trace");
     assert!(json.contains("\"retransmits\""), "retransmit counter missing from trace");
-    assert!(json.contains("\"asyncmg-trace-v4\""), "schema tag");
+    assert!(json.contains("\"asyncmg-trace-v5\""), "schema tag");
     assert_eq!(result.recovery.dead_shards, vec![1]);
 }
 

@@ -62,7 +62,7 @@ fn tolerance_stops_async_multadd_below_tol() {
 
     // The JSON export carries the schema tag and parses to balanced braces.
     let json = trace.to_json();
-    assert!(json.contains("\"schema\": \"asyncmg-trace-v4\""));
+    assert!(json.contains("\"schema\": \"asyncmg-trace-v5\""));
     assert_eq!(json.matches('{').count(), json.matches('}').count());
 }
 
@@ -226,7 +226,7 @@ fn golden_trace() -> asyncmg_telemetry::SolveTrace {
     trace
 }
 
-/// The JSON export is a stable external format (`asyncmg-trace-v4`): the
+/// The JSON export is a stable external format (`asyncmg-trace-v5`): the
 /// serialisation of a fixed trace must match the committed golden file
 /// byte-for-byte. Run with `GOLDEN_UPDATE=1` to re-bless after a deliberate
 /// schema change (and bump the schema tag when doing so).
@@ -253,7 +253,7 @@ fn trace_json_matches_golden_file() {
 #[test]
 fn golden_trace_covers_schema_surface() {
     let json = golden_trace().to_json();
-    assert!(json.contains("\"schema\": \"asyncmg-trace-v4\""));
+    assert!(json.contains("\"schema\": \"asyncmg-trace-v5\""));
     assert!(json.contains("\"local_res\": null"), "NaN must render as null");
     assert!(json.contains("\"dropped_events\": 3"));
     // Every phase name appears in phase_totals (zero-count ones included),
